@@ -1,0 +1,63 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* PCG pruning (§III-C): without it, the MCG keeps every all-∞ edge and
+  the finder's search space grows.
+* Alias edges (§III-B2): without them, polymorphic chains vanish.
+* GadgetInspector's visited-node shortcut (NODE_GLOBAL uniqueness):
+  loses chains relative to Tabby's path uniqueness (§IV-F).
+"""
+
+import pytest
+
+from repro.core import Tabby
+from repro.corpus import build_component, build_lang_base
+from repro.graphdb.traversal import Uniqueness
+
+
+@pytest.fixture(scope="module")
+def classes():
+    spec = build_component("commons-collections(3.2.1)")
+    return build_lang_base() + spec.classes
+
+
+def test_pruning_shrinks_the_graph(classes, benchmark):
+    pruned = benchmark(lambda: Tabby().add_classes(classes).build_cpg())
+    unpruned = Tabby(prune_uncontrollable_calls=False).add_classes(classes).build_cpg()
+    assert pruned.statistics.relationship_edge_count < unpruned.statistics.relationship_edge_count
+    assert pruned.statistics.pruned_call_sites > 0
+
+
+def test_pruning_keeps_all_chains(classes, benchmark):
+    """Pruned edges are exactly the never-exploitable ones: disabling
+    pruning must not reveal any new chain endpoint."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    with_pruning = {
+        c.endpoint_key for c in Tabby().add_classes(classes).find_gadget_chains()
+    }
+    without = {
+        c.endpoint_key
+        for c in Tabby(prune_uncontrollable_calls=False)
+        .add_classes(classes)
+        .find_gadget_chains()
+    }
+    assert with_pruning == without
+
+
+def test_alias_edges_are_load_bearing(classes, benchmark):
+    full = benchmark.pedantic(
+        lambda: Tabby().add_classes(classes).find_gadget_chains(),
+        rounds=1, iterations=1,
+    )
+    no_alias = Tabby().add_classes(classes).find_gadget_chains(follow_alias=False)
+    assert len(no_alias) < len(full)
+
+
+def test_node_global_uniqueness_loses_chains(classes, benchmark):
+    """GadgetInspector's visited-set shortcut applied to Tabby's own
+    search drops chains (§IV-F bullet 2)."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    full = Tabby().add_classes(classes).find_gadget_chains()
+    shortcut = Tabby().add_classes(classes).find_gadget_chains(
+        uniqueness=Uniqueness.NODE_GLOBAL
+    )
+    assert len(shortcut) < len(full)

@@ -1,0 +1,68 @@
+"""Figure 6 — the gadget-chain-finding example graph.
+
+Reconstructs the A..J method-node graph and asserts the exclusions the
+figure annotates: E and I dropped by the Expander (uncontrollable PP
+for the required Trigger_Condition), G dropped by the Evaluator (depth).
+"""
+
+import pytest
+
+from repro.core.cpg import ALIAS, CALL, CPG, CPGStatistics
+from repro.core.pathfinder import GadgetChainFinder
+from repro.graphdb.graph import PropertyGraph
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+def figure6_graph():
+    g = PropertyGraph()
+
+    def node(name, source=False, sink=False, tc=None):
+        props = {"NAME": name, "CLASSNAME": "fig6", "ARITY": 0,
+                 "IS_SOURCE": source, "IS_SINK": sink}
+        if sink:
+            props["TRIGGER_CONDITION"] = tc or [1]
+            props["SINK_TYPE"] = "EXEC"
+        return g.create_node(["Method"], props)
+
+    A = node("A", sink=True, tc=[1])
+    C, C1, C2, E, G_, H, I, J = (node(n) for n in ("C", "C1", "C2", "E", "G", "H", "I", "J"))
+    g.set_node_property(H, "IS_SOURCE", True)
+    g.set_node_property(J, "IS_SOURCE", True)
+
+    def call(a, b, pp):
+        g.create_relationship(CALL, a, b, {"POLLUTED_POSITION": pp, "KIND": "virtual"})
+
+    call(C, A, [0, 0])
+    call(E, A, [0, -1])   # Expander drops E: required TC position is ∞
+    g.create_relationship(ALIAS, C1, C)
+    g.create_relationship(ALIAS, C2, C)
+    call(I, C1, [-1, -1])  # Expander drops the I continuation
+    call(H, C2, [0, 0])
+    call(G_, C, [0, 0])
+    call(J, G_, [0, 0])
+    return g
+
+
+def run(max_depth):
+    cpg = CPG(figure6_graph(), ClassHierarchy([]), CPGStatistics(), {})
+    finder = GadgetChainFinder(cpg, max_depth=max_depth)
+    return finder.find_chains()
+
+
+def test_fig6_search(benchmark):
+    chains = benchmark(lambda: run(max_depth=10))
+    names = {tuple(s.method_name for s in c.steps) for c in chains}
+    assert ("H", "C2", "C", "A") in names
+    for chain in chains:
+        steps = [s.method_name for s in chain.steps]
+        assert "E" not in steps, "Expander must exclude E"
+        assert "I" not in steps, "Expander must exclude I"
+
+
+def test_fig6_evaluator_depth_cut(benchmark):
+    shallow = benchmark.pedantic(lambda: run(max_depth=2), rounds=1, iterations=1)
+    names = {tuple(s.method_name for s in c.steps) for c in shallow}
+    assert ("J", "G", "C", "A") not in names  # Evaluator drops G at depth 2
+    deep = run(max_depth=6)
+    names = {tuple(s.method_name for s in c.steps) for c in deep}
+    assert ("J", "G", "C", "A") in names

@@ -1,0 +1,51 @@
+"""Payload synthesis (§V-C) under the timer: every effective chain in
+the comparison corpus yields an exploit recipe."""
+
+import pytest
+
+from repro.core import Tabby
+from repro.corpus import build_component, build_jdk8_extras, build_lang_base
+from repro.verify import ChainVerifier, PayloadSynthesizer
+from repro.verify.payload import ATTACKER_VALUE
+
+
+@pytest.fixture(scope="module")
+def cc_setup():
+    spec = build_component("commons-collections(3.2.1)")
+    classes = build_lang_base() + spec.classes
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    verifier = ChainVerifier(classes)
+    effective = [
+        c for c in chains
+        if spec.match_known(c) is not None or verifier.verify(c).effective
+    ]
+    return classes, effective
+
+
+def test_synthesis_throughput(cc_setup, benchmark):
+    classes, effective = cc_setup
+    synthesizer = PayloadSynthesizer(classes)
+
+    def synthesise_all():
+        return [synthesizer.synthesize(c) for c in effective]
+
+    specs = benchmark(synthesise_all)
+    assert len(specs) == len(effective)
+    for spec in specs:
+        assert ATTACKER_VALUE in spec.render()
+
+
+def test_urldns_recipe_matches_real_payload(benchmark):
+    """The synthesised URLDNS recipe is structurally the real ysoserial
+    payload: HashMap.key = URL(host=attacker), transient handler."""
+    classes = build_lang_base() + build_jdk8_extras()
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    urldns = next(c for c in chains if c.source.class_name == "java.util.HashMap")
+    synthesizer = PayloadSynthesizer(classes)
+    spec = benchmark(lambda: synthesizer.synthesize(urldns))
+    assert spec.root.class_name == "java.util.HashMap"
+    url = spec.root.fields["key"]
+    assert url.class_name == "java.net.URL"
+    assert url.fields["host"] == ATTACKER_VALUE
+    print()
+    print(spec.render())

@@ -1,0 +1,49 @@
+"""Table VIII — CPG generation efficiency (RQ1).
+
+Regenerates the code-amount / jar / class-node / method-node / edge /
+time rows over scaled random corpora and asserts the paper's finding:
+execution time grows approximately linearly with the class/method
+count ("Tabby is unlikely to take unpredictable time").
+"""
+
+import pytest
+
+from repro.bench import format_table_viii, run_table_viii
+from repro.core import Tabby
+from repro.corpus import generate_corpus
+
+SIZES_KB = (10, 20, 30, 40, 50, 100, 150)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table_viii(sizes_kb=SIZES_KB, repetitions=4)
+
+
+def test_table_viii_report(rows, benchmark):
+    """Print the regenerated table; benchmark one mid-size CPG build."""
+    jars = generate_corpus(50)
+    classes = [c for jar in jars for c in jar.classes]
+
+    def build():
+        return Tabby().add_classes(classes).build_cpg()
+
+    cpg = benchmark(build)
+    assert cpg.statistics.method_node_count > 0
+    print()
+    print(format_table_viii(rows))
+
+
+def test_counts_scale_with_code_amount(rows, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    for smaller, larger in zip(rows, rows[1:]):
+        assert larger.class_nodes > smaller.class_nodes
+        assert larger.method_nodes > smaller.method_nodes
+        assert larger.relationship_edges > smaller.relationship_edges
+
+
+def test_time_is_near_linear(rows, benchmark):
+    """time/method-node ratio must not blow up across a 15x size range."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    per_method = [r.seconds / r.method_nodes for r in rows]
+    assert max(per_method) / min(per_method) < 5.0

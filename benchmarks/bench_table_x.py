@@ -1,0 +1,41 @@
+"""Table X — development-scene detection (RQ3).
+
+Regenerates the five scene rows (result count, effective chains, FPR,
+search time) and asserts the exact result/effective splits the paper
+reports for every scene.
+"""
+
+import pytest
+
+from repro.bench import format_table_x, run_scene, run_table_x
+
+#: paper's Table X: scene -> (result, effective, fpr%)
+PAPER = {
+    "Spring": (10, 7, 30.0),
+    "JDK8": (13, 10, 23.1),
+    "Tomcat": (4, 3, 25.0),
+    "Jetty": (6, 4, 33.3),
+    "Apache Dubbo": (5, 3, 40.0),
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table_x()
+
+
+def test_table_x_report(rows, benchmark):
+    result = benchmark(lambda: run_scene("Tomcat"))
+    assert result.result_count > 0
+    print()
+    print(format_table_x(rows))
+
+
+@pytest.mark.parametrize("scene", sorted(PAPER))
+def test_scene_matches_paper(rows, scene, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    row = next(r for r in rows if r.scene == scene)
+    result, effective, fpr = PAPER[scene]
+    assert row.result_count == result
+    assert row.effective_count == effective
+    assert abs(row.fpr_percent - fpr) < 0.5

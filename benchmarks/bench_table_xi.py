@@ -1,0 +1,43 @@
+"""Table XI — the Spring-framework JNDI gadget chains.
+
+Regenerates the LazyInitTargetSource / PrototypeTargetSource /
+SimpleBeanTargetSource (CVE-2020-11619) chains through
+SimpleJndiBeanFactory.getBean(String) -> JndiLocatorSupport.lookup()
+-> javax.naming.Context.lookup().
+"""
+
+import pytest
+
+from repro.bench import format_table_xi, run_table_xi
+from repro.corpus.scenes import TABLE_XI_TARGET_SOURCES
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return run_table_xi()
+
+
+def test_table_xi_report(chains, benchmark):
+    result = benchmark.pedantic(run_table_xi, rounds=1, iterations=1)
+    assert result
+    print()
+    print(format_table_xi(chains))
+
+
+def test_three_target_source_chains(chains, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    heads = set()
+    for chain in chains:
+        for step in chain.steps:
+            if step.class_name in TABLE_XI_TARGET_SOURCES:
+                heads.add(step.class_name)
+    assert heads == set(TABLE_XI_TARGET_SOURCES)
+
+
+def test_chain_structure_matches_table(chains, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1)
+    for chain in chains:
+        qualified = [s.qualified for s in chain.steps]
+        assert "org.springframework.jndi.support.SimpleJndiBeanFactory.getBean" in qualified
+        assert "org.springframework.jndi.JndiLocatorSupport.lookup" in qualified
+        assert chain.sink.qualified == "javax.naming.Context.lookup"

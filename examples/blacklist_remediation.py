@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The §IV-E remediation loop: find chains, verify them, derive the
+minimal deserialization blacklist, and prove the filter kills every
+effective chain — the workflow XStream and Apache Dubbo followed with
+the authors' reports.
+
+Run:  python examples/blacklist_remediation.py
+"""
+
+from repro import ChainVerifier, Tabby
+from repro.core import apply_blacklist, derive_blacklist
+from repro.corpus import build_component, build_lang_base
+from repro.jvm.hierarchy import ClassHierarchy
+
+COMPONENT = "commons-collections(3.2.1)"
+
+
+def main() -> None:
+    spec = build_component(COMPONENT)
+    classes = build_lang_base() + spec.classes
+    hierarchy = ClassHierarchy(classes)
+
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    verifier = ChainVerifier(classes)
+    effective = [
+        c for c in chains
+        if spec.match_known(c) is not None or verifier.verify(c).effective
+    ]
+    print(f"{COMPONENT}: {len(chains)} chains reported, "
+          f"{len(effective)} effective\n")
+
+    blacklist = derive_blacklist(effective, hierarchy)
+    print("derived deserialization filter:")
+    for entry in blacklist.entries():
+        print(f"  {entry}")
+
+    survivors = apply_blacklist(classes, blacklist)
+    still_effective = [c for c in survivors if verifier.verify(c).effective]
+    print(f"\nwith the filter installed: {len(survivors)} chains survive, "
+          f"{len(still_effective)} still effective")
+    assert not still_effective, "the filter must neutralise every chain"
+    print("remediation verified: no effective chain survives the filter")
+
+
+if __name__ == "__main__":
+    main()

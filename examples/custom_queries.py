@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""RQ4: re-query a persisted CPG without re-analysing the code.
+
+Tabby's key workflow advantage over GadgetInspector/Serianalyzer
+(§IV-F): the CPG persists to disk, and researchers iterate on Cypher
+queries — here, the XStream-style blacklist-refinement loop of §IV-E.
+
+Run:  python examples/custom_queries.py
+"""
+
+import os
+import tempfile
+
+from repro import Tabby
+from repro.corpus import build_scene
+from repro.graphdb.query import run_query
+from repro.graphdb.storage import load_graph
+
+
+def main() -> None:
+    scene = build_scene("JDK8")
+    tabby = Tabby().add_classes(scene.classes)
+    tabby.build_cpg()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "jdk8.cpg.json.gz")
+        tabby.save_cpg(path)
+        print(f"CPG persisted to {path} "
+              f"({os.path.getsize(path)} bytes compressed)\n")
+
+        # a later session: reload and query, no re-analysis
+        graph = load_graph(path)
+
+        print("=== sink inventory by category ===")
+        for row in run_query(
+            graph,
+            "MATCH (m:Method {IS_SINK: true}) "
+            "RETURN m.SINK_TYPE AS type, count(*) AS n ORDER BY type",
+        ):
+            print(f"  {row['type']:6s} {row['n']}")
+
+        print("\n=== deserialization entry points reaching a sink ===")
+        result = run_query(
+            graph,
+            "MATCH (src:Method {IS_SOURCE: true})-[:CALL|ALIAS*1..8]-"
+            "(snk:Method {IS_SINK: true}) "
+            "RETURN DISTINCT src.CLASSNAME AS cls ORDER BY cls",
+        )
+        for row in result:
+            print(f"  {row['cls']}")
+
+        print("\nThese classes are the blacklist candidates XStream/Dubbo "
+              "maintainers would add (§IV-E).")
+
+        print("\n=== call edges into Method.invoke with their PP ===")
+        for row in run_query(
+            graph,
+            "MATCH (a:Method)-[c:CALL]->(b:Method {NAME: 'invoke'}) "
+            "RETURN a.CLASSNAME AS caller, c.POLLUTED_POSITION AS pp LIMIT 5",
+        ):
+            print(f"  {row['caller']}  PP={row['pp']}")
+
+
+if __name__ == "__main__":
+    main()

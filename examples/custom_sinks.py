@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Extend the sink catalog for project-specific auditing (§III-D:
+"security researchers can check for the existence of a gadget chain
+between any source and sink according to their needs").
+
+A fictional in-house audit framework treats ``AuditLog.logRaw`` as
+dangerous (log injection into a SIEM pipeline).  We register it as a
+custom sink and find the chain that reaches it.
+
+Run:  python examples/custom_sinks.py
+"""
+
+from repro import SinkMethod, Tabby
+from repro.jvm import ProgramBuilder, SERIALIZABLE
+
+
+def build_inhouse_library():
+    pb = ProgramBuilder(jar="corp-audit.jar")
+    iface = "com.corp.audit.Formatter"
+    ib = pb.interface(iface)
+    ib.abstract_method("format", params=["java.lang.Object"],
+                       returns="java.lang.Object")
+    ib.finish()
+    with pb.cls("com.corp.audit.RawFormatter", implements=[iface, SERIALIZABLE]) as c:
+        c.field("pattern", "java.lang.Object")
+        with c.method("format", params=["java.lang.Object"],
+                      returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "pattern")
+            log = m.new("com.corp.audit.AuditLog")
+            m.invoke(log, "com.corp.audit.AuditLog", "logRaw", [payload])
+            m.ret(payload)
+    with pb.cls("com.corp.audit.SavedSearch", implements=[SERIALIZABLE]) as c:
+        c.field("formatter", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            f = m.get_field(m.this, "formatter")
+            m.invoke_interface(f, iface, "format", [f], returns="java.lang.Object")
+    return pb.build()
+
+
+def main() -> None:
+    classes = build_inhouse_library()
+
+    print("without the custom sink, Tabby reports:",
+          len(Tabby().add_classes(classes).find_gadget_chains()), "chains")
+
+    tabby = Tabby().add_classes(classes).add_sinks(
+        [SinkMethod("com.corp.audit.AuditLog", "logRaw", "LOG-INJECTION", (1,))]
+    )
+    chains = tabby.find_gadget_chains()
+    print("with it:", len(chains), "chain(s)\n")
+    for chain in chains:
+        print(chain.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Reproduce the development-environment audit of §IV-D (Table X) and
+print the Spring JNDI chains of Table XI.
+
+Run:  python examples/development_scenes.py
+"""
+
+from repro.bench import (
+    format_table_x,
+    format_table_xi,
+    run_table_x,
+    run_table_xi,
+)
+
+
+def main() -> None:
+    print("Table X — development scenes")
+    print(format_table_x(run_table_x()))
+    print()
+    print("Table XI — Spring framework JNDI-injection chains")
+    print("(LazyInit/Prototype are the two new chains; SimpleBean is the")
+    print(" CVE-2020-11619 shape)")
+    print()
+    print(format_table_xi(run_table_xi()))
+
+
+if __name__ == "__main__":
+    main()

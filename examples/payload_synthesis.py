@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Payload synthesis — the §V-C future work, demonstrated.
+
+For every effective chain Tabby finds in the JDK8 scene, derive the
+attacker object graph a real exploit would serialise (the ysoserial
+recipe), including the classic URLDNS payload.
+
+Run:  python examples/payload_synthesis.py
+"""
+
+from repro import ChainVerifier, Tabby
+from repro.corpus import build_scene
+from repro.verify import PayloadSynthesizer
+
+
+def main() -> None:
+    scene = build_scene("JDK8")
+    tabby = Tabby().add_classes(scene.classes)
+    chains = tabby.find_gadget_chains()
+
+    verifier = ChainVerifier(scene.classes)
+    synthesizer = PayloadSynthesizer(scene.classes)
+
+    effective = [c for c in chains if verifier.verify(c).effective]
+    print(f"{len(chains)} chains reported, {len(effective)} effective; "
+          f"synthesising exploit recipes:\n")
+
+    for chain in effective:
+        print("=" * 60)
+        print(synthesizer.synthesize(chain).render())
+        print()
+
+    # machine-readable form for tooling pipelines
+    urldns = next(c for c in effective if c.source.class_name == "java.util.HashMap")
+    print("=" * 60)
+    print("URLDNS as JSON:")
+    print(synthesizer.synthesize(urldns).to_json())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: find the Figure 1 gadget chain end to end.
+
+Builds the paper's running example (EvilObjectA/EvilObjectB), runs
+Tabby over it, prints the recovered chain in the Table I format, and
+confirms it with the PoC oracle.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChainVerifier, SourceCatalog, Tabby
+from repro.jvm import ProgramBuilder, SERIALIZABLE
+
+
+def build_figure1_classes():
+    """The vulnerable program of Figure 1, authored in the builder DSL."""
+    pb = ProgramBuilder(jar="demo.jar")
+
+    obj = pb.cls("java.lang.Object", extends=None)
+    obj.abstract_method("toString", returns="java.lang.String")
+    obj.finish()
+
+    # class EvilObjectB { Object val2;
+    #   String toString() { Runtime.getRuntime().exec(val2.toString()); } }
+    with pb.cls("demo.EvilObjectB", implements=[SERIALIZABLE]) as c:
+        c.field("val2", "java.lang.Object")
+        with c.method("toString", returns="java.lang.String") as m:
+            val2 = m.get_field(m.this, "val2")
+            cmd = m.invoke(val2, "java.lang.Object", "toString",
+                           returns="java.lang.String")
+            rt = m.invoke_static("java.lang.Runtime", "getRuntime",
+                                 returns="java.lang.Runtime")
+            m.invoke(rt, "java.lang.Runtime", "exec", [cmd])
+            m.ret(cmd)
+
+    # class EvilObjectA { Object val1;
+    #   void readObject(ObjectInputStream s) { val1.toString(); } }
+    with pb.cls("demo.EvilObjectA", implements=[SERIALIZABLE]) as c:
+        c.field("val1", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            val1 = m.get_field(m.this, "val1")
+            m.invoke(val1, "java.lang.Object", "toString",
+                     returns="java.lang.String")
+
+    return pb.build()
+
+
+def main() -> None:
+    classes = build_figure1_classes()
+
+    # 1. analyse: semantic extraction -> controllability -> CPG
+    tabby = Tabby(sources=SourceCatalog.native())
+    tabby.add_classes(classes)
+    cpg = tabby.build_cpg()
+    print(f"built {cpg!r}")
+
+    # 2. search: tabby-path-finder (Algorithms 2-3), backwards from sinks
+    chains = tabby.find_gadget_chains()
+    print(f"\n{len(chains)} gadget chain(s) found:\n")
+    for chain in chains:
+        print(chain.render())
+
+    # 3. confirm: the PoC oracle simulates the deserialization attack
+    verifier = ChainVerifier(classes, sources=SourceCatalog.native())
+    for chain in chains:
+        report = verifier.verify(chain)
+        verdict = "EFFECTIVE" if report.effective else "fake"
+        print(f"\nverification: {verdict} ({report.reason})")
+
+
+if __name__ == "__main__":
+    main()

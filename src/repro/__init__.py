@@ -1,0 +1,40 @@
+"""Tabby reproduction: automated gadget chain detection for Java
+deserialization vulnerabilities (Chen et al., DSN 2023), in pure Python.
+
+Quickstart::
+
+    from repro import Tabby
+    from repro.corpus import build_lang_base, build_jdk8_extras
+
+    tabby = Tabby().add_classes(build_lang_base() + build_jdk8_extras())
+    for chain in tabby.find_gadget_chains():
+        print(chain.render())          # URLDNS, among others
+
+See README.md for the architecture overview and DESIGN.md for the
+system inventory and per-experiment index.
+"""
+
+from repro.core import (
+    CPG,
+    GadgetChain,
+    GadgetChainFinder,
+    SinkCatalog,
+    SinkMethod,
+    SourceCatalog,
+    Tabby,
+)
+from repro.verify import ChainVerifier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tabby",
+    "CPG",
+    "GadgetChain",
+    "GadgetChainFinder",
+    "SinkCatalog",
+    "SinkMethod",
+    "SourceCatalog",
+    "ChainVerifier",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baseline gadget-chain detectors the paper compares against (§IV-C).
+
+* :mod:`repro.baselines.gadgetinspector` — Ian Haken's GadgetInspector
+  (Black Hat 2018), reimplemented with its documented weaknesses;
+* :mod:`repro.baselines.serianalyzer` — Moritz Bechler's Serianalyzer,
+  reimplemented with its over-approximation and termination problems.
+
+Both consume the same class model as Tabby but, like the originals,
+build their own ASM-style call graphs rather than a CPG.
+"""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.gadgetinspector import GadgetInspector
+from repro.baselines.serianalyzer import Serianalyzer
+
+__all__ = ["BaselineResult", "GadgetInspector", "Serianalyzer"]

@@ -1,0 +1,38 @@
+"""Shared plumbing for the baseline detectors."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.chains import GadgetChain
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """Output of one baseline run.
+
+    ``terminated`` is False when the tool exhausted its step budget
+    before finishing — the ``✗`` cells of Table IX ("the process is not
+    terminated", observed for Serianalyzer on Clojure and Jython).
+    """
+
+    tool: str
+    chains: List[GadgetChain] = field(default_factory=list)
+    terminated: bool = True
+    elapsed_seconds: float = 0.0
+    steps_used: int = 0
+
+    @property
+    def result_count(self) -> int:
+        return len(self.chains)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.terminated else "TIMEOUT"
+        return (
+            f"<BaselineResult {self.tool}: {len(self.chains)} chains, "
+            f"{status}, {self.elapsed_seconds:.2f}s>"
+        )

@@ -1,0 +1,155 @@
+"""GadgetInspector reimplementation (Black Hat 2018 baseline).
+
+Faithful to the original's *strategy* — a forward reachability search
+from deserialization entry points over an ASM-built call graph — and to
+the three weaknesses §IV-F attributes to it:
+
+1. **Incomplete polymorphism**: virtual dispatch is resolved through
+   the superclass *extension* chain only; interface-implementation
+   dispatch is not modelled, so chains that hop through an interface
+   method (most collection-transformer chains) are missed.
+2. **Visited-node skipping**: a method visited once (per source) is
+   never re-expanded, even when a second route would reach a sink with
+   different argument flow — "helps reduce running costs but may also
+   lead to the loss of potential chains".
+3. **Optimistic taint**: a value passed into a callee is assumed to
+   stay attacker-controllable ("many existing tools default to it not
+   changing"), so any syntactic source-to-sink path is reported — the
+   root of its ~93% false-positive rate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.common import BaselineResult
+from repro.core.chains import ChainStep, GadgetChain, dedupe_chains
+from repro.core.sinks import SinkCatalog
+from repro.core.sources import SourceCatalog
+from repro.jvm import ir
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass, JavaMethod
+
+__all__ = ["GadgetInspector"]
+
+
+class GadgetInspector:
+    """Forward source-to-sink reachability with GI's defects."""
+
+    TOOL_NAME = "gadgetinspector"
+
+    def __init__(
+        self,
+        classes: Sequence[JavaClass],
+        sinks: Optional[SinkCatalog] = None,
+        sources: Optional[SourceCatalog] = None,
+        max_depth: int = 12,
+        step_budget: int = 500_000,
+    ):
+        self.hierarchy = ClassHierarchy(classes)
+        self.sinks = sinks if sinks is not None else SinkCatalog()
+        self.sources = sources if sources is not None else SourceCatalog.extended()
+        self.max_depth = max_depth
+        self.step_budget = step_budget
+
+    # -- call graph (ASM-style, extension-only polymorphism) --------------
+
+    def _dispatch(self, invoke: ir.InvokeExpr) -> List[JavaMethod]:
+        """Resolve an invocation — deliberately *without* interface
+        dispatch (weakness 1)."""
+        if invoke.kind == ir.InvokeKind.DYNAMIC:
+            return []
+        resolved = self.hierarchy.resolve_method(
+            invoke.class_name, invoke.method_name, invoke.arity
+        )
+        targets: List[JavaMethod] = []
+        if resolved is not None:
+            targets.append(resolved)
+        if invoke.kind in (ir.InvokeKind.VIRTUAL,):
+            declared = self.hierarchy.get(invoke.class_name)
+            if declared is not None and not declared.is_interface:
+                # subclass overrides via extends edges only
+                for sub_name in self.hierarchy.subtypes(invoke.class_name):
+                    sub = self.hierarchy.get(sub_name)
+                    if sub is None or sub.is_interface:
+                        continue
+                    if not self._extension_reachable(sub_name, invoke.class_name):
+                        continue
+                    found = sub.find_method(invoke.method_name, invoke.arity)
+                    if found is not None and found not in targets:
+                        targets.append(found)
+        return targets
+
+    def _extension_reachable(self, sub_name: str, super_name: str) -> bool:
+        """True when sub derives from super through extends edges only."""
+        current = self.hierarchy.get(sub_name)
+        while current is not None and current.super_name:
+            if current.super_name == super_name:
+                return True
+            current = self.hierarchy.get(current.super_name)
+        return False
+
+    # -- search ------------------------------------------------------------------
+
+    def run(self) -> BaselineResult:
+        started = time.perf_counter()
+        result = BaselineResult(self.TOOL_NAME)
+        chains: List[GadgetChain] = []
+        steps = 0
+
+        source_methods = [
+            m
+            for m in self.hierarchy.all_methods()
+            if self.sources.is_source(m, self.hierarchy)
+        ]
+        for source in source_methods:
+            visited: Set[str] = set()  # weakness 2: per-source global set
+            stack: List[Tuple[JavaMethod, List[JavaMethod]]] = [(source, [source])]
+            while stack:
+                steps += 1
+                if steps > self.step_budget:
+                    result.terminated = False
+                    break
+                method, path = stack.pop()
+                key = method.signature.signature
+                if key in visited:
+                    continue
+                visited.add(key)
+                if len(path) > self.max_depth:
+                    continue
+                for invoke in ir.iter_invoke_exprs(method.body):
+                    sink = self.sinks.lookup(invoke.class_name, invoke.method_name)
+                    if sink is not None:
+                        # weakness 3: no argument-controllability check
+                        chains.append(
+                            self._chain(path, invoke.class_name, invoke.method_name,
+                                        invoke.arity, sink.category,
+                                        sink.trigger_condition)
+                        )
+                        continue
+                    for target in self._dispatch(invoke):
+                        if target.has_body:
+                            stack.append((target, path + [target]))
+            if not result.terminated:
+                break
+
+        result.chains = dedupe_chains(chains)
+        result.steps_used = steps
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _chain(
+        self,
+        path: List[JavaMethod],
+        sink_class: str,
+        sink_name: str,
+        sink_arity: int,
+        category: str,
+        tc: Tuple[int, ...],
+    ) -> GadgetChain:
+        steps = [
+            ChainStep(m.class_name, m.name, m.arity, "CALL") for m in path
+        ]
+        steps.append(ChainStep(sink_class, sink_name, sink_arity))
+        return GadgetChain(steps, sink_category=category, trigger_condition=tc)

@@ -1,0 +1,186 @@
+"""Serianalyzer reimplementation (the pre-GadgetInspector baseline).
+
+Faithful to the original's *strategy* — a backward search from sink
+call sites over a fully over-approximated (CHA) reverse call graph —
+and to the behaviour the paper observes:
+
+* **No controllability analysis**: every backward path from a sink to
+  any method whose *name* looks like a deserialization entry point is
+  reported, whether or not the class is serializable or the dangerous
+  argument is attacker-reachable.  This yields the chain floods of
+  Table IX ("often in the hundreds per component") and a ~98.6%
+  false-positive rate after package filtering.
+* **Aggressive call-graph pruning**: to keep the search tractable the
+  tool caps how many callers it expands per method; real chains behind
+  the cap are lost (~81.6% false-negative rate) — "it may have had a
+  problem with pruning during the call graph construction process".
+* **Non-termination**: backward path enumeration without a visited set
+  explodes on components with dense mutually-recursive call clusters;
+  with the step budget exhausted the run is marked unterminated (the
+  ``✗`` cells for Clojure/Jython).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.common import BaselineResult
+from repro.core.chains import ChainStep, GadgetChain, dedupe_chains
+from repro.core.sinks import SinkCatalog
+from repro.core.sources import SourceCatalog
+from repro.jvm import ir
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass, JavaMethod
+
+__all__ = ["Serianalyzer"]
+
+
+class Serianalyzer:
+    """Backward over-approximated search with Serianalyzer's defects."""
+
+    TOOL_NAME = "serianalyzer"
+
+    def __init__(
+        self,
+        classes: Sequence[JavaClass],
+        sinks: Optional[SinkCatalog] = None,
+        sources: Optional[SourceCatalog] = None,
+        max_depth: int = 10,
+        step_budget: int = 150_000,
+        caller_cap: int = 3,
+    ):
+        self.hierarchy = ClassHierarchy(classes)
+        self.sinks = sinks if sinks is not None else SinkCatalog()
+        self.sources = sources if sources is not None else SourceCatalog.extended()
+        self.max_depth = max_depth
+        self.step_budget = step_budget
+        #: callers expanded per method (the lossy pruning)
+        self.caller_cap = caller_cap
+        self._reverse_graph: Optional[Dict[str, List[JavaMethod]]] = None
+
+    # -- reverse call graph (full CHA over-approximation) -------------------
+
+    def _build_reverse_graph(self) -> Dict[str, List[JavaMethod]]:
+        """callee key -> callers.  A virtual/interface call edge is added
+        to the declared target *and* every subtype override — maximal
+        over-approximation, no controllability."""
+        reverse: Dict[str, List[JavaMethod]] = {}
+
+        def add(callee_key: str, caller: JavaMethod) -> None:
+            callers = reverse.setdefault(callee_key, [])
+            if not any(existing is caller for existing in callers):
+                callers.append(caller)
+
+        for method in self.hierarchy.all_methods():
+            for invoke in ir.iter_invoke_exprs(method.body):
+                if invoke.kind == ir.InvokeKind.DYNAMIC:
+                    continue
+                add(self._key(invoke.class_name, invoke.method_name, invoke.arity), method)
+                for target in self.hierarchy.dispatch_targets(
+                    invoke.class_name, invoke.method_name, invoke.arity
+                ):
+                    add(
+                        self._key(target.class_name, target.name, target.arity),
+                        method,
+                    )
+                # bridge: a call to a subtype method also "reaches" its
+                # declarations up the hierarchy (more over-approximation)
+                resolved = self.hierarchy.resolve_method(
+                    invoke.class_name, invoke.method_name, invoke.arity
+                )
+                if resolved is not None:
+                    for parent in self.hierarchy.alias_parents(resolved):
+                        add(
+                            self._key(parent.class_name, parent.name, parent.arity),
+                            method,
+                        )
+        return reverse
+
+    @staticmethod
+    def _key(class_name: str, method_name: str, arity: int) -> str:
+        return f"{class_name}.{method_name}/{arity}"
+
+    # -- search -------------------------------------------------------------------
+
+    def _looks_like_source(self, method: JavaMethod) -> bool:
+        """Name-only source check: no serializability requirement —
+        one of the over-approximations that floods the output."""
+        return method.has_body and method.name in self.sources.names
+
+    def run(self) -> BaselineResult:
+        started = time.perf_counter()
+        result = BaselineResult(self.TOOL_NAME)
+        reverse = self._build_reverse_graph()
+        chains: List[GadgetChain] = []
+        steps = 0
+
+        sink_sites: List[Tuple[str, str, int, str, Tuple[int, ...]]] = []
+        seen_sites: Set[str] = set()
+        for method in self.hierarchy.all_methods():
+            for invoke in ir.iter_invoke_exprs(method.body):
+                sink = self.sinks.lookup(invoke.class_name, invoke.method_name)
+                if sink is None:
+                    continue
+                key = self._key(invoke.class_name, invoke.method_name, invoke.arity)
+                if key in seen_sites:
+                    continue
+                seen_sites.add(key)
+                sink_sites.append(
+                    (
+                        invoke.class_name,
+                        invoke.method_name,
+                        invoke.arity,
+                        sink.category,
+                        sink.trigger_condition,
+                    )
+                )
+
+        for sink_class, sink_name, sink_arity, category, tc in sink_sites:
+            # depth-first path enumeration, no visited set (weakness 3)
+            stack: List[List[JavaMethod]] = []
+            for caller in reverse.get(self._key(sink_class, sink_name, sink_arity), [])[
+                : self.caller_cap
+            ]:
+                stack.append([caller])
+            while stack:
+                steps += 1
+                if steps > self.step_budget:
+                    result.terminated = False
+                    break
+                path = stack.pop()
+                head = path[0]
+                if self._looks_like_source(head):
+                    chain_steps = [
+                        ChainStep(m.class_name, m.name, m.arity, "CALL")
+                        for m in path
+                    ]
+                    chain_steps.append(ChainStep(sink_class, sink_name, sink_arity))
+                    chains.append(
+                        GadgetChain(
+                            chain_steps,
+                            sink_category=category,
+                            trigger_condition=tc,
+                        )
+                    )
+                    # keep exploring: longer chains to other entry points
+                if len(path) >= self.max_depth:
+                    continue
+                callers = reverse.get(
+                    self._key(head.class_name, head.name, head.arity), []
+                )
+                expanded = 0
+                for caller in callers:
+                    if expanded >= self.caller_cap:  # weakness 2 (lossy cap)
+                        break
+                    if any(m is caller for m in path):  # cycle guard only
+                        continue
+                    expanded += 1
+                    stack.append([caller] + path)
+            if not result.terminated:
+                break
+
+        result.chains = dedupe_chains(chains)
+        result.steps_used = steps
+        result.elapsed_seconds = time.perf_counter() - started
+        return result

@@ -1,0 +1,49 @@
+"""Benchmark harness: regenerates every evaluation table and figure.
+
+* Table VIII — :func:`run_table_viii` (CPG generation efficiency, RQ1)
+* Table IX — :func:`run_table_ix` (comparison vs baselines, RQ2)
+* Table X — :func:`run_table_x` (development scenes, RQ3)
+* Table XI — :func:`run_table_xi` (Spring JNDI chains)
+
+Formatting helpers print each table in the paper's layout.  The pytest
+drivers live under ``benchmarks/``.
+"""
+
+from repro.bench.metrics import ToolScore, classify_chains, fnr, fpr
+from repro.bench.tables import (
+    ComponentResult,
+    SceneResult,
+    TableVIIIRow,
+    format_table_ix,
+    format_table_viii,
+    format_table_x,
+    format_table_xi,
+    run_scene,
+    run_table_ix,
+    run_table_ix_component,
+    run_table_viii,
+    run_table_x,
+    run_table_xi,
+    table_ix_totals,
+)
+
+__all__ = [
+    "ToolScore",
+    "classify_chains",
+    "fpr",
+    "fnr",
+    "TableVIIIRow",
+    "ComponentResult",
+    "SceneResult",
+    "run_table_viii",
+    "run_table_ix",
+    "run_table_ix_component",
+    "run_table_x",
+    "run_table_xi",
+    "run_scene",
+    "table_ix_totals",
+    "format_table_viii",
+    "format_table_ix",
+    "format_table_x",
+    "format_table_xi",
+]

@@ -1,0 +1,100 @@
+"""Evaluation metrics: chain classification, FPR and FNR.
+
+Implements the paper's Formulas 5 and 6 and the classification used in
+Table IX: every reported chain is *Known* (its endpoints appear in the
+ysoserial/marshalsec ground truth for the component), *Unknown*
+(effective per the PoC oracle but not in the dataset), or *Fake*
+(rejected by the oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.core.chains import GadgetChain
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.verify import ChainVerifier
+
+__all__ = ["ToolScore", "classify_chains", "fpr", "fnr"]
+
+
+@dataclass
+class ToolScore:
+    """One tool's Table IX row for one component."""
+
+    tool: str
+    component: str
+    result_count: int = 0
+    fake_count: int = 0
+    known_found: int = 0
+    unknown_count: int = 0
+    known_in_dataset: int = 0
+    terminated: bool = True
+    elapsed_seconds: float = 0.0
+
+    @property
+    def fpr_percent(self) -> Optional[float]:
+        """Formula 5; None when the tool produced no output."""
+        if not self.terminated or self.result_count == 0:
+            return None
+        return 100.0 * self.fake_count / self.result_count
+
+    @property
+    def fnr_percent(self) -> Optional[float]:
+        """Formula 6."""
+        if not self.terminated or self.known_in_dataset == 0:
+            return None
+        return 100.0 * (self.known_in_dataset - self.known_found) / self.known_in_dataset
+
+
+def classify_chains(
+    tool: str,
+    spec: ComponentSpec,
+    chains: Sequence[GadgetChain],
+    verifier: ChainVerifier,
+    terminated: bool = True,
+    elapsed_seconds: float = 0.0,
+) -> ToolScore:
+    """Classify a tool's output against a component's ground truth.
+
+    Chains matching a known spec by endpoints count toward ``known``
+    (each dataset chain at most once); the rest are verified with the
+    PoC oracle and land in ``unknown`` (effective) or ``fake``.
+    """
+    score = ToolScore(
+        tool=tool,
+        component=spec.name,
+        known_in_dataset=spec.known_count,
+        terminated=terminated,
+        elapsed_seconds=elapsed_seconds,
+    )
+    if not terminated:
+        return score
+    matched: Set[KnownChainSpec] = set()
+    score.result_count = len(chains)
+    for chain in chains:
+        known = spec.match_known(chain)
+        if known is not None:
+            matched.add(known)
+            continue
+        if verifier.verify(chain).effective:
+            score.unknown_count += 1
+        else:
+            score.fake_count += 1
+    score.known_found = len(matched)
+    return score
+
+
+def fpr(fake_count: int, result_count: int) -> float:
+    """Formula 5: fake / result * 100."""
+    if result_count == 0:
+        return 0.0
+    return 100.0 * fake_count / result_count
+
+
+def fnr(known_found: int, known_in_dataset: int) -> float:
+    """Formula 6: (dataset - found) / dataset * 100."""
+    if known_in_dataset == 0:
+        return 0.0
+    return 100.0 * (known_in_dataset - known_found) / known_in_dataset

@@ -1,0 +1,276 @@
+"""Command-line interface (the ``tabby`` entry point).
+
+Subcommands::
+
+    tabby analyze PATH [PATH...]     build a CPG from jars, save it
+    tabby chains PATH [PATH...]      find (and optionally verify) chains
+    tabby query CPG "MATCH ..."      run a Cypher-subset query on a CPG
+    tabby bench {table8,table9,table10,table11}
+                                     regenerate an evaluation table
+    tabby corpus export DIR          write the synthetic corpus as jars
+    tabby corpus list                list components and scenes
+
+``PATH`` arguments are jasm jar files or directories of them (see
+``repro.jvm.jar``); ``tabby corpus export`` produces a ready-made set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import SourceCatalog, Tabby
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tabby",
+        description="Gadget-chain detection for Java deserialization "
+        "vulnerabilities (Tabby reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="build and persist a CPG")
+    analyze.add_argument("classpath", nargs="+", help="jar files or directories")
+    analyze.add_argument("-o", "--output", default="tabby.cpg.json.gz")
+    analyze.add_argument("--sources", choices=("native", "extended"), default="extended")
+    analyze.add_argument("--validate", action="store_true",
+                         help="run Soot-style body/linkage validation first")
+
+    chains = sub.add_parser("chains", help="find gadget chains")
+    chains.add_argument("classpath", nargs="+")
+    chains.add_argument("--sources", choices=("native", "extended"), default="extended")
+    chains.add_argument("--max-depth", type=int, default=12)
+    chains.add_argument("--source-filter", default=None, metavar="PACKAGE_PREFIX")
+    chains.add_argument("--verify", action="store_true", help="run the PoC oracle")
+    chains.add_argument("--payload", action="store_true",
+                        help="synthesise exploit recipes (§V-C)")
+    chains.add_argument("--json", action="store_true", help="machine-readable output")
+
+    query = sub.add_parser("query", help="query a persisted CPG")
+    query.add_argument("cpg", help="a CPG file written by 'tabby analyze'")
+    query.add_argument("cypher", help="a Cypher-subset query string")
+    query.add_argument("--json", action="store_true")
+
+    bench = sub.add_parser("bench", help="regenerate an evaluation table")
+    bench.add_argument(
+        "table", choices=("table8", "table9", "table10", "table11")
+    )
+    bench.add_argument("--components", nargs="*", default=None,
+                       help="restrict table9 to these components")
+
+    sinks = sub.add_parser("sinks", help="print the 38-entry sink catalog (Table VII)")
+    sinks.add_argument("--category", default=None, help="filter by category")
+
+    corpus = sub.add_parser("corpus", help="synthetic corpus utilities")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    export = corpus_sub.add_parser("export", help="write corpus jars to a directory")
+    export.add_argument("directory")
+    export.add_argument("--component", default=None, help="one Table IX component")
+    corpus_sub.add_parser("list", help="list components and scenes")
+
+    return parser
+
+
+def _sources(name: str) -> SourceCatalog:
+    return SourceCatalog.native() if name == "native" else SourceCatalog.extended()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    tabby = Tabby(sources=_sources(args.sources)).load_classpath(args.classpath)
+    if args.validate:
+        from repro.jvm.validate import validate_classes
+
+        issues = validate_classes(list(tabby._classes))
+        for issue in issues:
+            print(issue, file=sys.stderr)
+        if any(i.severity == "error" for i in issues):
+            print("error: validation failed", file=sys.stderr)
+            return 1
+        print(f"validation: {len(issues)} warning(s), no errors")
+    cpg = tabby.build_cpg()
+    tabby.save_cpg(args.output)
+    stats = cpg.statistics
+    print(
+        f"analyzed {tabby.class_count} classes from {stats.jar_count} jar(s): "
+        f"{stats.class_node_count} class nodes, {stats.method_node_count} "
+        f"method nodes, {stats.relationship_edge_count} edges "
+        f"({stats.pruned_call_sites} uncontrollable call sites pruned) "
+        f"in {stats.build_seconds:.2f}s"
+    )
+    print(f"CPG written to {args.output}")
+    return 0
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    tabby = Tabby(sources=_sources(args.sources)).load_classpath(args.classpath)
+    chains = tabby.find_gadget_chains(
+        max_depth=args.max_depth, source_filter=args.source_filter
+    )
+    verifier = None
+    synthesizer = None
+    classes = list(tabby._classes)
+    if args.verify:
+        from repro.verify import ChainVerifier
+
+        verifier = ChainVerifier(classes, sources=_sources(args.sources))
+    if args.payload:
+        from repro.errors import VerificationError
+        from repro.verify import PayloadSynthesizer
+
+        synthesizer = PayloadSynthesizer(classes)
+    if args.json:
+        payload = []
+        for chain in chains:
+            record = {
+                "steps": [s.qualified for s in chain.steps],
+                "sink_category": chain.sink_category,
+            }
+            if verifier is not None:
+                record["effective"] = verifier.verify(chain).effective
+            if synthesizer is not None:
+                try:
+                    record["payload"] = json.loads(synthesizer.synthesize(chain).to_json())
+                except VerificationError as exc:
+                    record["payload_error"] = str(exc)
+            payload.append(record)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{len(chains)} gadget chain(s) found")
+    for i, chain in enumerate(chains, start=1):
+        print(f"\n--- chain #{i} [{chain.sink_category}] ---")
+        print(chain.render())
+        if verifier is not None:
+            report = verifier.verify(chain)
+            verdict = "EFFECTIVE" if report.effective else "fake"
+            print(f"verification: {verdict} ({report.reason})")
+        if synthesizer is not None:
+            try:
+                print(synthesizer.synthesize(chain).render())
+            except VerificationError as exc:
+                print(f"payload synthesis unavailable: {exc}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.graphdb.query import run_query
+    from repro.graphdb.storage import load_graph
+
+    graph = load_graph(args.cpg)
+    result = run_query(graph, args.cypher)
+    if args.json:
+        print(json.dumps([_jsonable_row(r) for r in result.rows], indent=2))
+        return 0
+    print(" | ".join(result.columns))
+    for row in result.rows:
+        print(" | ".join(str(row[c]) for c in result.columns))
+    print(f"({len(result)} row(s))")
+    return 0
+
+
+def _jsonable_row(row: dict) -> dict:
+    out = {}
+    for key, value in row.items():
+        if hasattr(value, "properties"):
+            out[key] = dict(value.properties)
+        elif isinstance(value, list):
+            out[key] = [
+                dict(v.properties) if hasattr(v, "properties") else v for v in value
+            ]
+        else:
+            out[key] = value
+    return out
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.table == "table8":
+        print(bench.format_table_viii(bench.run_table_viii(repetitions=4)))
+    elif args.table == "table9":
+        print(bench.format_table_ix(bench.run_table_ix(components=args.components)))
+    elif args.table == "table10":
+        print(bench.format_table_x(bench.run_table_x()))
+    else:
+        print(bench.format_table_xi(bench.run_table_xi()))
+    return 0
+
+
+def _cmd_sinks(args: argparse.Namespace) -> int:
+    from repro.core.sinks import SinkCatalog
+
+    catalog = SinkCatalog()
+    entries = (
+        catalog.of_category(args.category.upper()) if args.category else list(catalog)
+    )
+    header = f"{'Method':<64}{'Type':<8}{'TC'}"
+    print(header)
+    print("-" * len(header))
+    for sink in entries:
+        print(
+            f"{sink.qualified_name + '()':<64}{sink.category:<8}"
+            f"{list(sink.trigger_condition)}"
+        )
+    print(f"({len(entries)} sink method(s))")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import (
+        COMPONENT_NAMES,
+        SCENE_BUILDERS,
+        build_component,
+        build_lang_base,
+    )
+    from repro.jvm.jar import JarArchive, write_jar
+
+    if args.corpus_command == "list":
+        print("components (Table IX):")
+        for name in COMPONENT_NAMES:
+            print(f"  {name}")
+        print("scenes (Table X):")
+        for name in SCENE_BUILDERS:
+            print(f"  {name}")
+        return 0
+
+    os.makedirs(args.directory, exist_ok=True)
+    names = [args.component] if args.component else COMPONENT_NAMES
+    base = JarArchive("rt-base", build_lang_base())
+    write_jar(base, os.path.join(args.directory, "rt-base.jar"))
+    count = 1
+    for name in names:
+        spec = build_component(name)
+        safe = "".join(ch if ch.isalnum() or ch in "-._" else "_" for ch in name)
+        path = os.path.join(args.directory, f"{safe}.jar")
+        write_jar(JarArchive(safe, spec.classes), path)
+        count += 1
+    print(f"wrote {count} jar(s) to {args.directory}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "chains": _cmd_chains,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+        "sinks": _cmd_sinks,
+        "corpus": _cmd_corpus,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

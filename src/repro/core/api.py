@@ -1,0 +1,126 @@
+"""The Tabby facade — the library's primary entry point.
+
+Typical usage::
+
+    from repro import Tabby
+
+    tabby = Tabby()
+    tabby.add_jar(archive)                  # or add_classes / load_classpath
+    cpg = tabby.build_cpg()                 # semantic extraction + ORG/PCG/MAG
+    chains = tabby.find_gadget_chains()     # Algorithms 2-3 over the CPG
+    for chain in chains:
+        print(chain.render())
+
+    tabby.save_cpg("project.cpg.json")      # re-queryable later (§IV-F)
+    rows = tabby.query("MATCH (m:Method {IS_SINK: true}) RETURN m.NAME")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.chains import GadgetChain
+from repro.core.cpg import CPG, CPGBuilder
+from repro.core.pathfinder import GadgetChainFinder
+from repro.core.sinks import SinkCatalog, SinkMethod
+from repro.core.sources import SourceCatalog
+from repro.errors import AnalysisError
+from repro.graphdb.query import QueryResult, run_query
+from repro.graphdb.storage import save_graph
+from repro.graphdb.traversal import Uniqueness
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.jar import JarArchive, load_classpath
+from repro.jvm.model import JavaClass
+
+__all__ = ["Tabby"]
+
+
+class Tabby:
+    """End-to-end gadget-chain detection over jasm classes/jars."""
+
+    def __init__(
+        self,
+        sinks: Optional[SinkCatalog] = None,
+        sources: Optional[SourceCatalog] = None,
+        prune_uncontrollable_calls: bool = True,
+    ):
+        self.sinks = sinks if sinks is not None else SinkCatalog()
+        self.sources = sources if sources is not None else SourceCatalog.extended()
+        self.prune_uncontrollable_calls = prune_uncontrollable_calls
+        self._classes: List[JavaClass] = []
+        self._cpg: Optional[CPG] = None
+
+    # -- input -------------------------------------------------------------
+
+    def add_classes(self, classes: Iterable[JavaClass]) -> "Tabby":
+        self._classes.extend(classes)
+        self._cpg = None
+        return self
+
+    def add_jar(self, archive: JarArchive) -> "Tabby":
+        return self.add_classes(archive.classes)
+
+    def load_classpath(self, paths: Sequence[str]) -> "Tabby":
+        for archive in load_classpath(paths):
+            self.add_jar(archive)
+        return self
+
+    def add_sinks(self, extra: Iterable[SinkMethod]) -> "Tabby":
+        """Register custom sink methods before building the CPG."""
+        self.sinks = self.sinks.with_extra(extra)
+        self._cpg = None
+        return self
+
+    @property
+    def class_count(self) -> int:
+        return len(self._classes)
+
+    # -- analysis -------------------------------------------------------------
+
+    def build_cpg(self) -> CPG:
+        """Semantic extraction, controllability analysis, and CPG
+        assembly (ORG + PCG + MAG).  Idempotent until inputs change."""
+        if self._cpg is not None:
+            return self._cpg
+        if not self._classes:
+            raise AnalysisError("no classes loaded; call add_classes/add_jar first")
+        hierarchy = ClassHierarchy(self._classes)
+        builder = CPGBuilder(
+            hierarchy,
+            sinks=self.sinks,
+            sources=self.sources,
+            prune_uncontrollable_calls=self.prune_uncontrollable_calls,
+        )
+        self._cpg = builder.build()
+        return self._cpg
+
+    @property
+    def cpg(self) -> CPG:
+        return self.build_cpg()
+
+    def find_gadget_chains(
+        self,
+        max_depth: int = 12,
+        source_filter: Optional[str] = None,
+        follow_alias: bool = True,
+        max_results_per_sink: Optional[int] = 200,
+        uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
+    ) -> List[GadgetChain]:
+        """Run the tabby-path-finder search over the CPG."""
+        finder = GadgetChainFinder(
+            self.build_cpg(),
+            max_depth=max_depth,
+            follow_alias=follow_alias,
+            max_results_per_sink=max_results_per_sink,
+            uniqueness=uniqueness,
+        )
+        return finder.find_chains(source_filter=source_filter)
+
+    # -- persistence & custom queries ---------------------------------------------
+
+    def save_cpg(self, path: str) -> None:
+        save_graph(self.build_cpg().graph, path)
+
+    def query(self, cypher: str) -> QueryResult:
+        """Run a Cypher-subset query against the CPG."""
+        return run_query(self.build_cpg().graph, cypher)

@@ -1,0 +1,154 @@
+"""Deserialization blacklist generation and enforcement (§IV-E, RQ4).
+
+"Security researchers in these teams can use Tabby to find potential
+gadget chains in their projects and refine the blacklist with classes
+from the gadget chains. Xstream and Apache Dubbo refined their
+blacklists based on the gadget chains we submitted."
+
+This module closes that loop:
+
+* :func:`derive_blacklist` turns a set of (verified) gadget chains into
+  the minimal set of *gadget classes* to forbid — the serializable
+  classes an attacker must materialise for any of the chains to fire
+  (JDK infrastructure like ``HashMap`` is kept deserializable: blocking
+  it would break the world, and blocking the gadget below it suffices);
+* :class:`DeserializationBlacklist` is the runtime filter a framework
+  would install (exact names, packages, and subtype entries, like
+  XStream's security framework);
+* :func:`apply_blacklist` re-runs the analysis as if the filter were
+  installed — blacklisted classes can no longer head or ride a chain —
+  so the remediation can be *proven* to kill the reported chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.chains import GadgetChain
+from repro.core.sources import SourceCatalog
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass
+
+__all__ = [
+    "DeserializationBlacklist",
+    "derive_blacklist",
+    "apply_blacklist",
+    "PROTECTED_RUNTIME_PACKAGES",
+]
+
+#: packages never blacklisted: forbidding them would break ordinary
+#: deserialization, and blocking the gadget riding on them suffices
+PROTECTED_RUNTIME_PACKAGES = ("java.lang", "java.util", "java.io")
+
+
+@dataclass(frozen=True)
+class DeserializationBlacklist:
+    """A deserialization filter: exact class names, package prefixes,
+    and subtype roots (XStream's ``denyTypes``/``denyTypeHierarchy``)."""
+
+    classes: frozenset = frozenset()
+    packages: Tuple[str, ...] = ()
+    subtype_roots: Tuple[str, ...] = ()
+
+    def blocks(self, class_name: str, hierarchy: Optional[ClassHierarchy] = None) -> bool:
+        """Whether deserialising an instance of ``class_name`` is denied."""
+        if class_name in self.classes:
+            return True
+        if any(class_name.startswith(pkg + ".") for pkg in self.packages):
+            return True
+        if hierarchy is not None:
+            for root in self.subtype_roots:
+                if hierarchy.is_subtype_of(class_name, root):
+                    return True
+        return False
+
+    def merged_with(self, other: "DeserializationBlacklist") -> "DeserializationBlacklist":
+        return DeserializationBlacklist(
+            classes=self.classes | other.classes,
+            packages=tuple(dict.fromkeys(self.packages + other.packages)),
+            subtype_roots=tuple(
+                dict.fromkeys(self.subtype_roots + other.subtype_roots)
+            ),
+        )
+
+    def entries(self) -> List[str]:
+        """Human-readable filter entries, sorted."""
+        out = [f"deny-class {name}" for name in sorted(self.classes)]
+        out += [f"deny-package {pkg}.*" for pkg in sorted(self.packages)]
+        out += [f"deny-hierarchy {root}+" for root in sorted(self.subtype_roots)]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.classes) + len(self.packages) + len(self.subtype_roots)
+
+
+def _is_protected(class_name: str) -> bool:
+    return any(
+        class_name == pkg or class_name.startswith(pkg + ".")
+        for pkg in PROTECTED_RUNTIME_PACKAGES
+    )
+
+
+def derive_blacklist(
+    chains: Iterable[GadgetChain],
+    hierarchy: ClassHierarchy,
+) -> DeserializationBlacklist:
+    """The class entries that neutralise every given chain.
+
+    For each chain, the candidate entries are its *serializable gadget
+    classes* outside the protected runtime packages — the objects the
+    attacker has to smuggle through the deserializer.  Greedy set cover
+    keeps the blacklist minimal: classes appearing on many chains (the
+    InvokerTransformer situation) are picked first.
+    """
+    chain_candidates: List[Set[str]] = []
+    for chain in chains:
+        candidates = {
+            cls
+            for cls in chain.classes()
+            if not _is_protected(cls) and hierarchy.is_serializable(cls)
+        }
+        if candidates:
+            chain_candidates.append(candidates)
+
+    chosen: Set[str] = set()
+    remaining = [c for c in chain_candidates]
+    while remaining:
+        counts: dict = {}
+        for candidates in remaining:
+            for cls in candidates:
+                counts[cls] = counts.get(cls, 0) + 1
+        best = max(sorted(counts), key=lambda cls: counts[cls])
+        chosen.add(best)
+        remaining = [c for c in remaining if best not in c]
+    return DeserializationBlacklist(classes=frozenset(chosen))
+
+
+def apply_blacklist(
+    classes: Sequence[JavaClass],
+    blacklist: DeserializationBlacklist,
+    sources: Optional[SourceCatalog] = None,
+) -> List[GadgetChain]:
+    """Re-run chain detection as if the filter were installed.
+
+    A blacklisted class can no longer be materialised by the
+    deserializer, so (a) its deserialization callbacks are no longer
+    sources, and (b) no chain may require an attacker-supplied instance
+    of it.  Returns the chains that *survive* — the residual risk.
+    """
+    from repro.core.api import Tabby  # local import to avoid a cycle
+
+    hierarchy = ClassHierarchy(classes)
+    catalog = sources if sources is not None else SourceCatalog.extended()
+    tabby = Tabby(sources=catalog).add_classes(classes)
+    survivors: List[GadgetChain] = []
+    for chain in tabby.find_gadget_chains():
+        blocked = any(
+            blacklist.blocks(cls, hierarchy)
+            for cls in chain.classes()
+            if hierarchy.is_serializable(cls)
+        )
+        if not blocked:
+            survivors.append(chain)
+    return survivors

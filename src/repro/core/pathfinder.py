@@ -1,0 +1,209 @@
+"""Gadget-chain finding — Algorithms 2 and 3 (§III-D).
+
+The finder starts at each **sink** method node and walks the CPG
+*backwards* towards a **source**, carrying the sink's
+Trigger_Condition as per-path state:
+
+* across a ``CALL`` edge (traversed callee -> caller), the TC is pushed
+  through the edge's Polluted_Position with Formula 4
+  (``TC_next = {PP[x] | x in TC}``); if any required position maps to
+  ``∞`` the edge is rejected — the Expander's exclusion (Figure 6
+  drops E and I this way);
+* across an ``ALIAS`` edge the TC passes unchanged (either direction:
+  an override stands in for its declaration and vice versa);
+* the Evaluator accepts a path whose end node is a source method and
+  prunes paths that exceed the depth limit (Figure 6 drops G this
+  way).
+
+Accepted paths are reversed into :class:`GadgetChain` objects
+(source -> ... -> sink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.chains import ChainStep, GadgetChain, dedupe_chains
+from repro.core.cpg import ALIAS, CALL, CPG
+from repro.core.actions import traverse_tc
+from repro.errors import PathFinderError
+from repro.graphdb.graph import Node, PropertyGraph, Relationship
+from repro.graphdb.traversal import Evaluation, Path, Uniqueness, traverse
+
+__all__ = ["GadgetChainFinder", "SearchStatistics"]
+
+
+@dataclass
+class SearchStatistics:
+    """Diagnostics from the last :meth:`GadgetChainFinder.find_chains`.
+
+    The expander/evaluator split mirrors the Figure 6 annotations: edges
+    the Expander rejects carry an uncontrollable Polluted_Position for
+    the required Trigger_Condition; paths the Evaluator prunes exceeded
+    the depth limit.
+    """
+
+    sinks_searched: int = 0
+    paths_visited: int = 0
+    call_edges_followed: int = 0
+    call_edges_rejected: int = 0  # Expander exclusions (E, I in Fig. 6)
+    alias_hops: int = 0
+    depth_pruned: int = 0  # Evaluator exclusions (G in Fig. 6)
+    chains_found: int = 0
+
+
+class GadgetChainFinder:
+    """Configurable backward search for gadget chains over a CPG."""
+
+    def __init__(
+        self,
+        cpg: CPG,
+        max_depth: int = 12,
+        max_results_per_sink: Optional[int] = 200,
+        follow_alias: bool = True,
+        uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
+    ):
+        if max_depth < 1:
+            raise PathFinderError("max_depth must be >= 1")
+        self.cpg = cpg
+        self.max_depth = max_depth
+        self.max_results_per_sink = max_results_per_sink
+        #: ablation hook: without alias edges polymorphic chains vanish
+        self.follow_alias = follow_alias
+        self.uniqueness = uniqueness
+        #: diagnostics from the most recent find_chains() run
+        self.last_search_stats = SearchStatistics()
+
+    # -- Algorithm 2: Expander -------------------------------------------
+
+    def _expander(
+        self, graph: PropertyGraph, path: Path, tc: List[int]
+    ) -> Iterator[Tuple[Relationship, Node, List[int]]]:
+        node = path.end_node
+        stats = self.last_search_stats
+        # incoming CALL edges: move from callee to caller, pushing the TC
+        # through the edge's Polluted_Position (Formula 4)
+        for rel in graph.in_relationships(node, CALL):
+            pp = rel.get("POLLUTED_POSITION")
+            if pp is None:
+                continue
+            tc_next = traverse_tc(tc, pp)
+            if tc_next is None:
+                stats.call_edges_rejected += 1
+                continue  # ∃x ∈ TC_next, x = ∞ -> reject (Algorithm 2)
+            stats.call_edges_followed += 1
+            yield rel, graph.node(rel.start_id), tc_next
+        if not self.follow_alias:
+            return
+        # ALIAS edges pass the TC unchanged, in both directions (the
+        # real tabby-path-finder matches ALIAS undirected).  Two ALIAS
+        # hops in a row are meaningless — a dispatch bridges one
+        # declaration/override pair — so they are not expanded; this is
+        # what keeps Alias neighbours that never reach the sink (the
+        # EnumMap.hashCode -> entryHashCode situation of §III-B2) out of
+        # the results.
+        last = path.last_relationship
+        if last is not None and last.type == ALIAS:
+            return
+        for rel in graph.out_relationships(node, ALIAS):
+            stats.alias_hops += 1
+            yield rel, graph.node(rel.end_id), list(tc)
+        for rel in graph.in_relationships(node, ALIAS):
+            stats.alias_hops += 1
+            yield rel, graph.node(rel.start_id), list(tc)
+
+    # -- Algorithm 3: Evaluator --------------------------------------------
+
+    def _evaluator(self, graph: PropertyGraph, path: Path, tc: List[int]) -> Evaluation:
+        stats = self.last_search_stats
+        stats.paths_visited += 1
+        end = path.end_node
+        if path.length > 0 and end.get("IS_SOURCE"):
+            # gadget chain found; keep expanding — a deeper entry point
+            # (e.g. HashMap.readObject above URL.hashCode in URLDNS) may
+            # yield another chain through this one
+            if path.length < self.max_depth:
+                return Evaluation.INCLUDE_AND_CONTINUE
+            return Evaluation.INCLUDE_AND_PRUNE
+        if path.length < self.max_depth:
+            return Evaluation.EXCLUDE_AND_CONTINUE
+        stats.depth_pruned += 1
+        return Evaluation.EXCLUDE_AND_PRUNE
+
+    # -- public API -----------------------------------------------------------
+
+    def find_chains(
+        self,
+        sink_nodes: Optional[Sequence[Node]] = None,
+        source_filter: Optional[str] = None,
+    ) -> List[GadgetChain]:
+        """Search every sink (or the given sink nodes) and return
+        deduplicated gadget chains.
+
+        ``source_filter`` restricts accepted chains to sources whose
+        class name starts with the prefix (the per-component workflow of
+        §IV-C).
+        """
+        graph = self.cpg.graph
+        sinks = list(sink_nodes) if sink_nodes is not None else self.cpg.sink_nodes()
+        self.last_search_stats = SearchStatistics(sinks_searched=len(sinks))
+        chains: List[GadgetChain] = []
+        for sink in sinks:
+            tc = list(sink.get("TRIGGER_CONDITION") or [0])
+            found = traverse(
+                graph,
+                sink,
+                self._expander,
+                self._evaluator,
+                initial_state=tc,
+                uniqueness=self.uniqueness,
+                max_results=self.max_results_per_sink,
+            )
+            for path, _state in found:
+                chain = self._path_to_chain(path, sink)
+                if source_filter and not chain.source.class_name.startswith(
+                    source_filter
+                ):
+                    continue
+                chains.append(chain)
+        deduped = dedupe_chains(chains)
+        self.last_search_stats.chains_found = len(deduped)
+        return deduped
+
+    def find_between(
+        self, source_node: Node, sink_node: Node
+    ) -> List[GadgetChain]:
+        """Chains between one specific source and sink (the custom-query
+        workflow: "check for the existence of a gadget chain between any
+        source and sink", §III-D)."""
+        chains = self.find_chains(sink_nodes=[sink_node])
+        wanted = (source_node.get("CLASSNAME"), source_node.get("NAME"))
+        return [
+            c
+            for c in chains
+            if (c.source.class_name, c.source.method_name) == wanted
+        ]
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _path_to_chain(self, path: Path, sink: Node) -> GadgetChain:
+        """Reverse a backward path (sink ... source) into a chain."""
+        nodes = list(reversed(path.nodes))
+        rels = list(reversed(path.relationships))
+        steps: List[ChainStep] = []
+        for i, node in enumerate(nodes):
+            edge = rels[i].type if i < len(rels) else ""
+            steps.append(
+                ChainStep(
+                    class_name=node.get("CLASSNAME", "?"),
+                    method_name=node.get("NAME", "?"),
+                    arity=node.get("ARITY", 0),
+                    edge_to_next=edge,
+                )
+            )
+        return GadgetChain(
+            steps,
+            sink_category=sink.get("SINK_TYPE", ""),
+            trigger_condition=sink.get("TRIGGER_CONDITION") or [],
+        )

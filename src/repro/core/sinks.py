@@ -1,0 +1,118 @@
+"""Sink-method catalog with Trigger_Conditions (Table VII).
+
+The paper summarises 38 sink methods; Table VII prints a excerpt and
+the rest live on the companion website.  This catalog reproduces the
+printed rows verbatim and completes the set to 38 with the standard
+gadget-chain sinks of the ysoserial/marshalsec ecosystem, each tagged
+with its category and Trigger_Condition (TC).
+
+A TC is a list of frame positions that must be attacker-controllable
+for the sink to be dangerous: ``0`` = the receiver, ``i`` = the i-th
+argument (Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["SinkMethod", "SinkCatalog", "DEFAULT_SINKS"]
+
+
+@dataclass(frozen=True)
+class SinkMethod:
+    """One dangerous method and what must be controllable to abuse it."""
+
+    class_name: str
+    method_name: str
+    category: str
+    trigger_condition: Tuple[int, ...]
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.class_name}.{self.method_name}"
+
+    def __str__(self) -> str:
+        return f"{self.qualified_name}() [{self.category}] TC={list(self.trigger_condition)}"
+
+
+def _s(class_name: str, method_name: str, category: str, tc: Iterable[int]) -> SinkMethod:
+    return SinkMethod(class_name, method_name, category, tuple(tc))
+
+
+#: The 38-entry sink catalog.  The first 13 rows are Table VII verbatim.
+DEFAULT_SINKS: List[SinkMethod] = [
+    # --- Table VII (printed excerpt) ---------------------------------
+    _s("java.nio.file.Files", "newOutputStream", "FILE", [1]),
+    _s("java.io.File", "delete", "FILE", [0]),
+    _s("java.lang.reflect.Method", "invoke", "CODE", [0, 1]),
+    _s("java.lang.ClassLoader", "loadClass", "CODE", [0, 1]),
+    _s("javax.naming.Context", "lookup", "JNDI", [1]),
+    _s("java.rmi.registry.Registry", "lookup", "JNDI", [1]),
+    _s("java.lang.Runtime", "exec", "EXEC", [1]),
+    _s("java.lang.ProcessImpl", "start", "EXEC", [1]),
+    _s("javax.xml.parsers.DocumentBuilder", "parse", "XXE", [1]),
+    _s("javax.xml.transform.Transformer", "transform", "XXE", [1]),
+    _s("java.net.InetAddress", "getByName", "SSRF", [1]),
+    _s("java.net.URL", "openConnection", "SSRF", [0]),
+    _s("java.lang.Object", "readObject", "JDV", [0]),
+    # --- completion to 38 (website set) ------------------------------
+    _s("java.io.ObjectInputStream", "readObject", "JDV", [0]),
+    _s("java.io.FileOutputStream", "<init>", "FILE", [1]),
+    _s("java.io.FileInputStream", "<init>", "FILE", [1]),
+    _s("java.nio.file.Files", "delete", "FILE", [1]),
+    _s("java.nio.file.Files", "write", "FILE", [1]),
+    _s("java.lang.ProcessBuilder", "start", "EXEC", [0]),
+    _s("java.lang.ProcessBuilder", "<init>", "EXEC", [1]),
+    _s("java.lang.Class", "forName", "CODE", [1]),
+    _s("java.lang.Class", "newInstance", "CODE", [0]),
+    _s("java.lang.reflect.Constructor", "newInstance", "CODE", [0]),
+    _s("java.lang.invoke.MethodHandle", "invoke", "CODE", [0, 1]),
+    _s("java.net.URLClassLoader", "newInstance", "CODE", [1]),
+    _s("javax.script.ScriptEngine", "eval", "CODE", [1]),
+    _s("java.beans.Expression", "<init>", "CODE", [1, 2]),
+    _s("com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl", "newTransformer", "CODE", [0]),
+    _s("com.sun.org.apache.xalan.internal.xsltc.trax.TemplatesImpl", "getOutputProperties", "CODE", [0]),
+    _s("javax.naming.InitialContext", "lookup", "JNDI", [1]),
+    _s("java.rmi.Naming", "lookup", "JNDI", [1]),
+    _s("javax.management.remote.JMXConnectorFactory", "connect", "JNDI", [1]),
+    _s("java.sql.DriverManager", "getConnection", "SQL", [1]),
+    _s("javax.sql.DataSource", "getConnection", "SQL", [0]),
+    _s("java.sql.Statement", "execute", "SQL", [1]),
+    _s("javax.xml.parsers.SAXParser", "parse", "XXE", [1]),
+    _s("org.xml.sax.XMLReader", "parse", "XXE", [1]),
+    _s("java.net.URL", "openStream", "SSRF", [0]),
+]
+
+assert len(DEFAULT_SINKS) == 38, "paper's catalog has 38 sink methods"
+
+
+class SinkCatalog:
+    """Indexed lookup over sink methods."""
+
+    def __init__(self, sinks: Optional[Iterable[SinkMethod]] = None):
+        self._sinks: List[SinkMethod] = list(sinks if sinks is not None else DEFAULT_SINKS)
+        self._by_key: Dict[Tuple[str, str], SinkMethod] = {
+            (s.class_name, s.method_name): s for s in self._sinks
+        }
+
+    def __iter__(self):
+        return iter(self._sinks)
+
+    def __len__(self) -> int:
+        return len(self._sinks)
+
+    def lookup(self, class_name: str, method_name: str) -> Optional[SinkMethod]:
+        """Exact match on (class, method)."""
+        return self._by_key.get((class_name, method_name))
+
+    def categories(self) -> List[str]:
+        return sorted({s.category for s in self._sinks})
+
+    def with_extra(self, extra: Iterable[SinkMethod]) -> "SinkCatalog":
+        """A new catalog with user-defined sinks appended (the
+        customisation workflow of §III-D)."""
+        return SinkCatalog(self._sinks + list(extra))
+
+    def of_category(self, category: str) -> List[SinkMethod]:
+        return [s for s in self._sinks if s.category == category]

@@ -1,0 +1,35 @@
+"""Synthetic evaluation corpus.
+
+* :mod:`repro.corpus.jdk` — synthetic JDK (chain-free base + URLDNS)
+* :mod:`repro.corpus.components` — the 26 Table IX components
+* :mod:`repro.corpus.scenes` — the 5 Table X development scenes
+* :mod:`repro.corpus.generator` — random corpora for Table VIII
+* :mod:`repro.corpus.patterns` — the chain/decoy/flood generators
+* :mod:`repro.corpus.base` — ComponentSpec / KnownChainSpec model
+"""
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.corpus.components import (
+    COMPONENT_BUILDERS,
+    COMPONENT_NAMES,
+    build_all,
+    build_component,
+)
+from repro.corpus.generator import generate_corpus
+from repro.corpus.jdk import build_jdk8_extras, build_lang_base
+from repro.corpus.scenes import SCENE_BUILDERS, SceneSpec, build_scene
+
+__all__ = [
+    "ComponentSpec",
+    "KnownChainSpec",
+    "COMPONENT_BUILDERS",
+    "COMPONENT_NAMES",
+    "build_component",
+    "build_all",
+    "build_lang_base",
+    "build_jdk8_extras",
+    "SceneSpec",
+    "SCENE_BUILDERS",
+    "build_scene",
+    "generate_corpus",
+]

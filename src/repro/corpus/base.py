@@ -1,0 +1,70 @@
+"""Corpus data model.
+
+A :class:`ComponentSpec` is one analysed unit of Table IX: a named jar
+of classes plus its ground truth — the *known* gadget chains the
+ysoserial/marshalsec dataset records for that component (with a
+``via_proxy`` flag for chains that need dynamic proxy / reflection and
+are therefore invisible to every static tool, §V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.chains import GadgetChain
+from repro.jvm.model import JavaClass
+
+__all__ = ["KnownChainSpec", "ComponentSpec"]
+
+
+@dataclass(frozen=True)
+class KnownChainSpec:
+    """One dataset-recorded gadget chain, identified by its endpoints."""
+
+    source: Tuple[str, str]  # (class, method)
+    sink: Tuple[str, str]  # (class, method)
+    #: needs dynamic proxy/reflection — static analysis cannot find it
+    via_proxy: bool = False
+    #: reachable through superclass-extension dispatch only, i.e. also
+    #: findable by GadgetInspector's incomplete polymorphism handling
+    gi_findable: bool = False
+
+    def matches(self, chain: GadgetChain) -> bool:
+        return chain.endpoint_key == (self.source, self.sink)
+
+    def __str__(self) -> str:
+        tag = " (proxy)" if self.via_proxy else ""
+        return (
+            f"{self.source[0]}.{self.source[1]}() -> "
+            f"{self.sink[0]}.{self.sink[1]}(){tag}"
+        )
+
+
+@dataclass
+class ComponentSpec:
+    """One Table IX component: classes plus ground truth."""
+
+    name: str
+    classes: List[JavaClass]
+    known_chains: List[KnownChainSpec] = field(default_factory=list)
+    #: the component's top-level package (the Serianalyzer post-filter)
+    package: str = ""
+    #: expected to blow up Serianalyzer's path enumeration (✗ cells)
+    serianalyzer_bomb: bool = False
+
+    @property
+    def known_count(self) -> int:
+        return len(self.known_chains)
+
+    def match_known(self, chain: GadgetChain) -> Optional[KnownChainSpec]:
+        for spec in self.known_chains:
+            if spec.matches(chain):
+                return spec
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ComponentSpec {self.name}: {len(self.classes)} classes, "
+            f"{self.known_count} known chains>"
+        )

@@ -1,0 +1,90 @@
+"""The 26 dataset components of Table IX.
+
+``COMPONENT_BUILDERS`` maps the component name (as printed in the
+table) to a zero-argument builder returning its :class:`ComponentSpec`.
+Analyses run against the component classes *plus* the chain-free
+runtime of :func:`repro.corpus.jdk.build_lang_base`.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.corpus.base import ComponentSpec
+
+from repro.corpus.components import (
+    aspectjweaver,
+    beanshell1,
+    c3p0,
+    click1,
+    clojure,
+    commons_beanutils1,
+    commons_collections3,
+    commons_collections4,
+    commons_configuration,
+    fileupload1,
+    groovy1,
+    hibernate,
+    javassistweld1,
+    jbossinterceptors1,
+    json1,
+    jython1,
+    mozillarhino,
+    myfaces,
+    resin,
+    rome,
+    spring,
+    spring_aop,
+    spring_beans,
+    vaadin1,
+    wicket1,
+    xbean,
+)
+
+_MODULES = [
+    aspectjweaver,
+    beanshell1,
+    c3p0,
+    click1,
+    clojure,
+    commons_beanutils1,
+    commons_collections3,
+    commons_collections4,
+    fileupload1,
+    groovy1,
+    hibernate,
+    jbossinterceptors1,
+    json1,
+    javassistweld1,
+    jython1,
+    mozillarhino,
+    myfaces,
+    rome,
+    spring,
+    vaadin1,
+    wicket1,
+    commons_configuration,
+    spring_beans,
+    spring_aop,
+    xbean,
+    resin,
+]
+
+COMPONENT_BUILDERS: Dict[str, Callable[[], ComponentSpec]] = {
+    module.NAME: module.build for module in _MODULES
+}
+
+COMPONENT_NAMES: List[str] = list(COMPONENT_BUILDERS)
+
+
+def build_component(name: str) -> ComponentSpec:
+    """Build one component by its Table IX name."""
+    try:
+        return COMPONENT_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown component {name!r}; choose from {COMPONENT_NAMES}"
+        ) from None
+
+
+def build_all() -> List[ComponentSpec]:
+    """Build every component, in Table IX row order."""
+    return [builder() for builder in COMPONENT_BUILDERS.values()]

@@ -1,0 +1,40 @@
+"""Shared scaffolding for the dataset components of Table IX.
+
+Every component module builds a :class:`ComponentSpec` from the pattern
+generators.  Insertion order matters for Serianalyzer fidelity: call
+sites created *before* the crowders stay inside SL's caller cap and are
+found; chains created *after* them are lost (§IV-F).  The canonical
+layout is therefore::
+
+    1. chains/floods Serianalyzer is expected to find
+    2. crowders (one batch per sink to hide)
+    3. everything Serianalyzer is expected to lose
+       (remaining knowns, decoys, baits, bombs)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import JavaClass
+
+__all__ = ["component"]
+
+
+def component(
+    name: str,
+    package: str,
+    pb: ProgramBuilder,
+    known: Sequence[KnownChainSpec],
+    serianalyzer_bomb: bool = False,
+) -> ComponentSpec:
+    """Finish a builder into a ComponentSpec."""
+    return ComponentSpec(
+        name=name,
+        classes=pb.build(),
+        known_chains=list(known),
+        package=package,
+        serianalyzer_bomb=serianalyzer_bomb,
+    )

@@ -1,0 +1,33 @@
+"""AspectJWeaver: a cache-write gadget (Files.newOutputStream)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_interface_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "AspectJWeaver"
+PKG = "org.aspectj"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="aspectjweaver-1.9.2.jar")
+    plant_sl_flood(pb, f"{PKG}.util", 27)
+    plant_sl_crowders(pb, f"{PKG}.bridge", ["new_output_stream", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.weaver.tools.cache.CacheBacking",
+            impl=f"{PKG}.weaver.tools.cache.SimpleCacheBacking",
+            source=f"{PKG}.weaver.tools.cache.SimpleCache$StoreableCachingMap",
+            sink_key="new_output_stream",
+            method="writeToPath",
+            payload_field="folder",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.weaver.ltw.LTWorld", f"{PKG}.weaver.ltw.LTWeaver", 8)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,34 @@
+"""BeanShell1: XThis-style method dispatch into Method.invoke."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "BeanShell1"
+PKG = "bsh"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="bsh-2.0b5.jar")
+    plant_sl_flood(pb, f"{PKG}.collection", 1)
+    plant_sl_crowders(pb, f"{PKG}.classpath", ["method_invoke", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.BshCallable",
+            impl=f"{PKG}.BshMethod",
+            source=f"{PKG}.XThis",
+            sink_key="method_invoke",
+            method="invokeImpl",
+            payload_field="javaMethod",
+        )
+    ]
+    plant_guard_decoy(pb, f"{PKG}.Interpreter", f"{PKG}.InterpreterConfig")
+    plant_guard_decoy(pb, f"{PKG}.NameSpace", f"{PKG}.InterpreterConfig")
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,65 @@
+"""C3P0: PoolBackedDataSource/ReferenceIndirector JNDI chain plus three
+further dangerous reference paths (the unknowns)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "C3P0"
+PKG = "com.mchange"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="c3p0-0.9.5.2.jar")
+    # SL is expected to see exactly one chain: the Context.lookup
+    # unknown, planted before the crowders
+    plant_interface_chain(  # unknown #1 (not registered as known)
+        pb,
+        iface=f"{PKG}.v2.naming.JavaBeanObjectFactory",
+        impl=f"{PKG}.v2.naming.JavaBeanReferenceMaker",
+        source=f"{PKG}.v2.naming.ReferenceableUtils",
+        sink_key="context_lookup",
+        method="referenceToObject",
+        payload_field="contextName",
+    )
+    plant_sl_crowders(
+        pb, f"{PKG}.v2.log", ["method_invoke", "exec", "get_connection", "load_class"]
+    )
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.v2.naming.ReferenceIndirector",
+            impl=f"{PKG}.v2.naming.ReferenceIndirector$ReferenceSerialized",
+            source=f"{PKG}.v2.c3p0.impl.PoolBackedDataSourceBase",
+            sink_key="method_invoke",
+            method="getObject",
+            payload_field="reference",
+        )
+    ]
+    # unknowns #2 and #3
+    plant_interface_chain(
+        pb,
+        iface=f"{PKG}.v2.c3p0.ConnectionCustomizer",
+        impl=f"{PKG}.v2.c3p0.WrapperConnectionPoolDataSourceBase",
+        source=f"{PKG}.v2.c3p0.impl.DriverManagerDataSourceBase",
+        sink_key="get_connection",
+        method="acquireConnection",
+        payload_field="jdbcUrl",
+    )
+    plant_interface_chain(
+        pb,
+        iface=f"{PKG}.v2.ser.Indirector",
+        impl=f"{PKG}.v2.ser.IndirectlySerialized",
+        source=f"{PKG}.v2.ser.SerializableUtils",
+        sink_key="load_class",
+        method="resolveClass",
+        payload_field="className",
+    )
+    plant_guard_decoy(pb, f"{PKG}.v2.c3p0.impl.C3P0PooledConnection", f"{PKG}.v2.cfg.C3P0Config")
+    plant_guard_decoy(pb, f"{PKG}.v2.c3p0.stmt.GooGooStatementCache", f"{PKG}.v2.cfg.C3P0Config")
+    return component(NAME, PKG, pb, known)

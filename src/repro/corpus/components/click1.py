@@ -1,0 +1,34 @@
+"""Click1: a column-rendering chain reachable through class extension
+(one of the few chains GadgetInspector's dispatch can see)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_extends_chain,
+    plant_gi_bait_fan,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Click1"
+PKG = "org.apache.click"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="click-nodeps-2.3.0.jar")
+    plant_sl_flood(pb, f"{PKG}.util", 56)
+    plant_sl_crowders(pb, f"{PKG}.service", ["exec"])
+    known = [
+        plant_extends_chain(
+            pb,
+            base=f"{PKG}.control.AbstractControl",
+            sub=f"{PKG}.control.Column",
+            source=f"{PKG}.control.Table",
+            sink_key="exec",
+            method="renderValue",
+            payload_field="decorator",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.control.Form", f"{PKG}.control.FieldWorker", 3)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,55 @@
+"""Clojure: AFn-rooted extension chains (GI-visible) plus the dense
+dispatcher cluster that makes Serianalyzer's enumeration explode (✗)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_extends_chain,
+    plant_gi_bait_fan,
+    plant_guard_decoy,
+    plant_sl_bomb,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Clojure"
+PKG = "clojure"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="clojure-1.8.0.jar")
+    plant_sl_bomb(pb, f"{PKG}.lang.compiler")
+    plant_sl_crowders(pb, f"{PKG}.java", ["method_invoke", "exec"])
+    known = [
+        plant_extends_chain(
+            pb,
+            base=f"{PKG}.lang.AFn",
+            sub=f"{PKG}.lang.Var",
+            source=f"{PKG}.lang.PersistentQueue",
+            sink_key="method_invoke",
+            method="invokeFn",
+            payload_field="root",
+        )
+    ]
+    # two effective extension chains the dataset does not record
+    plant_extends_chain(
+        pb,
+        base=f"{PKG}.lang.ARef",
+        sub=f"{PKG}.lang.Agent",
+        source=f"{PKG}.lang.PersistentVector",
+        sink_key="load_class",
+        method="deref",
+        payload_field="state",
+    )
+    plant_extends_chain(
+        pb,
+        base=f"{PKG}.lang.AReference",
+        sub=f"{PKG}.lang.Namespace",
+        source=f"{PKG}.lang.PersistentArrayMap",
+        sink_key="get_connection",
+        method="resetMeta",
+        payload_field="meta",
+    )
+    plant_guard_decoy(pb, f"{PKG}.lang.LockingTransaction", f"{PKG}.lang.RTConfig")
+    plant_gi_bait_fan(pb, f"{PKG}.lang.MultiFn", f"{PKG}.lang.MethodImplCache", 8)
+    return component(NAME, PKG, pb, known, serianalyzer_bomb=True)

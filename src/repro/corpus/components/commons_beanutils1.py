@@ -1,0 +1,52 @@
+"""CommonsBeanutils1: PriorityQueue.readObject -> BeanComparator.compare
+-> PropertyUtils/Method.invoke."""
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    emit_sink,
+    plant_gi_bait_fan,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+NAME = "CommonsBeanutils1"
+PKG = "org.apache.commons.beanutils"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="commons-beanutils-1.9.2.jar")
+
+    plant_sl_flood(pb, PKG + ".converters", 50)
+    plant_sl_crowders(pb, PKG + ".locale", ["method_invoke", "exec"])
+
+    # the real chain: PriorityQueue.readObject -> Comparator.compare
+    # (alias) -> BeanComparator.compare -> PropertyUtils -> Method.invoke
+    with pb.cls(f"{PKG}.BeanComparator", implements=["java.util.Comparator", SERIALIZABLE]) as c:
+        c.field("property", "java.lang.Object")
+        with c.method(
+            "compare", params=["java.lang.Object", "java.lang.Object"], returns="int"
+        ) as m:
+            prop = m.get_field(m.this, "property")
+            m.invoke(
+                m.this, f"{PKG}.BeanComparator", "getProperty",
+                [m.param(1), prop], returns="java.lang.Object",
+            )
+            m.ret(0)
+        with c.method(
+            "getProperty", params=["java.lang.Object", "java.lang.Object"],
+            returns="java.lang.Object",
+        ) as m:
+            emit_sink(m, "method_invoke", m.param(2))
+            m.ret(m.param(2))
+
+    known = [
+        KnownChainSpec(("java.util.PriorityQueue", "readObject"),
+                       ("java.lang.reflect.Method", "invoke"))
+    ]
+
+    plant_gi_bait_fan(pb, f"{PKG}.BeanIntrospector", f"{PKG}.IntrospectionWorker", 2)
+
+    return component(NAME, PKG, pb, known)

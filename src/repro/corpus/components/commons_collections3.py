@@ -1,0 +1,208 @@
+"""commons-collections 3.2.1 — the flagship ysoserial component.
+
+Five dataset chains (CommonsCollections1/3/5-style shapes):
+
+* K1 ``TransformedMap.readObject`` -> Transformer family -> ``Method.invoke``
+* K2 ``TiedMapEntry.hashCode`` -> ``LazyMap.get`` -> Transformer family
+* K3 ``HashBag.readObject`` -> Closure family -> ``InetAddress.getByName``
+* K4 ``CursorableLinkedList.readObject`` -> Factory family ->
+  ``Files.newOutputStream``
+* K5 an ``AnnotationInvocationHandler``-style dynamic-proxy chain
+  (static tools must miss it, §V-B)
+
+The Transformer family (InvokerTransformer / ChainedTransformer /
+InstantiateTransformer / ConstantTransformer) multiplies into the
+component's *unknown* chains: every source reaching
+``Transformer.transform`` also reaches the other dangerous
+implementations, directly and nested through ChainedTransformer —
+including the organic ``HashMap.readObject``-rooted variant through
+``TiedMapEntry.hashCode``.
+"""
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    emit_sink,
+    plant_extends_chain,
+    plant_guard_decoy,
+    plant_proxy_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+NAME = "commons-collections(3.2.1)"
+PKG = "org.apache.commons.collections"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="commons-collections-3.2.1.jar")
+    known = []
+
+    # 1. what Serianalyzer is allowed to see: the flood only
+    plant_sl_flood(pb, PKG + ".iterators", 73)
+    # 2. crowd every sink the real chains use out of SL's caller cap
+    plant_sl_crowders(
+        pb,
+        PKG + ".buffer",
+        ["method_invoke", "load_class", "get_by_name", "new_output_stream", "exec"],
+    )
+
+    # 3. the Transformer family
+    iface = f"{PKG}.Transformer"
+    ib = pb.interface(iface)
+    ib.abstract_method("transform", params=["java.lang.Object"], returns="java.lang.Object")
+    ib.finish()
+
+    with pb.cls(f"{PKG}.functors.InvokerTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iMethodName", "java.lang.Object")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "iMethodName")
+            emit_sink(m, "method_invoke", payload)
+            m.ret(payload)
+
+    with pb.cls(f"{PKG}.functors.InstantiateTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iParamTypes", "java.lang.Object")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "iParamTypes")
+            emit_sink(m, "load_class", payload)
+            m.ret(payload)
+
+    with pb.cls(f"{PKG}.functors.ChainedTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iTransformers", "java.lang.Object[]")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            arr = m.get_field(m.this, "iTransformers")
+            inner = m.array_get(arr, 0)
+            out = m.invoke_interface(inner, iface, "transform", [m.param(1)], returns="java.lang.Object")
+            m.ret(out)
+
+    with pb.cls(f"{PKG}.functors.ConstantTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iConstant", "java.lang.Object")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            v = m.get_field(m.this, "iConstant")
+            m.ret(v)
+
+    # K1: TransformedMap.readObject -> Transformer.transform
+    with pb.cls(f"{PKG}.map.TransformedMap", implements=["java.util.Map", SERIALIZABLE]) as c:
+        c.field("keyTransformer", "java.lang.Object")
+        c.field("firstKey", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            m.invoke(m.param(1), "java.io.ObjectInputStream", "defaultReadObject")
+            t = m.get_field(m.this, "keyTransformer")
+            k = m.get_field(m.this, "firstKey")
+            m.invoke_interface(t, iface, "transform", [k], returns="java.lang.Object")
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            m.ret(m.param(1))
+        with c.method("put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object") as m:
+            m.ret(m.param(2))
+    known.append(
+        KnownChainSpec((f"{PKG}.map.TransformedMap", "readObject"),
+                       ("java.lang.reflect.Method", "invoke"))
+    )
+
+    # K2: TiedMapEntry.hashCode -> LazyMap.get -> Transformer.transform
+    with pb.cls(f"{PKG}.map.LazyMap", implements=["java.util.Map", SERIALIZABLE]) as c:
+        c.field("factory", "java.lang.Object")
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            f = m.get_field(m.this, "factory")
+            out = m.invoke_interface(f, iface, "transform", [m.param(1)], returns="java.lang.Object")
+            m.ret(out)
+        with c.method("put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object") as m:
+            m.ret(m.param(2))
+
+    with pb.cls(f"{PKG}.keyvalue.TiedMapEntry", implements=["java.util.Map$Entry", SERIALIZABLE]) as c:
+        c.field("map", "java.util.Map")
+        c.field("key", "java.lang.Object")
+        with c.method("getKey", returns="java.lang.Object") as m:
+            k = m.get_field(m.this, "key")
+            m.ret(k)
+        with c.method("getValue", returns="java.lang.Object") as m:
+            mp = m.get_field(m.this, "map")
+            k = m.get_field(m.this, "key")
+            v = m.invoke_interface(mp, "java.util.Map", "get", [k], returns="java.lang.Object")
+            m.ret(v)
+        with c.method("hashCode", returns="int") as m:
+            m.invoke(m.this, f"{PKG}.keyvalue.TiedMapEntry", "getValue", returns="java.lang.Object")
+            m.ret(0)
+    known.append(
+        KnownChainSpec((f"{PKG}.keyvalue.TiedMapEntry", "hashCode"),
+                       ("java.lang.reflect.Method", "invoke"))
+    )
+
+    # K3: HashBag.readObject -> Closure family -> InetAddress.getByName
+    closure = f"{PKG}.Closure"
+    cb = pb.interface(closure)
+    cb.abstract_method("execute", params=["java.lang.Object"])
+    cb.finish()
+    with pb.cls(f"{PKG}.functors.ConnectingClosure", implements=[closure, SERIALIZABLE]) as c:
+        c.field("host", "java.lang.Object")
+        with c.method("execute", params=["java.lang.Object"]) as m:
+            payload = m.get_field(m.this, "host")
+            emit_sink(m, "get_by_name", payload)
+    with pb.cls(f"{PKG}.bag.HashBag", implements=[SERIALIZABLE]) as c:
+        c.field("closure", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            cl = m.get_field(m.this, "closure")
+            m.invoke_interface(cl, closure, "execute", [cl])
+    known.append(
+        KnownChainSpec((f"{PKG}.bag.HashBag", "readObject"),
+                       ("java.net.InetAddress", "getByName"))
+    )
+
+    # K4: CursorableLinkedList.readObject -> Factory family -> Files
+    factory = f"{PKG}.Factory"
+    fb = pb.interface(factory)
+    fb.abstract_method("create", returns="java.lang.Object")
+    fb.finish()
+    with pb.cls(f"{PKG}.functors.PrototypeFactory", implements=[factory, SERIALIZABLE]) as c:
+        c.field("iPrototype", "java.lang.Object")
+        with c.method("create", returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "iPrototype")
+            emit_sink(m, "new_output_stream", payload)
+            m.ret(payload)
+    with pb.cls(f"{PKG}.list.CursorableLinkedList", implements=[SERIALIZABLE]) as c:
+        c.field("factory", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            f = m.get_field(m.this, "factory")
+            m.invoke_interface(f, factory, "create", returns="java.lang.Object")
+    known.append(
+        KnownChainSpec((f"{PKG}.list.CursorableLinkedList", "readObject"),
+                       ("java.nio.file.Files", "newOutputStream"))
+    )
+
+    # K5: the dynamic-proxy chain — effective, invisible to static tools
+    known.append(
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.map.DefaultedMap",
+            handler=f"{PKG}.functors.InvokerClosureHandler",
+            sink_key="method_invoke",
+        )
+    )
+
+    # 4. decoys: four guard-broken chains (Tabby's fakes); one hides
+    #    behind interface dispatch so GI reports only three
+    plant_guard_decoy(pb, f"{PKG}.comparators.ComparatorChain", f"{PKG}.CollectionsConfig")
+    plant_guard_decoy(pb, f"{PKG}.keyvalue.MultiKey", f"{PKG}.CollectionsConfig")
+    plant_guard_decoy(pb, f"{PKG}.map.Flat3Map", f"{PKG}.CollectionsConfig")
+    plant_guard_decoy(
+        pb,
+        f"{PKG}.bidimap.TreeBidiMap",
+        f"{PKG}.CollectionsConfig",
+        through_interface=f"{PKG}.OrderedBidiMapGuard",
+    )
+
+    # an effective extension-dispatch chain the dataset does not record
+    # (one of the few unknowns GadgetInspector can also see)
+    plant_extends_chain(
+        pb,
+        base=f"{PKG}.collection.AbstractCollectionDecorator",
+        sub=f"{PKG}.collection.UnmodifiableCollection",
+        source=f"{PKG}.collection.CompositeCollection",
+        sink_key="db_parse",
+        method="decorated",
+        payload_field="collection",
+    )
+
+    return component(NAME, PKG, pb, known)

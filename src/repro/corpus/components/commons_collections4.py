@@ -1,0 +1,135 @@
+"""commons-collections 4.0 — the CommonsCollections2/4-style component.
+
+Dataset chains: the ``PriorityQueue.readObject`` ->
+``TransformingComparator.compare`` -> Transformer-family chain, plus a
+dynamic-proxy chain.  The family again multiplies into unknown chains
+(LazyMap/TiedMapEntry route, the organic HashMap root, nesting through
+ChainedTransformer, and the InstantiateTransformer/ClassLoader sink).
+"""
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    emit_sink,
+    plant_extends_chain,
+    plant_guard_decoy,
+    plant_proxy_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+NAME = "commons-colletions(4.0.0)"
+PKG = "org.apache.commons.collections4"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="commons-collections4-4.0.jar")
+    known = []
+
+    plant_sl_flood(pb, PKG + ".iterators", 38)
+    plant_sl_crowders(pb, PKG + ".buffer", ["method_invoke", "load_class", "exec"])
+
+    iface = f"{PKG}.Transformer"
+    ib = pb.interface(iface)
+    ib.abstract_method("transform", params=["java.lang.Object"], returns="java.lang.Object")
+    ib.finish()
+
+    with pb.cls(f"{PKG}.functors.InvokerTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iMethodName", "java.lang.Object")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "iMethodName")
+            emit_sink(m, "method_invoke", payload)
+            m.ret(payload)
+
+    with pb.cls(f"{PKG}.functors.InstantiateTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iArgs", "java.lang.Object")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "iArgs")
+            emit_sink(m, "load_class", payload)
+            m.ret(payload)
+
+    with pb.cls(f"{PKG}.functors.ChainedTransformer", implements=[iface, SERIALIZABLE]) as c:
+        c.field("iTransformers", "java.lang.Object[]")
+        with c.method("transform", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            arr = m.get_field(m.this, "iTransformers")
+            inner = m.array_get(arr, 0)
+            out = m.invoke_interface(inner, iface, "transform", [m.param(1)], returns="java.lang.Object")
+            m.ret(out)
+
+    # K1: java.util.PriorityQueue.readObject -> TransformingComparator
+    with pb.cls(
+        f"{PKG}.comparators.TransformingComparator",
+        implements=["java.util.Comparator", SERIALIZABLE],
+    ) as c:
+        c.field("transformer", "java.lang.Object")
+        with c.method(
+            "compare", params=["java.lang.Object", "java.lang.Object"], returns="int"
+        ) as m:
+            t = m.get_field(m.this, "transformer")
+            m.invoke_interface(t, iface, "transform", [m.param(1)], returns="java.lang.Object")
+            m.ret(0)
+    known.append(
+        KnownChainSpec(("java.util.PriorityQueue", "readObject"),
+                       ("java.lang.reflect.Method", "invoke"))
+    )
+
+    # LazyMap/TiedMapEntry route: sources of the *unknown* chains
+    with pb.cls(f"{PKG}.map.LazyMap", implements=["java.util.Map", SERIALIZABLE]) as c:
+        c.field("factory", "java.lang.Object")
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            f = m.get_field(m.this, "factory")
+            out = m.invoke_interface(f, iface, "transform", [m.param(1)], returns="java.lang.Object")
+            m.ret(out)
+        with c.method("put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object") as m:
+            m.ret(m.param(2))
+
+    with pb.cls(f"{PKG}.keyvalue.TiedMapEntry", implements=["java.util.Map$Entry", SERIALIZABLE]) as c:
+        c.field("map", "java.util.Map")
+        c.field("key", "java.lang.Object")
+        with c.method("getKey", returns="java.lang.Object") as m:
+            k = m.get_field(m.this, "key")
+            m.ret(k)
+        with c.method("getValue", returns="java.lang.Object") as m:
+            mp = m.get_field(m.this, "map")
+            k = m.get_field(m.this, "key")
+            v = m.invoke_interface(mp, "java.util.Map", "get", [k], returns="java.lang.Object")
+            m.ret(v)
+        with c.method("hashCode", returns="int") as m:
+            m.invoke(m.this, f"{PKG}.keyvalue.TiedMapEntry", "getValue", returns="java.lang.Object")
+            m.ret(0)
+
+    # K2: dynamic-proxy chain
+    known.append(
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.map.MultiValueMap",
+            handler=f"{PKG}.functors.FactoryHandler",
+            sink_key="method_invoke",
+        )
+    )
+
+    # decoys: 5 fakes, two hidden from GI behind interface dispatch
+    cfg = f"{PKG}.CollectionsConfig"
+    plant_guard_decoy(pb, f"{PKG}.comparators.ComparatorChain", cfg)
+    plant_guard_decoy(pb, f"{PKG}.keyvalue.MultiKey", cfg)
+    plant_guard_decoy(pb, f"{PKG}.map.Flat3Map", cfg)
+    plant_guard_decoy(pb, f"{PKG}.bidimap.TreeBidiMap", cfg,
+                      through_interface=f"{PKG}.OrderedBidiMapGuard")
+    plant_guard_decoy(pb, f"{PKG}.bag.TreeBag", cfg,
+                      through_interface=f"{PKG}.SortedBagGuard")
+
+    # an effective extension-dispatch chain the dataset does not record
+    # (one of the few unknowns GadgetInspector can also see)
+    plant_extends_chain(
+        pb,
+        base=f"{PKG}.collection.AbstractCollectionDecorator",
+        sub=f"{PKG}.collection.UnmodifiableCollection",
+        source=f"{PKG}.collection.CompositeCollection",
+        sink_key="db_parse",
+        method="decorated",
+        payload_field="collection",
+    )
+
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,29 @@
+"""commons-configuration: a ConfigurationMap proxy chain nothing static
+can see; Tabby correctly reports zero results."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_proxy_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "commons-configration"
+PKG = "org.apache.commons.configuration"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="commons-configuration-1.10.jar")
+    plant_sl_crowders(pb, f"{PKG}.event", ["exec"])
+    known = [
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.ConfigurationMap",
+            handler=f"{PKG}.beanutils.ConfigurationDynaBean",
+            sink_key="exec",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.ConfigurationUtils", f"{PKG}.ConfigWorker", 2)
+    return component(NAME, PKG, pb, known)

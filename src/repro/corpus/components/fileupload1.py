@@ -1,0 +1,44 @@
+"""FileUpload1: the disk-file-item write/delete gadgets — small, clean,
+and visible to every tool (both baselines score here)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_extends_chain,
+    plant_gi_bait_fan,
+    plant_interface_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "FileUpload1"
+PKG = "org.apache.commons.fileupload"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="commons-fileupload-1.3.1.jar")
+    known = [
+        plant_extends_chain(
+            pb,
+            base=f"{PKG}.util.mime.AbstractOutputStream",
+            sub=f"{PKG}.disk.DeferredFileOutputStream",
+            source=f"{PKG}.disk.DiskFileItem",
+            sink_key="new_output_stream",
+            method="writeTo",
+            payload_field="repository",
+        ),
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.FileItemHeaders",
+            impl=f"{PKG}.util.FileItemHeadersImpl",
+            source=f"{PKG}.MultipartStream",
+            sink_key="file_delete",
+            method="purge",
+            payload_field="tempFile",
+        ),
+    ]
+    plant_sl_flood(pb, f"{PKG}.portlet", 4)
+    plant_sl_crowders(pb, f"{PKG}.servlet", ["exec"])
+    plant_gi_bait_fan(pb, f"{PKG}.FileUploadBase", f"{PKG}.ParamParser", 2)
+    return component(NAME, PKG, pb, known)

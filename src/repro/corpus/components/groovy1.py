@@ -1,0 +1,35 @@
+"""Groovy1: the ConvertedClosure/MethodClosure chain — dynamic proxy
+all the way, so every static tool misses it (§V-B)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_guard_decoy,
+    plant_proxy_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Groovy1"
+PKG = "org.codehaus.groovy"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="groovy-2.3.9.jar")
+    plant_sl_flood(pb, f"{PKG}.ast", 137)
+    plant_sl_crowders(pb, f"{PKG}.control", ["exec"])
+    known = [
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.runtime.ConvertedClosure",
+            handler=f"{PKG}.runtime.MethodClosure",
+            sink_key="exec",
+            handler_method="doCall",
+        )
+    ]
+    plant_guard_decoy(pb, f"{PKG}.runtime.GStringImpl", f"{PKG}.runtime.GroovyConfig")
+    plant_guard_decoy(pb, f"{PKG}.util.Expando", f"{PKG}.runtime.GroovyConfig")
+    plant_gi_bait_fan(pb, f"{PKG}.reflection.CachedClass", f"{PKG}.reflection.ReflectWorker", 2)
+    return component(NAME, PKG, pb, known)

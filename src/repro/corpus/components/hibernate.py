@@ -1,0 +1,57 @@
+"""Hibernate: two hashCode-rooted getter chains into Method.invoke; the
+organic HashMap.readObject variants are the unknowns."""
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    emit_sink,
+    plant_gi_bait_fan,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+NAME = "Hibernate"
+PKG = "org.hibernate"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="hibernate-core-5.0.7.jar")
+
+    plant_sl_flood(pb, f"{PKG}.internal.util", 55)
+    plant_sl_crowders(pb, f"{PKG}.engine.internal", ["method_invoke", "exec"])
+
+    getter = f"{PKG}.property.Getter"
+    gb = pb.interface(getter)
+    gb.abstract_method("get", params=["java.lang.Object"], returns="java.lang.Object")
+    gb.finish()
+
+    with pb.cls(f"{PKG}.property.BasicPropertyAccessor$BasicGetter",
+                implements=[getter, SERIALIZABLE]) as c:
+        c.field("method", "java.lang.Object")
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            target = m.get_field(m.this, "method")
+            emit_sink(m, "method_invoke", target)
+            m.ret(target)
+
+    known = []
+    for cls_name, field_name in [
+        (f"{PKG}.engine.spi.TypedValue", "type"),
+        (f"{PKG}.cache.spi.CacheKey", "key"),
+    ]:
+        with pb.cls(cls_name, implements=[SERIALIZABLE]) as c:
+            c.field(field_name, "java.lang.Object")
+            c.field("getter", "java.lang.Object")
+            with c.method("hashCode", returns="int") as m:
+                g = m.get_field(m.this, "getter")
+                v = m.get_field(m.this, field_name)
+                m.invoke_interface(g, getter, "get", [v], returns="java.lang.Object")
+                m.ret(0)
+        known.append(
+            KnownChainSpec((cls_name, "hashCode"), ("java.lang.reflect.Method", "invoke"))
+        )
+
+    plant_gi_bait_fan(pb, f"{PKG}.engine.spi.SessionDelegator", f"{PKG}.engine.Worker", 2)
+
+    return component(NAME, PKG, pb, known)

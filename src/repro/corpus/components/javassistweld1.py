@@ -1,0 +1,34 @@
+"""JavassistWeld1: the weld interceptor chain over javassist proxies."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "JavassistWeld1"
+PKG = "org.jboss.weld"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="weld-core-1.1.33.jar")
+    known = [
+        plant_interface_chain(
+            pb,
+            iface="javassist.util.proxy.MethodHandler",
+            impl=f"{PKG}.interceptor.proxy.InterceptorMethodHandler",
+            source=f"{PKG}.interceptor.proxy.InterceptionSubjectWrapper",
+            sink_key="method_invoke",
+            method="executeInterception",
+            payload_field="targetMethod",
+        )
+    ]
+    plant_sl_flood(pb, f"{PKG}.interceptor.util", 2)
+    plant_sl_crowders(pb, f"{PKG}.interceptor.builder", ["exec"])
+    plant_guard_decoy(pb, f"{PKG}.interceptor.reader.InterceptorMetadataImpl", f"{PKG}.WeldConfig")
+    plant_guard_decoy(pb, f"{PKG}.interceptor.spi.model.InterceptionModelImpl", f"{PKG}.WeldConfig")
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,34 @@
+"""JBossInterceptors1: interceptor metadata dispatch into Method.invoke."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "JBossInterceptors1"
+PKG = "org.jboss.interceptor"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="jboss-interceptor-core-2.0.0.jar")
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.spi.metadata.MethodMetadata",
+            impl=f"{PKG}.reader.SimpleMethodMetadata",
+            source=f"{PKG}.proxy.InterceptorMethodHandler",
+            sink_key="method_invoke",
+            method="getJavaMethod",
+            payload_field="javaMethod",
+        )
+    ]
+    plant_sl_flood(pb, f"{PKG}.util", 6)
+    plant_sl_crowders(pb, f"{PKG}.builder", ["exec"])
+    plant_guard_decoy(pb, f"{PKG}.proxy.InterceptorInvocation", f"{PKG}.InterceptorConfig")
+    plant_guard_decoy(pb, f"{PKG}.reader.ClassMetadataReader", f"{PKG}.InterceptorConfig")
+    return component(NAME, PKG, pb, known)

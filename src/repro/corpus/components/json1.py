@@ -1,0 +1,29 @@
+"""JSON1: a JSONObject proxy chain — invisible to every static tool;
+Tabby correctly reports nothing here (Table IX row: result 0)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_proxy_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "JSON1"
+PKG = "net.sf.json"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="json-lib-2.4.jar")
+    plant_sl_crowders(pb, f"{PKG}.util", ["exec"])
+    known = [
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.JSONObject",
+            handler=f"{PKG}.processors.JsonValueProcessorImpl",
+            sink_key="exec",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.JSONSerializer", f"{PKG}.JsonWorker", 4)
+    return component(NAME, PKG, pb, known)

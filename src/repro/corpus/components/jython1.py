@@ -1,0 +1,35 @@
+"""Jython1: a PyObject proxy chain (missed by all tools), a large
+GI-bait fan (GI reports 42 results), and the Serianalyzer bomb (✗)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_guard_decoy,
+    plant_proxy_chain,
+    plant_sl_bomb,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Jython1"
+PKG = "org.python"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="jython-standalone-2.5.2.jar")
+    plant_sl_bomb(pb, f"{PKG}.compiler")
+    plant_sl_crowders(pb, f"{PKG}.util", ["exec"])
+    known = [
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.core.PyObjectDerived",
+            handler=f"{PKG}.core.PyMethod",
+            sink_key="new_output_stream",
+            handler_method="__call__",
+        )
+    ]
+    plant_guard_decoy(pb, f"{PKG}.core.PyBytecode", f"{PKG}.core.PySystemState")
+    plant_guard_decoy(pb, f"{PKG}.core.PyFunction", f"{PKG}.core.PySystemState")
+    plant_gi_bait_fan(pb, f"{PKG}.core.PyType", f"{PKG}.core.TypeResolver", 40)
+    return component(NAME, PKG, pb, known, serianalyzer_bomb=True)

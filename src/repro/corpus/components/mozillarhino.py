@@ -1,0 +1,42 @@
+"""MozillaRhino: one member-box reflection chain (found) and one
+proxy-mediated chain (missed by all static tools)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_interface_chain,
+    plant_proxy_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "MozillaRhino"
+PKG = "org.mozilla.javascript"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="js-1.7r2.jar")
+    plant_sl_flood(pb, f"{PKG}.ast", 93)
+    plant_sl_crowders(pb, f"{PKG}.optimizer", ["method_invoke", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.Scriptable",
+            impl=f"{PKG}.MemberBox",
+            source=f"{PKG}.NativeJavaObject",
+            sink_key="method_invoke",
+            method="getDefaultValue",
+            payload_field="memberObject",
+        ),
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.NativeJavaMethod",
+            handler=f"{PKG}.JavaMembers",
+            sink_key="method_invoke",
+            handler_method="reflectMethod",
+        ),
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.ContextFactory", f"{PKG}.ContextWorker", 3)
+    return component(NAME, PKG, pb, known)

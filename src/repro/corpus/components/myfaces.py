@@ -1,0 +1,31 @@
+"""Myfaces1: the EL-expression evaluation chain."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_interface_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Myface"
+PKG = "org.apache.myfaces"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="myfaces-impl-2.2.9.jar")
+    plant_sl_crowders(pb, f"{PKG}.context", ["script_eval", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.view.facelets.el.ELText",
+            impl=f"{PKG}.view.facelets.el.ValueExpressionMethodExpression",
+            source=f"{PKG}.el.unified.resolver.FacesCompositeELResolver",
+            sink_key="script_eval",
+            method="invokeExpression",
+            payload_field="expressionString",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.application.ApplicationImpl", f"{PKG}.application.NavWorker", 2)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,30 @@
+"""Resin: the QName/ContextImpl JNDI chain — proxy-routed, so every
+static tool (Tabby included) reports nothing real here."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_proxy_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Resin"
+PKG = "com.caucho"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="resin-4.0.52.jar")
+    plant_sl_crowders(pb, f"{PKG}.util", ["exec", "context_lookup"])
+    known = [
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.naming.QName",
+            handler=f"{PKG}.naming.ContextImpl",
+            sink_key="context_lookup",
+            handler_method="lookupImpl",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.hessian.HessianInput", f"{PKG}.hessian.HessianWorker", 2)
+    return component(NAME, PKG, pb, known)

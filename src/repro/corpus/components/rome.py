@@ -1,0 +1,52 @@
+"""Rome: EqualsBean.hashCode -> BeanLikeComparator -> Method.invoke,
+with the organic HashMap.readObject-rooted variant as the unknown."""
+
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    emit_sink,
+    plant_gi_bait_fan,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+NAME = "Rome"
+PKG = "com.sun.syndication"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="rome-1.0.jar")
+
+    # SL sees the known chain (planted before any crowders) + the flood.
+    # The reflective hop hides behind interface dispatch so that
+    # GadgetInspector (extension-only polymorphism) cannot follow it.
+    fetcher = f"{PKG}.feed.impl.PropertyFetcher"
+    fb = pb.interface(fetcher)
+    fb.abstract_method("fetch", params=["java.lang.Object"], returns="java.lang.Object")
+    fb.finish()
+    with pb.cls(f"{PKG}.feed.impl.ToStringBean", implements=[fetcher, SERIALIZABLE]) as c:
+        c.field("prop", "java.lang.Object")
+        with c.method("fetch", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            target = m.get_field(m.this, "prop")
+            emit_sink(m, "method_invoke", target)
+            m.ret(target)
+    with pb.cls(f"{PKG}.feed.impl.EqualsBean", implements=[SERIALIZABLE]) as c:
+        c.field("beanClass", "java.lang.Object")
+        c.field("obj", "java.lang.Object")
+        with c.method("hashCode", returns="int") as m:
+            o = m.get_field(m.this, "obj")
+            m.invoke_interface(o, fetcher, "fetch", [o], returns="java.lang.Object")
+            m.ret(0)
+
+    known = [
+        KnownChainSpec((f"{PKG}.feed.impl.EqualsBean", "hashCode"),
+                       ("java.lang.reflect.Method", "invoke"))
+    ]
+
+    plant_sl_flood(pb, f"{PKG}.io.impl", 18)
+    plant_sl_crowders(pb, f"{PKG}.feed.synd", ["exec"])
+    plant_gi_bait_fan(pb, f"{PKG}.io.WireFeedInput", f"{PKG}.io.FeedParser", 2)
+
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,41 @@
+"""Spring (ysoserial Spring1/Spring2): both chains route through
+``ObjectFactoryDelegatingInvocationHandler`` / ``MethodInvokeTypeProvider``
+dynamic proxies — Tabby reports only its two conditional fakes here."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_guard_decoy,
+    plant_proxy_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Spring"
+PKG = "org.springframework"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="spring-core-4.1.4.jar")
+    plant_sl_flood(pb, f"{PKG}.util", 4)
+    plant_sl_crowders(pb, f"{PKG}.asm", ["exec", "method_invoke"])
+    known = [
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.core.SerializableTypeWrapper$MethodInvokeTypeProvider",
+            handler=f"{PKG}.core.SerializableTypeWrapper$TypeProvider",
+            sink_key="method_invoke",
+            handler_method="getType",
+        ),
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.beans.factory.support.AutowireUtils$ObjectFactoryDelegatingInvocationHandler",
+            handler=f"{PKG}.beans.factory.ObjectFactoryImpl",
+            sink_key="method_invoke",
+            handler_method="getObject",
+        ),
+    ]
+    plant_guard_decoy(pb, f"{PKG}.core.io.VfsResource", f"{PKG}.core.SpringProperties")
+    plant_guard_decoy(pb, f"{PKG}.core.convert.TypeDescriptor", f"{PKG}.core.SpringProperties")
+    return component(NAME, PKG, pb, known)

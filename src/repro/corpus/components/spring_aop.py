@@ -1,0 +1,42 @@
+"""spring-aop: an AdvisedSupport interceptor chain plus a
+JdkDynamicAopProxy chain (proxy-routed, missed)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_proxy_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "spring-aop"
+PKG = "org.springframework.aop"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="spring-aop-4.1.4.jar")
+    plant_sl_crowders(pb, f"{PKG}.config", ["method_invoke", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface="org.aopalliance.intercept.MethodInterceptor",
+            impl=f"{PKG}.framework.ReflectiveMethodInvocation",
+            source=f"{PKG}.framework.AdvisedSupport",
+            sink_key="method_invoke",
+            method="proceed",
+            payload_field="method",
+        ),
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.framework.JdkDynamicAopProxy",
+            handler=f"{PKG}.target.SingletonTargetSource",
+            sink_key="method_invoke",
+            handler_method="getTarget",
+        ),
+    ]
+    plant_guard_decoy(pb, f"{PKG}.support.AbstractPointcutAdvisor", f"{PKG}.AopConfig")
+    plant_gi_bait_fan(pb, f"{PKG}.framework.ProxyFactory", f"{PKG}.framework.ProxyWorker", 5)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,42 @@
+"""spring-beans: one PropertyAccessor chain Tabby finds plus one
+proxy-routed chain it (and everything else) must miss."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_proxy_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "spring-beans"
+PKG = "org.springframework.beans"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="spring-beans-4.1.4.jar")
+    plant_sl_crowders(pb, f"{PKG}.propertyeditors", ["method_invoke", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.PropertyAccessor",
+            impl=f"{PKG}.BeanWrapperImpl",
+            source=f"{PKG}.support.PagedListHolder",
+            sink_key="method_invoke",
+            method="getPropertyValue",
+            payload_field="readMethod",
+        ),
+        plant_proxy_chain(
+            pb,
+            source=f"{PKG}.factory.support.DefaultListableBeanFactory",
+            handler=f"{PKG}.factory.support.FactoryBeanRegistrySupport",
+            sink_key="method_invoke",
+            handler_method="getObjectFromFactoryBean",
+        ),
+    ]
+    plant_guard_decoy(pb, f"{PKG}.support.ResourceEditorRegistrar", f"{PKG}.BeansConfig")
+    plant_gi_bait_fan(pb, f"{PKG}.CachedIntrospectionResults", f"{PKG}.IntrospectWorker", 1)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,34 @@
+"""Vaadin1: NestedMethodProperty chain via class-extension dispatch
+(GadgetInspector can see this one)."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_extends_chain,
+    plant_gi_bait_fan,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Vaadin1"
+PKG = "com.vaadin"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="vaadin-server-7.7.14.jar")
+    plant_sl_flood(pb, f"{PKG}.event", 18)
+    plant_sl_crowders(pb, f"{PKG}.server", ["method_invoke", "exec"])
+    known = [
+        plant_extends_chain(
+            pb,
+            base=f"{PKG}.data.util.AbstractProperty",
+            sub=f"{PKG}.data.util.NestedMethodProperty",
+            source=f"{PKG}.data.util.PropertysetItem",
+            sink_key="method_invoke",
+            method="fireValueChange",
+            payload_field="getMethod",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.ui.ConnectorTracker", f"{PKG}.ui.UIWorker", 5)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,43 @@
+"""Wicket1: the FileUpload-clone gadgets inside wicket-util."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_extends_chain,
+    plant_gi_bait_fan,
+    plant_interface_chain,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "Wicket1"
+PKG = "org.apache.wicket"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="wicket-util-6.23.0.jar")
+    known = [
+        plant_extends_chain(
+            pb,
+            base=f"{PKG}.util.upload.AbstractFileOutput",
+            sub=f"{PKG}.util.upload.DeferredFileOutputStream",
+            source=f"{PKG}.util.upload.DiskFileItem",
+            sink_key="new_output_stream",
+            method="writeTo",
+            payload_field="repository",
+        ),
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.util.upload.FileItemHeaders",
+            impl=f"{PKG}.util.upload.FileItemHeadersImpl",
+            source=f"{PKG}.util.upload.MultipartFormInputStream",
+            sink_key="file_delete",
+            method="purge",
+            payload_field="tempFile",
+        ),
+    ]
+    plant_sl_flood(pb, f"{PKG}.util.string", 3)
+    plant_sl_crowders(pb, f"{PKG}.util.io", ["exec"])
+    plant_gi_bait_fan(pb, f"{PKG}.util.file.Folder", f"{PKG}.util.file.FolderWorker", 2)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,31 @@
+"""XBean: the naming-context JNDI chain."""
+
+from repro.corpus.base import ComponentSpec
+from repro.corpus.components._shared import component
+from repro.corpus.patterns import (
+    plant_gi_bait_fan,
+    plant_interface_chain,
+    plant_sl_crowders,
+)
+from repro.jvm.builder import ProgramBuilder
+
+NAME = "XBean"
+PKG = "org.apache.xbean"
+
+
+def build() -> ComponentSpec:
+    pb = ProgramBuilder(jar="xbean-naming-4.5.jar")
+    plant_sl_crowders(pb, f"{PKG}.recipe", ["context_lookup", "exec"])
+    known = [
+        plant_interface_chain(
+            pb,
+            iface=f"{PKG}.naming.context.ContextAccess",
+            impl=f"{PKG}.naming.context.WritableContext",
+            source=f"{PKG}.naming.context.ContextUtil$ReadOnlyBinding",
+            sink_key="context_lookup",
+            method="resolveBinding",
+            payload_field="name",
+        )
+    ]
+    plant_gi_bait_fan(pb, f"{PKG}.naming.global.GlobalContextManager", f"{PKG}.naming.NamingWorker", 2)
+    return component(NAME, PKG, pb, known)

@@ -1,0 +1,163 @@
+"""Random corpus generation for the CPG-efficiency experiment (RQ1).
+
+Table VIII measures CPG generation over jar sets scaled from 10 MB to
+150 MB of code drawn from the top-100 Maven jars.  This generator
+produces deterministic synthetic jar sets with the same *structural*
+statistics knobs: jar count, class/method counts, inheritance and
+interface density, call-site density, and a fraction of serializable
+classes with deserialization callbacks.  Sizes scale linearly with the
+``target_kb`` knob so the near-linear time/size relationship of the
+table can be reproduced and asserted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.jvm.builder import MethodBuilder, ProgramBuilder
+from repro.jvm.jar import JarArchive
+from repro.jvm.model import SERIALIZABLE
+
+__all__ = ["generate_corpus", "CorpusShape"]
+
+_PACKAGES = (
+    "com.acme.core", "com.acme.net", "com.acme.io", "org.widget.util",
+    "org.widget.model", "io.sample.rpc", "io.sample.codec", "net.fixture.web",
+)
+
+_METHOD_NAMES = (
+    "process", "handle", "resolve", "dispatch", "convert", "accept",
+    "visit", "append", "flush", "configure", "register", "render",
+)
+
+
+class CorpusShape:
+    """Tunable densities for generated code."""
+
+    classes_per_jar = 14
+    methods_per_class = (2, 7)
+    fields_per_class = (1, 4)
+    statements_per_method = (3, 12)
+    interface_fraction = 0.12
+    subclass_fraction = 0.45
+    serializable_fraction = 0.2
+    read_object_fraction = 0.3
+    branch_fraction = 0.25
+    #: average jasm bytes per class; used to size the corpus
+    approx_bytes_per_class = 2000
+
+
+def generate_corpus(
+    target_kb: int, seed: int = 7, shape: Optional[CorpusShape] = None
+) -> List[JarArchive]:
+    """Generate jars totalling roughly ``target_kb`` KiB of jasm text."""
+    shape = shape or CorpusShape()
+    rng = random.Random(seed)
+    total_classes = max(4, (target_kb * 1024) // shape.approx_bytes_per_class)
+    jars: List[JarArchive] = []
+    #: (class_name, method_name, arity, is_interface) callable surface
+    surface: List[Tuple[str, str, int, bool]] = []
+    class_names: List[str] = []
+    interfaces: List[str] = []
+    serial = 0
+
+    while total_classes > 0:
+        jar_index = len(jars)
+        count = min(total_classes, shape.classes_per_jar)
+        total_classes -= count
+        pb = ProgramBuilder(jar=f"lib-{jar_index:03d}.jar")
+        for _ in range(count):
+            serial += 1
+            package = rng.choice(_PACKAGES)
+            name = f"{package}.Gen{serial:05d}"
+            if rng.random() < shape.interface_fraction:
+                ib = pb.interface(name)
+                arity = rng.randint(0, 2)
+                ib.abstract_method(
+                    rng.choice(_METHOD_NAMES),
+                    params=["java.lang.Object"] * arity,
+                    returns="java.lang.Object",
+                )
+                ib.finish()
+                interfaces.append(name)
+                for method in ib._cls.methods.values():  # registered surface
+                    surface.append((name, method.name, method.arity, True))
+                class_names.append(name)
+                continue
+            extends = None
+            if class_names and rng.random() < shape.subclass_fraction:
+                extends = rng.choice(class_names)
+            implements = []
+            if interfaces and rng.random() < 0.3:
+                implements.append(rng.choice(interfaces))
+            is_serializable = rng.random() < shape.serializable_fraction
+            if is_serializable:
+                implements.append(SERIALIZABLE)
+            with pb.cls(name, extends=extends or "java.lang.Object", implements=implements) as cb:
+                for f in range(rng.randint(*shape.fields_per_class)):
+                    cb.field(f"field{f}", "java.lang.Object")
+                n_methods = rng.randint(*shape.methods_per_class)
+                for mi in range(n_methods):
+                    if mi == 0 and is_serializable and rng.random() < shape.read_object_fraction:
+                        mname, params, returns = (
+                            "readObject",
+                            ["java.io.ObjectInputStream"],
+                            "void",
+                        )
+                    else:
+                        mname = rng.choice(_METHOD_NAMES) + str(mi)
+                        params = ["java.lang.Object"] * rng.randint(0, 2)
+                        returns = rng.choice(["void", "java.lang.Object", "int"])
+                    with cb.method(mname, params=params, returns=returns) as m:
+                        _random_body(m, rng, shape, surface, len(params))
+                    surface.append((name, mname, len(params), False))
+            class_names.append(name)
+        jars.append(JarArchive(pb.jar or f"lib-{jar_index:03d}.jar", pb.build()))
+    return jars
+
+
+def _random_body(
+    m: MethodBuilder,
+    rng: random.Random,
+    shape: CorpusShape,
+    surface: Sequence[Tuple[str, str, int, bool]],
+    n_params: int,
+) -> None:
+    locals_pool = [m.param(i) for i in range(1, n_params + 1)]
+    if m.this is not None:
+        locals_pool.append(m.get_field(m.this, "field0"))
+    n_statements = rng.randint(*shape.statements_per_method)
+    label_counter = 0
+    for _ in range(n_statements):
+        choice = rng.random()
+        if choice < 0.35 and surface:
+            cls, mname, arity, is_iface = rng.choice(surface)
+            args = [rng.choice(locals_pool) if locals_pool else 1 for _ in range(arity)]
+            base = rng.choice(locals_pool) if locals_pool else m.new(cls)
+            if not hasattr(base, "name"):
+                base = m.new(cls)
+            kind = "interface" if is_iface else "virtual"
+            out = m.invoke(base, cls, mname, args, returns="java.lang.Object", kind=kind)
+            locals_pool.append(out)
+        elif choice < 0.5:
+            obj = m.new("java.lang.Object")
+            locals_pool.append(obj)
+        elif choice < 0.65 and m.this is not None:
+            m.set_field(m.this, f"field{rng.randint(0, 3)}",
+                        rng.choice(locals_pool) if locals_pool else 1)
+        elif choice < 0.8 and locals_pool:
+            v = m.get_field(rng.choice([l for l in locals_pool if hasattr(l, "name")] or [m.new("x.Y")]),
+                            f"field{rng.randint(0, 3)}")
+            locals_pool.append(v)
+        elif choice < 0.8 + shape.branch_fraction and locals_pool:
+            label_counter += 1
+            label = f"L{label_counter}"
+            m.if_eq(rng.choice(locals_pool), 0, label)
+            m.nop()
+            m.label(label)
+        else:
+            locals_pool.append(m.binop("+", rng.randint(0, 9), rng.randint(0, 9)))
+    m.ret() if m._method.return_type.is_void else m.ret(
+        rng.choice(locals_pool) if locals_pool else None
+    )

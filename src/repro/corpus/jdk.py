@@ -1,0 +1,204 @@
+"""Synthetic JDK classes.
+
+Two layers:
+
+* :func:`build_lang_base` — the chain-free runtime every component is
+  analysed against: ``java.lang.Object`` (with the ``hashCode`` /
+  ``equals`` / ``toString`` roots that Alias edges hang off),
+  the serialization marker interfaces, ``ObjectInputStream``,
+  ``Comparator``/``Map`` interfaces, and the collection classes whose
+  ``readObject`` methods are classic chain *prefixes*
+  (``HashMap``, ``PriorityQueue``, ``Hashtable``) — prefixes only:
+  without a gadget class supplying a dangerous override they reach no
+  sink.
+* :func:`build_jdk8_extras` — the URLDNS classes (Figure 3):
+  ``java.net.URL`` whose ``hashCode`` walks through
+  ``URLStreamHandler.getHostAddress`` into the
+  ``InetAddress.getByName`` SSRF sink, plus the ``EnumMap`` decoy the
+  paper cites (an Alias neighbour whose ``hashCode`` does *not* reach a
+  sink).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import EXTERNALIZABLE, SERIALIZABLE, JavaClass
+
+__all__ = ["build_lang_base", "build_jdk8_extras", "URLDNS_SOURCE", "URLDNS_SINK"]
+
+#: ground-truth endpoints of the URLDNS chain (Figure 3)
+URLDNS_SOURCE = ("java.util.HashMap", "readObject")
+URLDNS_SINK = ("java.net.InetAddress", "getByName")
+
+
+def build_lang_base() -> List[JavaClass]:
+    """Fresh copies of the chain-free runtime classes."""
+    pb = ProgramBuilder(jar="rt-base.jar")
+
+    obj = pb.cls("java.lang.Object", extends=None)
+    with obj:
+        with obj.method("hashCode", returns="int") as m:
+            m.ret(0)
+        with obj.method("equals", params=["java.lang.Object"], returns="int") as m:
+            m.ret(0)
+        with obj.method("toString", returns="java.lang.String") as m:
+            m.ret("java.lang.Object")
+
+    pb.interface("java.io.Serializable").finish()
+    pb.interface("java.io.Externalizable", extends_interfaces=[SERIALIZABLE]).finish()
+
+    with pb.cls("java.lang.String", implements=[SERIALIZABLE]) as c:
+        with c.method("length", returns="int") as m:
+            m.ret(0)
+
+    with pb.cls("java.io.ObjectInputStream") as c:
+        with c.method("defaultReadObject") as m:
+            m.ret()
+        with c.method("readFields", returns="java.lang.Object") as m:
+            m.ret(m.this)
+        with c.method("readInt", returns="int") as m:
+            m.ret(0)
+
+    comparator = pb.interface("java.util.Comparator")
+    comparator.abstract_method(
+        "compare", params=["java.lang.Object", "java.lang.Object"], returns="int"
+    )
+    comparator.finish()
+
+    map_iface = pb.interface("java.util.Map")
+    map_iface.abstract_method("get", params=["java.lang.Object"], returns="java.lang.Object")
+    map_iface.abstract_method(
+        "put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object"
+    )
+    map_iface.finish()
+
+    entry = pb.interface("java.util.Map$Entry")
+    entry.abstract_method("getKey", returns="java.lang.Object")
+    entry.abstract_method("getValue", returns="java.lang.Object")
+    entry.finish()
+
+    # HashMap: readObject -> hash -> key.hashCode() — the URLDNS prefix
+    with pb.cls("java.util.HashMap", implements=["java.util.Map", SERIALIZABLE]) as c:
+        c.field("key", "java.lang.Object")
+        c.field("value", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            m.invoke(m.param(1), "java.io.ObjectInputStream", "defaultReadObject")
+            key = m.get_field(m.this, "key")
+            m.invoke_static("java.util.HashMap", "hash", [key], returns="int")
+        with c.method("hash", params=["java.lang.Object"], returns="int", static=True) as m:
+            h = m.invoke(m.param(1), "java.lang.Object", "hashCode", returns="int")
+            m.ret(h)
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            v = m.get_field(m.this, "value")
+            m.ret(v)
+        with c.method(
+            "put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object"
+        ) as m:
+            m.set_field(m.this, "key", m.param(1))
+            m.set_field(m.this, "value", m.param(2))
+            m.ret(m.param(2))
+
+    # PriorityQueue: readObject -> comparator.compare(e, e) — the
+    # CommonsBeanutils prefix
+    with pb.cls("java.util.PriorityQueue", implements=[SERIALIZABLE]) as c:
+        c.field("comparator", "java.util.Comparator")
+        c.field("element", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            m.invoke(m.param(1), "java.io.ObjectInputStream", "defaultReadObject")
+            m.invoke(m.this, "java.util.PriorityQueue", "heapify")
+        with c.method("heapify") as m:
+            m.invoke(m.this, "java.util.PriorityQueue", "siftDown")
+        with c.method("siftDown") as m:
+            cmp = m.get_field(m.this, "comparator")
+            e = m.get_field(m.this, "element")
+            m.invoke_interface(
+                cmp, "java.util.Comparator", "compare", [e, e], returns="int"
+            )
+
+    # Hashtable: readObject -> reconstitutionPut -> key.equals(...)
+    with pb.cls("java.util.Hashtable", implements=["java.util.Map", SERIALIZABLE]) as c:
+        c.field("key", "java.lang.Object")
+        c.field("value", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            key = m.get_field(m.this, "key")
+            value = m.get_field(m.this, "value")
+            m.invoke(
+                m.this,
+                "java.util.Hashtable",
+                "reconstitutionPut",
+                [key, value],
+            )
+        with c.method(
+            "reconstitutionPut", params=["java.lang.Object", "java.lang.Object"]
+        ) as m:
+            m.invoke(m.param(1), "java.lang.Object", "equals", [m.param(2)], returns="int")
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            v = m.get_field(m.this, "value")
+            m.ret(v)
+        with c.method(
+            "put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object"
+        ) as m:
+            m.set_field(m.this, "key", m.param(1))
+            m.ret(m.param(2))
+
+    return pb.build()
+
+
+def build_jdk8_extras() -> List[JavaClass]:
+    """The URLDNS classes and the EnumMap alias decoy (Figure 3/4)."""
+    pb = ProgramBuilder(jar="rt-net.jar")
+
+    with pb.cls("java.net.URLStreamHandler") as c:
+        with c.method("hashCode", params=["java.net.URL"], returns="int") as m:
+            addr = m.invoke(
+                m.this,
+                "java.net.URLStreamHandler",
+                "getHostAddress",
+                [m.param(1)],
+                returns="java.lang.Object",
+            )
+            m.invoke(addr, "java.lang.Object", "hashCode", returns="int")
+            m.ret(0)
+        with c.method(
+            "getHostAddress", params=["java.net.URL"], returns="java.lang.Object"
+        ) as m:
+            host = m.get_field(m.param(1), "host")
+            out = m.invoke_static(
+                "java.net.InetAddress", "getByName", [host], returns="java.lang.Object"
+            )
+            m.ret(out)
+
+    with pb.cls("java.net.URL", implements=[SERIALIZABLE]) as c:
+        c.field("host", "java.lang.String")
+        c.field("handler", "java.net.URLStreamHandler", transient=True)
+        with c.method("hashCode", returns="int") as m:
+            handler = m.get_field(m.this, "handler")
+            h = m.invoke(
+                handler,
+                "java.net.URLStreamHandler",
+                "hashCode",
+                [m.this],
+                returns="int",
+            )
+            m.ret(h)
+
+    # the paper's Alias-edge decoy: EnumMap.hashCode reaches no sink
+    with pb.cls("java.util.EnumMap", implements=["java.util.Map", SERIALIZABLE]) as c:
+        c.field("value", "java.lang.Object")
+        with c.method("hashCode", returns="int") as m:
+            h = m.invoke(m.this, "java.util.EnumMap", "entryHashCode", returns="int")
+            m.ret(h)
+        with c.method("entryHashCode", returns="int") as m:
+            m.ret(0)
+        with c.method("get", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            v = m.get_field(m.this, "value")
+            m.ret(v)
+        with c.method(
+            "put", params=["java.lang.Object", "java.lang.Object"], returns="java.lang.Object"
+        ) as m:
+            m.set_field(m.this, "value", m.param(2))
+            m.ret(m.param(2))
+
+    return pb.build()

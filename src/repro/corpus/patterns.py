@@ -1,0 +1,391 @@
+"""Gadget-chain pattern generators for the synthetic corpus.
+
+Each generator plants one *shape* of code in a :class:`ProgramBuilder`.
+The shapes are chosen so that each real tool behaviour the paper
+measures is exercised by construction:
+
+=====================  =====  =====  =====  ==========================
+pattern                Tabby  GI     SL     notes
+=====================  =====  =====  =====  ==========================
+interface chain        finds  MISS   finds* GI lacks interface dispatch
+extends chain          finds  finds  finds* GI's extension dispatch works
+proxy chain            MISS   MISS   MISS   §V-B: dynamic proxy
+guard decoy (direct)   FAKE   FAKE   FAKE*  broken by a concrete guard
+guard decoy (iface)    FAKE   MISS   FAKE*  same, hidden from GI
+GI bait fan            -      FAKE   FAKE*  constant sink args: Tabby
+                                            prunes the all-∞ edge
+SL flood tree          -      -      FAKE   name-only "sources" on
+                                            non-serializable classes
+SL crowders            -      -      hides  exhaust SL's caller cap so
+                                            later chains are lost
+SL bomb                -      -      ✗      dense call cluster explodes
+                                            SL's path enumeration
+=====================  =====  =====  =====  ==========================
+
+(*) SL sees a pattern only while its per-callee caller cap is not
+exhausted by earlier call sites — that is exactly the lossy pruning the
+paper blames for Serianalyzer's false negatives, and the crowder
+pattern triggers it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.corpus.base import KnownChainSpec
+from repro.errors import CorpusError
+from repro.jvm.builder import MethodBuilder, ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+__all__ = [
+    "SinkShape",
+    "SINK_SHAPES",
+    "emit_sink",
+    "plant_interface_chain",
+    "plant_extends_chain",
+    "plant_proxy_chain",
+    "plant_guard_decoy",
+    "plant_gi_bait_fan",
+    "plant_sl_flood",
+    "plant_sl_crowders",
+    "plant_sl_bomb",
+]
+
+
+@dataclass(frozen=True)
+class SinkShape:
+    """How to emit a call to one catalog sink inside a method body."""
+
+    key: str
+    class_name: str
+    method_name: str
+    kind: str  # "static" | "virtual" | "interface"
+    #: trigger condition of the emitted call shape
+    tc: Tuple[int, ...]
+    #: number of arguments the emitted call passes
+    arity: int = 1
+
+    @property
+    def endpoint(self) -> Tuple[str, str]:
+        return (self.class_name, self.method_name)
+
+
+SINK_SHAPES = {
+    s.key: s
+    for s in [
+        SinkShape("exec", "java.lang.Runtime", "exec", "virtual", (1,)),
+        SinkShape("method_invoke", "java.lang.reflect.Method", "invoke", "virtual", (0, 1), 2),
+        SinkShape("context_lookup", "javax.naming.Context", "lookup", "interface", (1,)),
+        SinkShape("registry_lookup", "java.rmi.registry.Registry", "lookup", "interface", (1,)),
+        SinkShape("get_by_name", "java.net.InetAddress", "getByName", "static", (1,)),
+        SinkShape("new_output_stream", "java.nio.file.Files", "newOutputStream", "static", (1,)),
+        SinkShape("file_delete", "java.io.File", "delete", "virtual", (0,), 0),
+        SinkShape("open_connection", "java.net.URL", "openConnection", "virtual", (0,), 0),
+        SinkShape("load_class", "java.lang.ClassLoader", "loadClass", "virtual", (0, 1), 1),
+        SinkShape("db_parse", "javax.xml.parsers.DocumentBuilder", "parse", "virtual", (1,)),
+        SinkShape("xml_transform", "javax.xml.transform.Transformer", "transform", "virtual", (1,)),
+        SinkShape("script_eval", "javax.script.ScriptEngine", "eval", "interface", (1,)),
+        SinkShape("get_connection", "java.sql.DriverManager", "getConnection", "static", (1,)),
+        SinkShape("process_start", "java.lang.ProcessImpl", "start", "static", (1,)),
+    ]
+}
+
+
+def emit_sink(m: MethodBuilder, sink_key: str, payload, controllable: bool = True):
+    """Emit a call to the sink inside the body being built.
+
+    ``payload`` flows into every Trigger_Condition position when
+    ``controllable`` is True; with ``controllable`` False the call uses
+    fresh uncontrollable values everywhere (the GI-bait shape Tabby's
+    PCG pruning removes).
+    Returns the (class, method) endpoint of the sink.
+    """
+    shape = SINK_SHAPES.get(sink_key)
+    if shape is None:
+        raise CorpusError(f"unknown sink shape {sink_key!r}")
+    if not controllable:
+        payload = m.new(f"{shape.class_name}$Dummy")
+    if 0 in shape.tc:
+        receiver = payload
+    elif shape.kind != "static":
+        if shape.key == "exec":
+            receiver = m.invoke_static(
+                "java.lang.Runtime", "getRuntime", returns="java.lang.Runtime"
+            )
+        else:
+            receiver = m.new(shape.class_name + "Impl")
+    else:
+        receiver = None
+    args = []
+    for i in range(1, shape.arity + 1):
+        args.append(payload if i in shape.tc else i)
+    if shape.kind == "static":
+        m.invoke_static(shape.class_name, shape.method_name, args)
+    elif shape.kind == "interface":
+        m.invoke_interface(receiver, shape.class_name, shape.method_name, args)
+    else:
+        m.invoke(receiver, shape.class_name, shape.method_name, args)
+    return shape.endpoint
+
+
+# ---------------------------------------------------------------------------
+# chains
+# ---------------------------------------------------------------------------
+
+
+def plant_interface_chain(
+    pb: ProgramBuilder,
+    iface: str,
+    impl: str,
+    source: str,
+    sink_key: str,
+    method: str = "transform",
+    source_method: str = "readObject",
+    payload_field: str = "iMethodName",
+) -> KnownChainSpec:
+    """source.readObject -> iface.method (interface dispatch) ->
+    impl.method -> sink.  Found by Tabby (Alias edge), missed by GI."""
+    shape = SINK_SHAPES[sink_key]
+    ib = pb.interface(iface)
+    ib.abstract_method(method, params=["java.lang.Object"], returns="java.lang.Object")
+    ib.finish()
+    with pb.cls(impl, implements=[iface, SERIALIZABLE]) as c:
+        c.field(payload_field, "java.lang.Object")
+        with c.method(method, params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, payload_field)
+            emit_sink(m, sink_key, payload)
+            m.ret(payload)
+    with pb.cls(source, implements=[SERIALIZABLE]) as c:
+        c.field("delegate", "java.lang.Object")
+        params = ["java.io.ObjectInputStream"] if source_method == "readObject" else []
+        with c.method(source_method, params=params,
+                      returns="void" if source_method == "readObject" else "int") as m:
+            d = m.get_field(m.this, "delegate")
+            m.invoke_interface(d, iface, method, [d], returns="java.lang.Object")
+            if source_method != "readObject":
+                m.ret(0)
+    return KnownChainSpec(
+        source=(source, source_method), sink=shape.endpoint
+    )
+
+
+def plant_extends_chain(
+    pb: ProgramBuilder,
+    base: str,
+    sub: str,
+    source: str,
+    sink_key: str,
+    method: str = "render",
+    source_method: str = "readObject",
+    payload_field: str = "command",
+) -> KnownChainSpec:
+    """source.readObject -> base.method (class virtual dispatch) ->
+    sub.method -> sink.  Found by Tabby AND by GI (extension-only
+    polymorphism suffices)."""
+    shape = SINK_SHAPES[sink_key]
+    with pb.cls(base) as c:
+        with c.method(method, params=["java.lang.Object"]) as m:
+            m.ret()
+    with pb.cls(sub, extends=base, implements=[SERIALIZABLE]) as c:
+        c.field(payload_field, "java.lang.Object")
+        with c.method(method, params=["java.lang.Object"]) as m:
+            payload = m.get_field(m.this, payload_field)
+            emit_sink(m, sink_key, payload)
+    with pb.cls(source, implements=[SERIALIZABLE]) as c:
+        c.field("target", "java.lang.Object")
+        with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
+            t = m.get_field(m.this, "target")
+            m.invoke(t, base, method, [t])
+    return KnownChainSpec(
+        source=(source, source_method), sink=shape.endpoint, gi_findable=True
+    )
+
+
+def plant_proxy_chain(
+    pb: ProgramBuilder,
+    source: str,
+    handler: str,
+    sink_key: str,
+    handler_method: str = "invokeImpl",
+    source_method: str = "readObject",
+) -> KnownChainSpec:
+    """A chain whose middle hop is a dynamic-proxy/reflection dispatch:
+    effective in practice (the verifier confirms it) but invisible to
+    every static tool (§V-B)."""
+    shape = SINK_SHAPES[sink_key]
+    with pb.cls(handler, implements=[SERIALIZABLE]) as c:
+        c.field("memberValues", "java.lang.Object")
+        with c.method(handler_method, params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.get_field(m.this, "memberValues")
+            emit_sink(m, sink_key, payload)
+            m.ret(payload)
+    with pb.cls(source, implements=[SERIALIZABLE]) as c:
+        c.field("h", "java.lang.Object")
+        with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
+            h = m.get_field(m.this, "h")
+            m.invoke_dynamic(h, handler_method, [h], returns="java.lang.Object")
+    return KnownChainSpec(
+        source=(source, source_method), sink=shape.endpoint, via_proxy=True
+    )
+
+
+def plant_guard_decoy(
+    pb: ProgramBuilder,
+    source: str,
+    config: str,
+    sink_key: str = "exec",
+    through_interface: Optional[str] = None,
+    source_method: str = "readObject",
+) -> Tuple[str, str]:
+    """A chain broken by a concrete guard on non-attacker state: static
+    analysis reports it (Tabby's ~33% FPR root cause, §IV-E), the PoC
+    oracle rejects it.  With ``through_interface`` the guarded hop sits
+    behind interface dispatch, hiding the decoy from GI too.
+    Returns the decoy's (source class, sink class) endpoints."""
+    shape = SINK_SHAPES[sink_key]
+    if not pb.has_class(config):
+        with pb.cls(config) as c:
+            c.field("ENABLED", "int", static=True)
+
+    def guarded_sink(m: MethodBuilder, payload) -> None:
+        flag = m.get_static(config, "ENABLED")
+        m.if_ne(flag, 0, "fire")
+        m.goto("done")
+        m.label("fire")
+        emit_sink(m, sink_key, payload)
+        m.label("done")
+
+    if through_interface:
+        iface = through_interface
+        impl = through_interface + "Impl"
+        ib = pb.interface(iface)
+        ib.abstract_method("apply", params=["java.lang.Object"], returns="java.lang.Object")
+        ib.finish()
+        with pb.cls(impl, implements=[iface, SERIALIZABLE]) as c:
+            c.field("value", "java.lang.Object")
+            with c.method("apply", params=["java.lang.Object"], returns="java.lang.Object") as m:
+                payload = m.get_field(m.this, "value")
+                guarded_sink(m, payload)
+                m.ret(payload)
+        with pb.cls(source, implements=[SERIALIZABLE]) as c:
+            c.field("delegate", "java.lang.Object")
+            with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
+                d = m.get_field(m.this, "delegate")
+                m.invoke_interface(d, iface, "apply", [d], returns="java.lang.Object")
+    else:
+        with pb.cls(source, implements=[SERIALIZABLE]) as c:
+            c.field("payload", "java.lang.Object")
+            with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
+                payload = m.get_field(m.this, "payload")
+                guarded_sink(m, payload)
+    return (source, shape.class_name)
+
+
+def plant_gi_bait_fan(
+    pb: ProgramBuilder,
+    source: str,
+    helper: str,
+    leaves: int,
+    sink_key: str = "exec",
+) -> None:
+    """``leaves`` syntactic source-to-sink paths whose sink arguments
+    are constants: GadgetInspector reports every one (it checks no
+    controllability); Tabby's all-∞ PP pruning drops the sink edges."""
+    if leaves < 1:
+        return
+    with pb.cls(helper) as c:
+        for i in range(leaves):
+            with c.method(f"fire{i}") as m:
+                emit_sink(m, sink_key, None, controllable=False)
+    with pb.cls(source, implements=[SERIALIZABLE]) as c:
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            h = m.new(helper)
+            for i in range(leaves):
+                m.invoke(h, helper, f"fire{i}")
+
+
+def plant_sl_flood(
+    pb: ProgramBuilder,
+    prefix: str,
+    count: int,
+    sink_key: str = "file_delete",
+) -> None:
+    """``count`` backward paths from a sink call site to methods that
+    merely *look like* deserialization entry points (right names, but
+    the classes are not serializable): Serianalyzer reports them all,
+    Tabby and GI report none."""
+    if count < 1:
+        return
+    with pb.cls(f"{prefix}.StreamEmitter") as c:
+        with c.method("emit") as m:
+            emit_sink(m, sink_key, None, controllable=False)
+
+    counter = [0]
+
+    def grow(callee_cls: str, callee_method: str, n: int, depth: int) -> None:
+        if n <= 3:
+            for _ in range(n):
+                counter[0] += 1
+                with pb.cls(f"{prefix}.Visitor{counter[0]}") as c:
+                    with c.method("toString", returns="java.lang.String") as m:
+                        obj = m.new(callee_cls)
+                        m.invoke(obj, callee_cls, callee_method)
+                        m.ret("x")
+            return
+        parts = [n // 3 + (1 if i < n % 3 else 0) for i in range(3)]
+        for part in parts:
+            if part == 0:
+                continue
+            counter[0] += 1
+            relay = f"{prefix}.Relay{counter[0]}"
+            with pb.cls(relay) as c:
+                with c.method("drain") as m:
+                    obj = m.new(callee_cls)
+                    m.invoke(obj, callee_cls, callee_method)
+            grow(relay, "drain", part, depth + 1)
+
+    grow(f"{prefix}.StreamEmitter", "emit", count, 0)
+
+
+def plant_sl_crowders(
+    pb: ProgramBuilder,
+    prefix: str,
+    sink_keys: Sequence[str],
+    count: int = 3,
+) -> None:
+    """``count`` innocuous call sites per sink that exhaust
+    Serianalyzer's per-callee caller cap: chains planted *after* the
+    crowders (insertion order) are silently lost — the lossy
+    call-graph pruning the paper observes (§IV-C, §IV-F)."""
+    for sink_key in sink_keys:
+        for i in range(count):
+            with pb.cls(f"{prefix}.Housekeeping{sink_key.title().replace('_','')}{i}") as c:
+                with c.method("cleanup") as m:
+                    emit_sink(m, sink_key, None, controllable=False)
+
+
+def plant_sl_bomb(
+    pb: ProgramBuilder,
+    prefix: str,
+    size: int = 30,
+    clusters: int = 2,
+    sink_key: str = "script_eval",
+) -> None:
+    """Dense clusters of mutually-calling methods feeding one sink:
+    Serianalyzer's backward path enumeration explodes combinatorially
+    (the ✗ cells for Clojure/Jython).  Tabby never enters the clusters —
+    the sink call's PP is all-∞, so the PCG has no edge into them."""
+    for k in range(clusters):
+        cluster = f"{prefix}.Dispatcher{k}"
+        with pb.cls(cluster) as c:
+            c.field("state", "java.lang.Object")
+            with c.method("step0", params=["java.lang.Object"]) as m:
+                emit_sink(m, sink_key, None, controllable=False)
+                for j in range(1, min(size, 4)):
+                    m.invoke(m.this, cluster, f"step{j}", [m.param(1)])
+            for i in range(1, size):
+                with c.method(f"step{i}", params=["java.lang.Object"]) as m:
+                    for j in range(size):
+                        if j != i:
+                            m.invoke(m.this, cluster, f"step{j}", [m.param(1)])

@@ -1,0 +1,412 @@
+"""Development-environment scenes (Table X) and the Spring chains of
+Table XI.
+
+Five scenes mirror §IV-D: the Spring framework, JDK8, and the three
+middlewares (Tomcat, Jetty, Apache Dubbo).  Each scene is a set of jars
+whose analysis yields a mix of *effective* chains (confirmed by the PoC
+oracle) and conditional fakes, reproducing the per-scene FPR column.
+
+The Spring scene embeds the Table XI material: the two new
+``LazyInitTargetSource`` / ``PrototypeTargetSource`` JNDI-injection
+chains and the CVE-2020-11619-style ``SimpleBeanTargetSource`` chain,
+all flowing through ``SimpleJndiBeanFactory.getBean(String)`` ->
+``JndiLocatorSupport.lookup()`` -> ``javax.naming.Context.lookup()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.corpus.jdk import build_jdk8_extras, build_lang_base
+from repro.corpus.patterns import emit_sink, plant_guard_decoy, plant_interface_chain
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE, JavaClass
+
+__all__ = ["SceneSpec", "SCENE_BUILDERS", "build_scene", "TABLE_XI_TARGET_SOURCES"]
+
+#: the Table XI getTarget() implementations (chain heads after the source)
+TABLE_XI_TARGET_SOURCES = [
+    "org.springframework.aop.target.LazyInitTargetSource",
+    "org.springframework.aop.target.PrototypeTargetSource",
+    "org.springframework.aop.target.SimpleBeanTargetSource",  # CVE-2020-11619
+]
+
+
+@dataclass
+class SceneSpec:
+    """One Table X row: a named environment with its jars."""
+
+    name: str
+    version: str
+    classes: List[JavaClass]
+    #: how many guard-broken fakes were planted (sanity for tests)
+    planted_fakes: int = 0
+    #: how many effective chains are planted/expected (sanity for tests)
+    expected_effective: int = 0
+
+    @property
+    def jar_count(self) -> int:
+        return len({c.jar_name for c in self.classes if c.jar_name})
+
+    def code_size_bytes(self) -> int:
+        from repro.jvm import jasm
+
+        return sum(len(jasm.dump_class(c).encode()) for c in self.classes)
+
+
+def _spring_jndi_family(pb: ProgramBuilder) -> None:
+    """The Table XI chains.
+
+    readObject -> TargetSource.getTarget (interface dispatch) ->
+    {LazyInit,Prototype,SimpleBean}TargetSource.getTarget ->
+    SimpleJndiBeanFactory.getBean(String) ->
+    JndiLocatorSupport.lookup() -> Context.lookup().
+    """
+    ts = "org.springframework.aop.TargetSource"
+    ib = pb.interface(ts)
+    ib.abstract_method("getTarget", returns="java.lang.Object")
+    ib.finish()
+
+    with pb.cls("org.springframework.jndi.JndiLocatorSupport") as c:
+        c.field("jndiTemplate", "java.lang.Object")
+        with c.method("lookup", params=["java.lang.Object"], returns="java.lang.Object") as m:
+            emit_sink(m, "context_lookup", m.param(1))
+            m.ret(m.param(1))
+
+    with pb.cls(
+        "org.springframework.jndi.support.SimpleJndiBeanFactory",
+        extends="org.springframework.jndi.JndiLocatorSupport",
+        implements=[SERIALIZABLE],
+    ) as c:
+        with c.method("getBean", params=["java.lang.String"], returns="java.lang.Object") as m:
+            out = m.invoke(
+                m.this,
+                "org.springframework.jndi.JndiLocatorSupport",
+                "lookup",
+                [m.param(1)],
+                returns="java.lang.Object",
+            )
+            m.ret(out)
+
+    for impl in TABLE_XI_TARGET_SOURCES:
+        with pb.cls(impl, implements=[ts, SERIALIZABLE]) as c:
+            c.field("beanFactory", "java.lang.Object")
+            c.field("targetBeanName", "java.lang.String")
+            with c.method("getTarget", returns="java.lang.Object") as m:
+                bf = m.get_field(m.this, "beanFactory")
+                name = m.get_field(m.this, "targetBeanName")
+                out = m.invoke(
+                    bf,
+                    "org.springframework.jndi.support.SimpleJndiBeanFactory",
+                    "getBean",
+                    [name],
+                    returns="java.lang.Object",
+                )
+                m.ret(out)
+
+    with pb.cls(
+        "org.springframework.aop.framework.AdvisedSupport", implements=[SERIALIZABLE]
+    ) as c:
+        c.field("targetSource", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            m.invoke(m.param(1), "java.io.ObjectInputStream", "defaultReadObject")
+            t = m.get_field(m.this, "targetSource")
+            m.invoke_interface(t, ts, "getTarget", returns="java.lang.Object")
+
+
+def build_spring_scene() -> SceneSpec:
+    """Spring 2.4.3 scene: 7 effective chains, 3 fakes (Table X row 1)."""
+    classes = build_lang_base()
+
+    aop = ProgramBuilder(jar="spring-aop-5.3.4.jar")
+    _spring_jndi_family(aop)  # 3 effective JNDI chains (Table XI)
+    plant_guard_decoy(
+        aop,
+        "org.springframework.aop.framework.ProxyProcessorSupport",
+        "org.springframework.aop.AopInfrastructure",
+    )
+    classes += aop.build()
+
+    tx = ProgramBuilder(jar="spring-tx-5.3.4.jar")
+    plant_interface_chain(
+        tx,
+        iface="org.springframework.transaction.TransactionOperations",
+        impl="org.springframework.transaction.support.TransactionTemplate",
+        source="org.springframework.transaction.jta.JtaTransactionManager",
+        sink_key="method_invoke",
+        method="executeCallback",
+        payload_field="transactionManagerMethod",
+    )
+    plant_guard_decoy(
+        tx,
+        "org.springframework.transaction.support.DefaultTransactionStatus",
+        "org.springframework.transaction.TxInfrastructure",
+    )
+    classes += tx.build()
+
+    core = ProgramBuilder(jar="spring-core-5.3.4.jar")
+    plant_interface_chain(
+        core,
+        iface="org.springframework.core.io.ResourceLoader",
+        impl="org.springframework.core.io.DefaultResourceLoader",
+        source="org.springframework.core.serializer.DefaultDeserializer",
+        sink_key="load_class",
+        method="resolveResource",
+        payload_field="classLoaderName",
+    )
+    plant_guard_decoy(
+        core,
+        "org.springframework.core.convert.support.GenericConversionService",
+        "org.springframework.core.SpringCoreInfrastructure",
+    )
+    classes += core.build()
+
+    logback = ProgramBuilder(jar="logback-core-1.2.3.jar")
+    plant_interface_chain(
+        logback,
+        iface="ch.qos.logback.core.spi.AppenderAttachable",
+        impl="ch.qos.logback.core.FileAppender",
+        source="ch.qos.logback.core.util.COWArrayList",
+        sink_key="new_output_stream",
+        method="appendFile",
+        payload_field="fileName",
+    )
+    plant_interface_chain(
+        logback,
+        iface="ch.qos.logback.core.spi.ContextAware",
+        impl="ch.qos.logback.core.net.SocketConnector",
+        source="ch.qos.logback.core.net.server.RemoteReceiverClient",
+        sink_key="get_by_name",
+        method="connectHost",
+        payload_field="remoteHost",
+    )
+    classes += logback.build()
+
+    return SceneSpec("Spring", "2.4.3", classes, planted_fakes=3, expected_effective=7)
+
+
+def build_jdk8_scene() -> SceneSpec:
+    """JDK8 (8u242) scene: 10 effective chains (five of the XStream-
+    blacklist-bypass family), 3 fakes (Table X row 2)."""
+    classes = build_lang_base() + build_jdk8_extras()  # URLDNS: 2 effective
+
+    swing = ProgramBuilder(jar="rt-swing.jar")
+    # BadAttributeValueExpException-style toString chain
+    plant_interface_chain(
+        swing,
+        iface="javax.swing.event.DocumentListener",
+        impl="javax.swing.text.DefaultStyledDocument$ElementBuffer",
+        source="javax.management.BadAttributeValueExpException",
+        sink_key="method_invoke",
+        method="documentChanged",
+        source_method="toString",
+        payload_field="valObj",
+    )
+    plant_guard_decoy(
+        swing, "javax.swing.UIDefaults", "javax.swing.SwingConfiguration"
+    )
+    classes += swing.build()
+
+    xstream = ProgramBuilder(jar="xstream-1.4.15.jar")
+    # the XStream blacklist-bypass family: 5 chains (1 known + 4 CVEs)
+    bypass = [
+        ("com.thoughtworks.xstream.core.util.CustomObjectInputStream", "readResolve", "method_invoke", "callback"),
+        ("com.sun.xml.internal.ws.util.ByteArrayDataSource", "readObject", "new_output_stream", "streamHandler"),  # CVE-2021-21346
+        ("com.sun.corba.se.impl.activation.ServerTableEntry", "readObject", "exec", "activationCmd"),  # CVE-2021-21351
+        ("jdk.nashorn.internal.objects.NativeJavaImporter", "readObject", "script_eval", "evaluator"),  # CVE-2021-39147
+        ("com.sun.jndi.rmi.registry.BindingEnumeration", "readObject", "registry_lookup", "registryAccessor"),  # CVE-2021-39152
+    ]
+    for i, (source, source_method, sink, payload) in enumerate(bypass):
+        plant_interface_chain(
+            xstream,
+            iface=f"com.thoughtworks.xstream.converters.Converter{i}",
+            impl=f"com.thoughtworks.xstream.converters.reflection.ReflectionConverter{i}",
+            source=source,
+            sink_key=sink,
+            method="unmarshal",
+            source_method=source_method,
+            payload_field=payload,
+        )
+    classes += xstream.build()
+
+    misc = ProgramBuilder(jar="rt-misc.jar")
+    plant_interface_chain(
+        misc,
+        iface="sun.rmi.server.Dispatcher",
+        impl="sun.rmi.server.UnicastServerRef",
+        source="sun.rmi.server.ActivationGroupImpl",
+        sink_key="method_invoke",
+        method="dispatchCall",
+        payload_field="activationMethod",
+    )
+    plant_interface_chain(
+        misc,
+        iface="com.sun.jndi.ldap.LdapCtxFactory",
+        impl="com.sun.jndi.ldap.LdapCtx",
+        source="com.sun.jndi.ldap.LdapAttribute",
+        sink_key="context_lookup",
+        method="resolveBaseCtx",
+        payload_field="baseCtxURL",
+    )
+    plant_guard_decoy(misc, "sun.misc.ProxyGenerator", "sun.misc.VMSupport")
+    plant_guard_decoy(misc, "com.sun.jndi.dns.DnsContext", "sun.misc.VMSupport")
+    classes += misc.build()
+
+    return SceneSpec("JDK8", "8u242", classes, planted_fakes=3, expected_effective=10)
+
+
+def build_tomcat_scene() -> SceneSpec:
+    """Tomcat 8.5.47 scene: 3 effective, 1 fake (Table X row 3)."""
+    classes = build_lang_base()
+    pb = ProgramBuilder(jar="catalina-8.5.47.jar")
+    plant_interface_chain(
+        pb,
+        iface="org.apache.catalina.session.Store",
+        impl="org.apache.catalina.session.FileStore",
+        source="org.apache.catalina.session.StandardSession",
+        sink_key="new_output_stream",
+        method="persistSession",
+        payload_field="storePath",
+    )
+    plant_interface_chain(
+        pb,
+        iface="org.apache.juli.logging.Log",
+        impl="org.apache.juli.FileHandler",
+        source="org.apache.juli.AsyncFileHandler",
+        sink_key="file_delete",
+        method="rotate",
+        payload_field="logFile",
+    )
+    plant_guard_decoy(
+        pb, "org.apache.catalina.core.StandardContext", "org.apache.catalina.Globals"
+    )
+    classes += pb.build()
+    el = ProgramBuilder(jar="jasper-el-8.5.47.jar")
+    plant_interface_chain(
+        el,
+        iface="org.apache.el.lang.EvaluationVisitor",
+        impl="org.apache.el.parser.AstFunction",
+        source="org.apache.el.MethodExpressionImpl",
+        sink_key="method_invoke",
+        method="visitNode",
+        payload_field="functionMethod",
+    )
+    classes += el.build()
+    return SceneSpec("Tomcat", "8.5.47", classes, planted_fakes=1, expected_effective=3)
+
+
+def build_jetty_scene() -> SceneSpec:
+    """Jetty 9.4.36 scene: 4 effective, 2 fakes (Table X row 4)."""
+    classes = build_lang_base()
+    pb = ProgramBuilder(jar="jetty-util-9.4.36.jar")
+    plant_interface_chain(
+        pb,
+        iface="org.eclipse.jetty.util.component.Dumpable",
+        impl="org.eclipse.jetty.util.RolloverFileOutputStream",
+        source="org.eclipse.jetty.util.AttributesMap",
+        sink_key="new_output_stream",
+        method="dumpTo",
+        payload_field="rolloverFile",
+    )
+    plant_interface_chain(
+        pb,
+        iface="org.eclipse.jetty.util.thread.Scheduler",
+        impl="org.eclipse.jetty.util.thread.ScheduledExecutorScheduler",
+        source="org.eclipse.jetty.util.SocketAddressResolver",
+        sink_key="get_by_name",
+        method="scheduleResolve",
+        payload_field="hostName",
+    )
+    plant_guard_decoy(
+        pb, "org.eclipse.jetty.util.Jetty", "org.eclipse.jetty.util.JettyConfig"
+    )
+    classes += pb.build()
+    naming = ProgramBuilder(jar="jetty-jndi-9.4.36.jar")
+    plant_interface_chain(
+        naming,
+        iface="org.eclipse.jetty.jndi.NamingEntry",
+        impl="org.eclipse.jetty.jndi.local.localContextRoot",
+        source="org.eclipse.jetty.jndi.NamingContext",
+        sink_key="context_lookup",
+        method="bindEntry",
+        payload_field="jndiName",
+    )
+    plant_interface_chain(
+        naming,
+        iface="org.eclipse.jetty.plus.jndi.NamingDump",
+        impl="org.eclipse.jetty.plus.jndi.Link",
+        source="org.eclipse.jetty.plus.jndi.Resource",
+        sink_key="registry_lookup",
+        method="resolveLink",
+        payload_field="linkTarget",
+    )
+    plant_guard_decoy(
+        naming, "org.eclipse.jetty.jndi.ContextFactory", "org.eclipse.jetty.util.JettyConfig2"
+    )
+    classes += naming.build()
+    return SceneSpec("Jetty", "9.4.36", classes, planted_fakes=2, expected_effective=4)
+
+
+def build_dubbo_scene() -> SceneSpec:
+    """Apache Dubbo 3.0.2 scene: 3 effective, 2 fakes (Table X row 5).
+
+    The three effective chains model the shapes behind CVE-2021-43297,
+    CVE-2022-39198 and CVE-2023-23638 (hessian/native deserialization
+    into lookup/getConnection/invoke sinks, §IV-D3).
+    """
+    classes = build_lang_base()
+    pb = ProgramBuilder(jar="dubbo-3.0.2.jar")
+    plant_interface_chain(
+        pb,
+        iface="org.apache.dubbo.rpc.Invoker",
+        impl="org.apache.dubbo.rpc.proxy.InvokerInvocationHandler",
+        source="org.apache.dubbo.rpc.RpcInvocation",
+        sink_key="method_invoke",
+        method="doInvoke",
+        payload_field="targetMethod",
+    )  # CVE-2023-23638 shape
+    plant_interface_chain(
+        pb,
+        iface="org.apache.dubbo.registry.RegistryService",
+        impl="org.apache.dubbo.registry.support.AbstractRegistryFactory",
+        source="org.apache.dubbo.registry.integration.RegistryDirectory",
+        sink_key="context_lookup",
+        method="resolveRegistry",
+        payload_field="registryUrl",
+    )  # CVE-2021-43297 shape
+    plant_interface_chain(
+        pb,
+        iface="org.apache.dubbo.common.datasource.DataSourceFinder",
+        impl="org.apache.dubbo.common.datasource.JdbcDataSourceFinder",
+        source="org.apache.dubbo.common.beanutil.JavaBeanDescriptor",
+        sink_key="get_connection",
+        method="openDataSource",
+        payload_field="jdbcUrl",
+    )  # CVE-2022-39198 shape
+    plant_guard_decoy(
+        pb, "org.apache.dubbo.config.ServiceConfig", "org.apache.dubbo.common.DubboConfig"
+    )
+    plant_guard_decoy(
+        pb, "org.apache.dubbo.remoting.transport.AbstractServer", "org.apache.dubbo.common.DubboConfig"
+    )
+    classes += pb.build()
+    return SceneSpec("Apache Dubbo", "3.0.2", classes, planted_fakes=2, expected_effective=3)
+
+
+SCENE_BUILDERS = {
+    "Spring": build_spring_scene,
+    "JDK8": build_jdk8_scene,
+    "Tomcat": build_tomcat_scene,
+    "Jetty": build_jetty_scene,
+    "Apache Dubbo": build_dubbo_scene,
+}
+
+
+def build_scene(name: str) -> SceneSpec:
+    try:
+        return SCENE_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scene {name!r}; choose from {sorted(SCENE_BUILDERS)}"
+        ) from None

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the Tabby reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+one base type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeModelError(ReproError):
+    """Raised for malformed Java type descriptors or type operations."""
+
+
+class ClassModelError(ReproError):
+    """Raised for inconsistent class/method/field model construction."""
+
+
+class IRError(ReproError):
+    """Raised for malformed IR statements or values."""
+
+
+class JasmSyntaxError(ReproError):
+    """Raised by the jasm lexer/parser on malformed textual IR.
+
+    Carries the ``line`` and ``column`` of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        base = super().__str__()
+        if self.line:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class JarError(ReproError):
+    """Raised when a jar archive cannot be read or written."""
+
+
+class HierarchyError(ReproError):
+    """Raised when class-hierarchy resolution fails (e.g. missing class)."""
+
+
+class CFGError(ReproError):
+    """Raised when a control-flow graph cannot be constructed."""
+
+
+class GraphError(ReproError):
+    """Base error for the embedded property-graph database."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a node id does not exist in the graph."""
+
+
+class RelationshipNotFoundError(GraphError):
+    """Raised when a relationship id does not exist in the graph."""
+
+
+class QuerySyntaxError(GraphError):
+    """Raised by the Cypher-subset parser on malformed queries."""
+
+    def __init__(self, message: str, position: int = 0):
+        super().__init__(message)
+        self.position = position
+
+
+class QueryExecutionError(GraphError):
+    """Raised when a syntactically valid query cannot be executed."""
+
+
+class StorageError(GraphError):
+    """Raised when graph persistence fails."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the controllability analysis on internal inconsistency."""
+
+
+class PathFinderError(ReproError):
+    """Raised by the gadget-chain finder on invalid configuration."""
+
+
+class CorpusError(ReproError):
+    """Raised when a synthetic corpus component is malformed."""
+
+
+class VerificationError(ReproError):
+    """Raised by the PoC oracle when a chain cannot be interpreted."""
+
+
+class InterpreterError(ReproError):
+    """Raised by the abstract interpreter on unsupported programs."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness on invalid configuration."""

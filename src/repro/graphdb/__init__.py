@@ -1,0 +1,37 @@
+"""Embedded property-graph database (the Neo4j replacement).
+
+* :mod:`repro.graphdb.graph` — nodes, relationships, adjacency
+* :mod:`repro.graphdb.index` — label and property indexes
+* :mod:`repro.graphdb.query` — Cypher-subset query language
+* :mod:`repro.graphdb.traversal` — expander/evaluator traversal
+  framework (the *tabby-path-finder* substrate)
+* :mod:`repro.graphdb.storage` — JSON persistence
+"""
+
+from repro.graphdb.graph import Node, PropertyGraph, Relationship
+from repro.graphdb.query import QueryResult, run_query
+from repro.graphdb.storage import load_graph, save_graph
+from repro.graphdb.traversal import (
+    Direction,
+    Evaluation,
+    Path,
+    Uniqueness,
+    traverse,
+    type_expander,
+)
+
+__all__ = [
+    "PropertyGraph",
+    "Node",
+    "Relationship",
+    "run_query",
+    "QueryResult",
+    "save_graph",
+    "load_graph",
+    "Path",
+    "Evaluation",
+    "Uniqueness",
+    "Direction",
+    "traverse",
+    "type_expander",
+]

@@ -1,0 +1,348 @@
+"""Embedded property-graph store (the Neo4j replacement).
+
+The paper stores Tabby's code property graph in Neo4j and queries it
+with Cypher plus the *tabby-path-finder* traversal plugin.  This module
+provides the storage layer: labelled nodes and typed relationships, both
+carrying property maps, with label and property indexes
+(:mod:`repro.graphdb.index`), a Cypher-subset query language
+(:mod:`repro.graphdb.query`), guided traversal
+(:mod:`repro.graphdb.traversal`), and JSON persistence
+(:mod:`repro.graphdb.storage`).
+
+Property values are restricted to JSON-representable scalars and flat
+lists, matching Neo4j's property model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import GraphError, NodeNotFoundError, RelationshipNotFoundError
+from repro.graphdb.index import IndexManager
+
+__all__ = ["Node", "Relationship", "PropertyGraph"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_property_value(key: str, value: Any) -> Any:
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        out = []
+        for item in value:
+            if not isinstance(item, _SCALARS):
+                raise GraphError(
+                    f"property {key!r}: list items must be scalars, got {item!r}"
+                )
+            out.append(item)
+        return out
+    if isinstance(value, dict):
+        out_d = {}
+        for k, v in value.items():
+            if not isinstance(k, str) or not isinstance(v, _SCALARS + (list,)):
+                raise GraphError(
+                    f"property {key!r}: nested maps must be str->scalar/list"
+                )
+            out_d[k] = _check_property_value(f"{key}.{k}", v)
+        return out_d
+    raise GraphError(f"unsupported property value for {key!r}: {type(value).__name__}")
+
+
+class _Entity:
+    """Shared property-map behaviour of nodes and relationships."""
+
+    __slots__ = ("id", "properties")
+
+    def __init__(self, entity_id: int, properties: Optional[Dict[str, Any]] = None):
+        self.id = entity_id
+        self.properties: Dict[str, Any] = {}
+        if properties:
+            for key, value in properties.items():
+                self.properties[key] = _check_property_value(key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self.properties[key]
+        except KeyError:
+            raise KeyError(f"{self!r} has no property {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+
+class Node(_Entity):
+    """A graph node with a set of labels and a property map."""
+
+    __slots__ = ("labels",)
+
+    def __init__(
+        self,
+        entity_id: int,
+        labels: Iterable[str] = (),
+        properties: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(entity_id, properties)
+        self.labels: FrozenSet[str] = frozenset(labels)
+        if not all(isinstance(l, str) and l for l in self.labels):
+            raise GraphError("labels must be non-empty strings")
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+    def __repr__(self) -> str:
+        labels = ":".join(sorted(self.labels))
+        name = self.properties.get("NAME") or self.properties.get("name") or ""
+        return f"<Node {self.id} :{labels} {name}>".replace("  ", " ")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("node", self.id))
+
+
+class Relationship(_Entity):
+    """A directed, typed relationship between two nodes."""
+
+    __slots__ = ("type", "start_id", "end_id")
+
+    def __init__(
+        self,
+        entity_id: int,
+        rel_type: str,
+        start_id: int,
+        end_id: int,
+        properties: Optional[Dict[str, Any]] = None,
+    ):
+        if not rel_type:
+            raise GraphError("relationship type must be non-empty")
+        super().__init__(entity_id, properties)
+        self.type = rel_type
+        self.start_id = start_id
+        self.end_id = end_id
+
+    def other_id(self, node_id: int) -> int:
+        """The endpoint opposite ``node_id`` (tabby-path-finder's
+        ``getOtherNode``)."""
+        if node_id == self.start_id:
+            return self.end_id
+        if node_id == self.end_id:
+            return self.start_id
+        raise GraphError(f"node {node_id} is not an endpoint of {self!r}")
+
+    def __repr__(self) -> str:
+        return f"<Rel {self.id} ({self.start_id})-[:{self.type}]->({self.end_id})>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Relationship) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("rel", self.id))
+
+
+class PropertyGraph:
+    """An in-memory labelled property graph with adjacency and indexes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._rels: Dict[int, Relationship] = {}
+        self._out: Dict[int, List[int]] = {}
+        self._in: Dict[int, List[int]] = {}
+        self._next_node_id = 0
+        self._next_rel_id = 0
+        self.indexes = IndexManager()
+
+    # -- creation -------------------------------------------------------
+
+    def create_node(
+        self, labels: Iterable[str] = (), properties: Optional[Dict[str, Any]] = None
+    ) -> Node:
+        node = Node(self._next_node_id, labels, properties)
+        self._next_node_id += 1
+        self._nodes[node.id] = node
+        self._out[node.id] = []
+        self._in[node.id] = []
+        self.indexes.index_node(node)
+        return node
+
+    def create_relationship(
+        self,
+        rel_type: str,
+        start: "Node | int",
+        end: "Node | int",
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Relationship:
+        start_id = start.id if isinstance(start, Node) else start
+        end_id = end.id if isinstance(end, Node) else end
+        if start_id not in self._nodes:
+            raise NodeNotFoundError(f"start node {start_id} does not exist")
+        if end_id not in self._nodes:
+            raise NodeNotFoundError(f"end node {end_id} does not exist")
+        rel = Relationship(self._next_rel_id, rel_type, start_id, end_id, properties)
+        self._next_rel_id += 1
+        self._rels[rel.id] = rel
+        self._out[start_id].append(rel.id)
+        self._in[end_id].append(rel.id)
+        return rel
+
+    # -- deletion -----------------------------------------------------------
+
+    def delete_relationship(self, rel: "Relationship | int") -> None:
+        rel_id = rel.id if isinstance(rel, Relationship) else rel
+        found = self._rels.pop(rel_id, None)
+        if found is None:
+            raise RelationshipNotFoundError(f"relationship {rel_id} does not exist")
+        self._out[found.start_id].remove(rel_id)
+        self._in[found.end_id].remove(rel_id)
+
+    def delete_node(self, node: "Node | int", detach: bool = False) -> None:
+        node_id = node.id if isinstance(node, Node) else node
+        found = self._nodes.get(node_id)
+        if found is None:
+            raise NodeNotFoundError(f"node {node_id} does not exist")
+        attached = self._out[node_id] + self._in[node_id]
+        if attached and not detach:
+            raise GraphError(
+                f"node {node_id} still has {len(attached)} relationships; "
+                "use detach=True"
+            )
+        for rel_id in list(attached):
+            if rel_id in self._rels:
+                self.delete_relationship(rel_id)
+        self.indexes.unindex_node(found)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    # -- property updates ------------------------------------------------------
+
+    def set_node_property(self, node: "Node | int", key: str, value: Any) -> None:
+        found = self.node(node.id if isinstance(node, Node) else node)
+        self.indexes.unindex_node(found)
+        found.properties[key] = _check_property_value(key, value)
+        self.indexes.index_node(found)
+
+    def set_relationship_property(
+        self, rel: "Relationship | int", key: str, value: Any
+    ) -> None:
+        found = self.relationship(rel.id if isinstance(rel, Relationship) else rel)
+        found.properties[key] = _check_property_value(key, value)
+
+    # -- lookup -----------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(f"node {node_id} does not exist") from None
+
+    def relationship(self, rel_id: int) -> Relationship:
+        try:
+            return self._rels[rel_id]
+        except KeyError:
+            raise RelationshipNotFoundError(
+                f"relationship {rel_id} does not exist"
+            ) from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self, label: Optional[str] = None) -> Iterator[Node]:
+        if label is None:
+            yield from self._nodes.values()
+            return
+        for node_id in self.indexes.nodes_with_label(label):
+            yield self._nodes[node_id]
+
+    def relationships(self, rel_type: Optional[str] = None) -> Iterator[Relationship]:
+        for rel in self._rels.values():
+            if rel_type is None or rel.type == rel_type:
+                yield rel
+
+    def find_nodes(self, label: Optional[str] = None, **props: Any) -> List[Node]:
+        """Nodes matching a label and exact property values; uses a
+        property index when one exists."""
+        candidates: Optional[Iterable[Node]] = None
+        if label is not None and props:
+            for key, value in props.items():
+                hit = self.indexes.lookup(label, key, value)
+                if hit is not None:
+                    candidates = [self._nodes[i] for i in hit]
+                    break
+        if candidates is None:
+            candidates = self.nodes(label)
+        out = []
+        for node in candidates:
+            if label is not None and not node.has_label(label):
+                continue
+            if all(node.get(k) == v for k, v in props.items()):
+                out.append(node)
+        return out
+
+    def find_node(self, label: Optional[str] = None, **props: Any) -> Optional[Node]:
+        found = self.find_nodes(label, **props)
+        return found[0] if found else None
+
+    # -- adjacency ------------------------------------------------------------------
+
+    def out_relationships(
+        self, node: "Node | int", rel_type: Optional[str] = None
+    ) -> List[Relationship]:
+        node_id = node.id if isinstance(node, Node) else node
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(f"node {node_id} does not exist")
+        rels = [self._rels[i] for i in self._out[node_id]]
+        if rel_type is not None:
+            rels = [r for r in rels if r.type == rel_type]
+        return rels
+
+    def in_relationships(
+        self, node: "Node | int", rel_type: Optional[str] = None
+    ) -> List[Relationship]:
+        node_id = node.id if isinstance(node, Node) else node
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(f"node {node_id} does not exist")
+        rels = [self._rels[i] for i in self._in[node_id]]
+        if rel_type is not None:
+            rels = [r for r in rels if r.type == rel_type]
+        return rels
+
+    def relationships_of(
+        self, node: "Node | int", rel_type: Optional[str] = None
+    ) -> List[Relationship]:
+        return self.out_relationships(node, rel_type) + self.in_relationships(
+            node, rel_type
+        )
+
+    def degree(self, node: "Node | int") -> int:
+        node_id = node.id if isinstance(node, Node) else node
+        return len(self._out[node_id]) + len(self._in[node_id])
+
+    # -- statistics ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def relationship_count(self) -> int:
+        return len(self._rels)
+
+    def label_counts(self) -> Dict[str, int]:
+        return self.indexes.label_counts()
+
+    def relationship_type_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for rel in self._rels.values():
+            out[rel.type] = out.get(rel.type, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<PropertyGraph {self.node_count} nodes, "
+            f"{self.relationship_count} relationships>"
+        )

@@ -1,0 +1,98 @@
+"""Label and property indexes for the property graph.
+
+Mirrors Neo4j's indexing model at the granularity this project needs:
+
+* every label is indexed automatically (``nodes_with_label``), and
+* explicit single-property indexes can be created per label
+  (``create_index``), after which exact-match lookups are O(1).
+
+Tabby's gadget-chain queries hinge on fast lookup of method nodes by
+``SIGNATURE``/``NAME`` and of sink/source flags, so the CPG builder
+creates those indexes up front.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphdb.graph import Node
+
+__all__ = ["IndexManager"]
+
+
+def _index_key(value: Any) -> Any:
+    """Normalise a property value into something hashable."""
+    if isinstance(value, list):
+        return tuple(_index_key(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _index_key(v)) for k, v in value.items()))
+    return value
+
+
+class IndexManager:
+    """Maintains label and (label, property) indexes over nodes."""
+
+    def __init__(self) -> None:
+        self._by_label: Dict[str, Set[int]] = {}
+        # (label, key) -> value -> node ids
+        self._property_indexes: Dict[Tuple[str, str], Dict[Any, Set[int]]] = {}
+
+    # -- schema -----------------------------------------------------------
+
+    def create_index(self, label: str, key: str) -> None:
+        """Declare a property index; call before or after bulk loading.
+
+        Creating an index that already exists is a no-op.  Note: nodes
+        indexed *before* the declaration are not revisited — declare
+        indexes before loading, as the CPG builder does.
+        """
+        if not label or not key:
+            raise GraphError("index needs a label and a property key")
+        self._property_indexes.setdefault((label, key), {})
+
+    def has_index(self, label: str, key: str) -> bool:
+        return (label, key) in self._property_indexes
+
+    def indexes(self) -> List[Tuple[str, str]]:
+        return sorted(self._property_indexes)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def index_node(self, node: "Node") -> None:
+        for label in node.labels:
+            self._by_label.setdefault(label, set()).add(node.id)
+            for (ilabel, key), table in self._property_indexes.items():
+                if ilabel == label and key in node.properties:
+                    table.setdefault(_index_key(node.properties[key]), set()).add(
+                        node.id
+                    )
+
+    def unindex_node(self, node: "Node") -> None:
+        for label in node.labels:
+            bucket = self._by_label.get(label)
+            if bucket is not None:
+                bucket.discard(node.id)
+            for (ilabel, key), table in self._property_indexes.items():
+                if ilabel == label and key in node.properties:
+                    entry = table.get(_index_key(node.properties[key]))
+                    if entry is not None:
+                        entry.discard(node.id)
+
+    # -- queries ------------------------------------------------------------------
+
+    def nodes_with_label(self, label: str) -> Set[int]:
+        return set(self._by_label.get(label, ()))
+
+    def lookup(self, label: str, key: str, value: Any) -> Optional[Set[int]]:
+        """Node ids for an exact property match, or None when no index
+        covers (label, key)."""
+        table = self._property_indexes.get((label, key))
+        if table is None:
+            return None
+        return set(table.get(_index_key(value), ()))
+
+    def label_counts(self) -> Dict[str, int]:
+        return {label: len(ids) for label, ids in self._by_label.items()}

@@ -1,0 +1,102 @@
+"""Persistence for property graphs.
+
+A graph is stored as a JSON document with ``nodes``, ``relationships``
+and ``indexes`` sections.  This is the analogue of a Neo4j database
+directory: Tabby builds the CPG once, persists it, and researchers
+re-query it across sessions (paper §IV-F — the re-queryability
+advantage over GadgetInspector/Serianalyzer).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import Any, Dict
+
+from repro.errors import StorageError
+from repro.graphdb.graph import PropertyGraph
+
+__all__ = ["save_graph", "load_graph", "graph_to_dict", "graph_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
+    """Serialise a graph to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "nodes": [
+            {"id": n.id, "labels": sorted(n.labels), "properties": n.properties}
+            for n in graph.nodes()
+        ],
+        "relationships": [
+            {
+                "id": r.id,
+                "type": r.type,
+                "start": r.start_id,
+                "end": r.end_id,
+                "properties": r.properties,
+            }
+            for r in graph.relationships()
+        ],
+        "indexes": [list(ix) for ix in graph.indexes.indexes()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> PropertyGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Node/relationship ids are remapped densely, preserving order.
+    """
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(f"unsupported graph format version: {version!r}")
+    graph = PropertyGraph()
+    for label, key in data.get("indexes", ()):
+        graph.indexes.create_index(label, key)
+    id_map: Dict[int, int] = {}
+    try:
+        for spec in data["nodes"]:
+            node = graph.create_node(spec["labels"], spec.get("properties") or {})
+            id_map[spec["id"]] = node.id
+        for spec in data["relationships"]:
+            graph.create_relationship(
+                spec["type"],
+                id_map[spec["start"]],
+                id_map[spec["end"]],
+                spec.get("properties") or {},
+            )
+    except KeyError as exc:
+        raise StorageError(f"malformed graph document: missing {exc}") from exc
+    return graph
+
+
+def save_graph(graph: PropertyGraph, path: str) -> None:
+    """Write a graph to ``path``; ``.gz`` suffix enables compression."""
+    data = graph_to_dict(graph)
+    try:
+        if path.endswith(".gz"):
+            with gzip.open(path, "wt", encoding="utf-8") as fh:
+                json.dump(data, fh)
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(data, fh)
+    except OSError as exc:
+        raise StorageError(f"cannot write graph to {path}: {exc}") from exc
+
+
+def load_graph(path: str) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    if not os.path.exists(path):
+        raise StorageError(f"graph file not found: {path}")
+    try:
+        if path.endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                data = json.load(fh)
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read graph from {path}: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,219 @@
+"""Guided graph traversal — the *tabby-path-finder* substrate.
+
+The paper implements gadget-chain search as a Neo4j traversal plugin
+built from two callbacks: an **Expander** that decides which
+relationships extend the current path (carrying per-path state, the
+Trigger_Condition), and an **Evaluator** that decides whether a path is
+a result and whether expansion continues (Algorithms 2 and 3).  This
+module reproduces that framework over :class:`PropertyGraph`.
+
+An expander is ``expand(graph, path, state) -> iterable of
+(relationship, next_node, next_state)``; an evaluator is
+``evaluate(graph, path, state) -> Evaluation``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graphdb.graph import Node, PropertyGraph, Relationship
+
+__all__ = [
+    "Path",
+    "Evaluation",
+    "Uniqueness",
+    "Direction",
+    "traverse",
+    "type_expander",
+]
+
+
+class Direction(enum.Enum):
+    """Traversal direction relative to the current node."""
+
+    OUTGOING = "outgoing"
+    INCOMING = "incoming"
+    BOTH = "both"
+
+
+class Path:
+    """An immutable alternating node/relationship sequence."""
+
+    __slots__ = ("_nodes", "_rels")
+
+    def __init__(self, nodes: Sequence[Node], rels: Sequence[Relationship] = ()):
+        if len(nodes) != len(rels) + 1:
+            raise GraphError(
+                f"path needs len(nodes) == len(rels)+1, got {len(nodes)}/{len(rels)}"
+            )
+        self._nodes: Tuple[Node, ...] = tuple(nodes)
+        self._rels: Tuple[Relationship, ...] = tuple(rels)
+
+    @classmethod
+    def single(cls, node: Node) -> "Path":
+        return cls([node])
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self._nodes
+
+    @property
+    def relationships(self) -> Tuple[Relationship, ...]:
+        return self._rels
+
+    @property
+    def start_node(self) -> Node:
+        return self._nodes[0]
+
+    @property
+    def end_node(self) -> Node:
+        """tabby-path-finder's ``getEndNode``."""
+        return self._nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of relationships (``getdepth`` in Algorithm 3)."""
+        return len(self._rels)
+
+    def extend(self, rel: Relationship, node: Node) -> "Path":
+        return Path(self._nodes + (node,), self._rels + (rel,))
+
+    def contains_node(self, node: Node) -> bool:
+        return any(n.id == node.id for n in self._nodes)
+
+    def contains_relationship(self, rel: Relationship) -> bool:
+        return any(r.id == rel.id for r in self._rels)
+
+    @property
+    def last_relationship(self) -> Optional[Relationship]:
+        return self._rels[-1] if self._rels else None
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        parts = [f"({self._nodes[0].id})"]
+        for rel, node in zip(self._rels, self._nodes[1:]):
+            parts.append(f"-[:{rel.type}]-({node.id})")
+        return "<Path " + "".join(parts) + ">"
+
+
+class Evaluation(enum.Enum):
+    """Neo4j-style evaluator verdicts."""
+
+    INCLUDE_AND_CONTINUE = ("include", "continue")
+    INCLUDE_AND_PRUNE = ("include", "prune")
+    EXCLUDE_AND_CONTINUE = ("exclude", "continue")
+    EXCLUDE_AND_PRUNE = ("exclude", "prune")
+
+    @property
+    def includes(self) -> bool:
+        return self.value[0] == "include"
+
+    @property
+    def continues(self) -> bool:
+        return self.value[1] == "continue"
+
+
+class Uniqueness(enum.Enum):
+    """How revisiting nodes is constrained during traversal."""
+
+    #: a node may appear at most once in any single path (cycle guard)
+    NODE_PATH = "node_path"
+    #: a relationship may appear at most once in any single path; nodes
+    #: may repeat (needed for chains that pass through the same
+    #: interface-declaration node twice, e.g. ChainedTransformer)
+    RELATIONSHIP_PATH = "relationship_path"
+    #: a node may be visited at most once in the whole traversal
+    #: (GadgetInspector's cost-saving shortcut — loses chains)
+    NODE_GLOBAL = "node_global"
+    #: no constraint (bounded only by the evaluator's depth check)
+    NONE = "none"
+
+
+Expander = Callable[
+    [PropertyGraph, Path, Any], Iterable[Tuple[Relationship, Node, Any]]
+]
+Evaluator = Callable[[PropertyGraph, Path, Any], Evaluation]
+
+
+def type_expander(
+    types: Optional[Sequence[str]] = None,
+    direction: Direction = Direction.OUTGOING,
+) -> Expander:
+    """A plain expander following relationships of the given types.
+
+    State is passed through unchanged; use a custom expander (like the
+    gadget-chain Expander of Algorithm 2) when state must evolve.
+    """
+
+    wanted = set(types) if types is not None else None
+
+    def expand(
+        graph: PropertyGraph, path: Path, state: Any
+    ) -> Iterable[Tuple[Relationship, Node, Any]]:
+        node = path.end_node
+        rels: List[Relationship] = []
+        if direction in (Direction.OUTGOING, Direction.BOTH):
+            rels.extend(graph.out_relationships(node))
+        if direction in (Direction.INCOMING, Direction.BOTH):
+            rels.extend(graph.in_relationships(node))
+        for rel in rels:
+            if wanted is not None and rel.type not in wanted:
+                continue
+            yield rel, graph.node(rel.other_id(node.id)), state
+
+    return expand
+
+
+def traverse(
+    graph: PropertyGraph,
+    start: "Node | Sequence[Node]",
+    expander: Expander,
+    evaluator: Evaluator,
+    initial_state: Any = None,
+    uniqueness: Uniqueness = Uniqueness.NODE_PATH,
+    max_results: Optional[int] = None,
+) -> Iterator[Tuple[Path, Any]]:
+    """Depth-first guided traversal.
+
+    Yields ``(path, state)`` pairs the evaluator marked as included.
+    The evaluator is consulted for every visited path (including the
+    single-node start paths); the expander is only asked to expand paths
+    the evaluator allowed to continue.
+    """
+    starts: List[Node] = [start] if isinstance(start, Node) else list(start)
+    visited_global: Set[int] = set()
+    yielded = 0
+
+    stack: List[Tuple[Path, Any]] = []
+    for node in reversed(starts):
+        stack.append((Path.single(node), initial_state))
+
+    while stack:
+        path, state = stack.pop()
+        end = path.end_node
+        if uniqueness is Uniqueness.NODE_GLOBAL:
+            if end.id in visited_global and path.length > 0:
+                continue
+            visited_global.add(end.id)
+        verdict = evaluator(graph, path, state)
+        if verdict.includes:
+            yield path, state
+            yielded += 1
+            if max_results is not None and yielded >= max_results:
+                return
+        if not verdict.continues:
+            continue
+        expansions = list(expander(graph, path, state))
+        for rel, node, next_state in reversed(expansions):
+            if uniqueness is Uniqueness.NODE_PATH and path.contains_node(node):
+                continue
+            if uniqueness is Uniqueness.RELATIONSHIP_PATH and path.contains_relationship(rel):
+                continue
+            stack.append((path.extend(rel, node), next_state))

@@ -1,0 +1,51 @@
+"""Java program model substrate (the Soot replacement).
+
+Public surface:
+
+* :mod:`repro.jvm.types` — Java type system
+* :mod:`repro.jvm.model` — classes, methods, fields, signatures
+* :mod:`repro.jvm.ir` — Jimple-like three-address IR
+* :mod:`repro.jvm.builder` — fluent authoring DSL
+* :mod:`repro.jvm.cfg` — per-method control-flow graphs
+* :mod:`repro.jvm.hierarchy` — class-hierarchy analysis
+* :mod:`repro.jvm.jasm` — textual IR (parser/printer)
+* :mod:`repro.jvm.jar` — jar archives of jasm classes
+* :mod:`repro.jvm.validate` — Soot-style body/linkage validation
+"""
+
+from repro.jvm.builder import ClassBuilder, MethodBuilder, ProgramBuilder
+from repro.jvm.cfg import ControlFlowGraph, build_cfg
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.jar import JarArchive, load_classpath, read_jar, write_jar
+from repro.jvm.validate import ValidationIssue, validate_classes
+from repro.jvm.model import (
+    EXTERNALIZABLE,
+    SERIALIZABLE,
+    JavaClass,
+    JavaField,
+    JavaMethod,
+    MethodSignature,
+    Modifier,
+)
+
+__all__ = [
+    "ProgramBuilder",
+    "ClassBuilder",
+    "MethodBuilder",
+    "ControlFlowGraph",
+    "build_cfg",
+    "ClassHierarchy",
+    "JarArchive",
+    "read_jar",
+    "write_jar",
+    "load_classpath",
+    "JavaClass",
+    "JavaMethod",
+    "JavaField",
+    "MethodSignature",
+    "Modifier",
+    "validate_classes",
+    "ValidationIssue",
+    "SERIALIZABLE",
+    "EXTERNALIZABLE",
+]

@@ -1,0 +1,500 @@
+"""Fluent builder DSL for authoring Java classes in the IR.
+
+The synthetic corpus (``repro.corpus``) and most tests author classes
+with this DSL rather than writing raw IR statements.  It enforces the
+three-address discipline automatically by materialising temporaries.
+
+Example::
+
+    pb = ProgramBuilder(jar="example.jar")
+    with pb.cls("demo.EvilObjectB", implements=[SERIALIZABLE]) as c:
+        c.field("val2", "java.lang.Object")
+        with c.method("toString", returns="java.lang.String") as m:
+            v = m.get_field(m.this, "val2")
+            cmd = m.invoke(v, "java.lang.Object", "toString",
+                           returns="java.lang.String")
+            rt = m.invoke_static("java.lang.Runtime", "getRuntime",
+                                 returns="java.lang.Runtime")
+            m.invoke(rt, "java.lang.Runtime", "exec", [cmd])
+            m.ret(cmd)
+    classes = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ClassModelError, IRError
+from repro.jvm import ir
+from repro.jvm import types as jt
+from repro.jvm.model import (
+    EXTERNALIZABLE,
+    SERIALIZABLE,
+    JavaClass,
+    JavaField,
+    JavaMethod,
+    Modifier,
+)
+
+__all__ = ["ProgramBuilder", "ClassBuilder", "MethodBuilder", "SERIALIZABLE", "EXTERNALIZABLE"]
+
+TypeLike = Union[str, jt.JavaType]
+ValueLike = Union[ir.Value, str, int, None]
+
+
+def _as_type(t: TypeLike) -> jt.JavaType:
+    if isinstance(t, jt.JavaType):
+        return t
+    return jt.type_from_name(t)
+
+
+class MethodBuilder:
+    """Builds one method body; obtained from :meth:`ClassBuilder.method`."""
+
+    def __init__(self, method: JavaMethod):
+        self._method = method
+        self._stmts: List[ir.Statement] = []
+        self._tmp_counter = 0
+        self._pending_label: Optional[str] = None
+        self._finished = False
+        self.this: Optional[ir.Local] = None
+        self._params: List[ir.Local] = []
+        self._emit_identities()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _emit_identities(self) -> None:
+        if not self._method.is_static:
+            self.this = ir.Local("this")
+            self._append(ir.IdentityStmt(self.this, ir.ThisRef()))
+        for i, name in enumerate(self._method.param_names, start=1):
+            local = ir.Local(name)
+            self._params.append(local)
+            self._append(ir.IdentityStmt(local, ir.ParamRef(i)))
+
+    def _append(self, stmt: ir.Statement) -> ir.Statement:
+        if self._finished:
+            raise IRError("method builder already finished")
+        if self._pending_label is not None:
+            stmt.label = self._pending_label
+            self._pending_label = None
+        self._stmts.append(stmt)
+        return stmt
+
+    def _fresh(self, hint: str = "t") -> ir.Local:
+        self._tmp_counter += 1
+        return ir.Local(f"${hint}{self._tmp_counter}")
+
+    def _as_value(self, v: ValueLike) -> ir.Value:
+        if v is None:
+            return ir.NullConst()
+        if isinstance(v, ir.Value):
+            return v
+        if isinstance(v, bool):
+            return ir.IntConst(int(v))
+        if isinstance(v, int):
+            return ir.IntConst(v)
+        if isinstance(v, str):
+            return ir.StringConst(v)
+        raise IRError(f"cannot convert {v!r} to an IR value")
+
+    def _simple(self, v: ValueLike, hint: str = "t") -> ir.Value:
+        """Reduce to a simple value, spilling expressions into temporaries."""
+        value = self._as_value(v)
+        if isinstance(value, ir.Expr):
+            tmp = self._fresh(hint)
+            self._append(ir.AssignStmt(tmp, value))
+            return tmp
+        return value
+
+    # -- accessors -------------------------------------------------------------
+
+    def param(self, index: int) -> ir.Local:
+        """The local bound to 1-based parameter ``index``."""
+        if not 1 <= index <= len(self._params):
+            raise IRError(
+                f"{self._method.name}: parameter index {index} out of range"
+            )
+        return self._params[index - 1]
+
+    # -- statement emitters ------------------------------------------------------
+
+    def local(self, name: str) -> ir.Local:
+        return ir.Local(name)
+
+    def label(self, name: str) -> None:
+        """Attach ``name`` as the label of the next emitted statement."""
+        if self._pending_label is not None:
+            self._append(ir.NopStmt())
+        self._pending_label = name
+
+    def assign(self, target: ir.Value, value: ValueLike) -> ir.Value:
+        """``target = value``; returns ``target``."""
+        rhs = self._as_value(value)
+        if isinstance(target, (ir.InstanceFieldRef, ir.StaticFieldRef, ir.ArrayRef)):
+            rhs = self._simple(rhs)
+        self._append(ir.AssignStmt(target, rhs))
+        return target
+
+    def new(self, class_name: str, hint: str = "obj") -> ir.Local:
+        """``tmp = new class_name``; returns the temporary."""
+        tmp = self._fresh(hint)
+        self._append(ir.AssignStmt(tmp, ir.NewExpr(class_name)))
+        return tmp
+
+    def new_array(self, element_type: TypeLike, size: ValueLike) -> ir.Local:
+        tmp = self._fresh("arr")
+        expr = ir.NewArrayExpr(_as_type(element_type), self._simple(size))
+        self._append(ir.AssignStmt(tmp, expr))
+        return tmp
+
+    def get_field(self, base: ir.Value, field_name: str) -> ir.Local:
+        """``tmp = base.field``; returns the temporary."""
+        base_local = self._base_local(base)
+        tmp = self._fresh(field_name)
+        self._append(ir.AssignStmt(tmp, ir.InstanceFieldRef(base_local, field_name)))
+        return tmp
+
+    def set_field(self, base: ir.Value, field_name: str, value: ValueLike) -> None:
+        """``base.field = value``."""
+        base_local = self._base_local(base)
+        rhs = self._simple(value)
+        self._append(ir.AssignStmt(ir.InstanceFieldRef(base_local, field_name), rhs))
+
+    def get_static(self, class_name: str, field_name: str) -> ir.Local:
+        tmp = self._fresh(field_name)
+        self._append(ir.AssignStmt(tmp, ir.StaticFieldRef(class_name, field_name)))
+        return tmp
+
+    def set_static(self, class_name: str, field_name: str, value: ValueLike) -> None:
+        rhs = self._simple(value)
+        self._append(ir.AssignStmt(ir.StaticFieldRef(class_name, field_name), rhs))
+
+    def array_get(self, base: ir.Value, index: ValueLike) -> ir.Local:
+        base_local = self._base_local(base)
+        idx = self._simple(index)
+        if not isinstance(idx, (ir.Local, ir.IntConst)):
+            idx = self._simple(idx)
+        tmp = self._fresh("elem")
+        self._append(ir.AssignStmt(tmp, ir.ArrayRef(base_local, idx)))
+        return tmp
+
+    def array_set(self, base: ir.Value, index: ValueLike, value: ValueLike) -> None:
+        base_local = self._base_local(base)
+        idx = self._simple(index)
+        rhs = self._simple(value)
+        self._append(ir.AssignStmt(ir.ArrayRef(base_local, idx), rhs))
+
+    def cast(self, value: ValueLike, target_type: TypeLike) -> ir.Local:
+        tmp = self._fresh("cast")
+        expr = ir.CastExpr(_as_type(target_type), self._simple(value))
+        self._append(ir.AssignStmt(tmp, expr))
+        return tmp
+
+    def binop(self, op: str, left: ValueLike, right: ValueLike) -> ir.Local:
+        tmp = self._fresh("cmp")
+        expr = ir.BinOpExpr(op, self._simple(left), self._simple(right))
+        self._append(ir.AssignStmt(tmp, expr))
+        return tmp
+
+    def _base_local(self, base: ir.Value) -> ir.Local:
+        if isinstance(base, ir.ThisRef):
+            if self.this is None:
+                raise IRError("static method has no @this")
+            return self.this
+        if isinstance(base, ir.Local):
+            return base
+        spilled = self._simple(base)
+        if isinstance(spilled, ir.Local):
+            return spilled
+        raise IRError(f"cannot use {base!r} as an access base")
+
+    # -- invocations ---------------------------------------------------------
+
+    def invoke(
+        self,
+        base: ir.Value,
+        class_name: str,
+        method_name: str,
+        args: Sequence[ValueLike] = (),
+        returns: Optional[TypeLike] = None,
+        kind: str = ir.InvokeKind.VIRTUAL,
+    ) -> Optional[ir.Local]:
+        """``[tmp =] base.<class_name.method_name>(args)``.
+
+        Returns the result temporary when ``returns`` is given, else None.
+        """
+        base_local = self._base_local(base)
+        simple_args = [self._simple(a, "arg") for a in args]
+        expr = ir.InvokeExpr(kind, base_local, class_name, method_name, simple_args)
+        return self._finish_invoke(expr, returns)
+
+    def invoke_special(
+        self,
+        base: ir.Value,
+        class_name: str,
+        method_name: str,
+        args: Sequence[ValueLike] = (),
+        returns: Optional[TypeLike] = None,
+    ) -> Optional[ir.Local]:
+        """Non-virtual call (constructors, ``super.m()``)."""
+        return self.invoke(
+            base, class_name, method_name, args, returns, kind=ir.InvokeKind.SPECIAL
+        )
+
+    def invoke_interface(
+        self,
+        base: ir.Value,
+        class_name: str,
+        method_name: str,
+        args: Sequence[ValueLike] = (),
+        returns: Optional[TypeLike] = None,
+    ) -> Optional[ir.Local]:
+        return self.invoke(
+            base, class_name, method_name, args, returns, kind=ir.InvokeKind.INTERFACE
+        )
+
+    def invoke_static(
+        self,
+        class_name: str,
+        method_name: str,
+        args: Sequence[ValueLike] = (),
+        returns: Optional[TypeLike] = None,
+    ) -> Optional[ir.Local]:
+        simple_args = [self._simple(a, "arg") for a in args]
+        expr = ir.InvokeExpr(
+            ir.InvokeKind.STATIC, None, class_name, method_name, simple_args
+        )
+        return self._finish_invoke(expr, returns)
+
+    def invoke_dynamic(
+        self,
+        base: ir.Value,
+        method_name: str = "<dynamic>",
+        args: Sequence[ValueLike] = (),
+        returns: Optional[TypeLike] = None,
+    ) -> Optional[ir.Local]:
+        """Reflective/dynamic-proxy call site that static analysis cannot
+        resolve (paper §V-B)."""
+        base_local = self._base_local(base)
+        simple_args = [self._simple(a, "arg") for a in args]
+        expr = ir.InvokeExpr(
+            ir.InvokeKind.DYNAMIC, base_local, "<unresolved>", method_name, simple_args
+        )
+        return self._finish_invoke(expr, returns)
+
+    def _finish_invoke(
+        self, expr: ir.InvokeExpr, returns: Optional[TypeLike]
+    ) -> Optional[ir.Local]:
+        if returns is None:
+            self._append(ir.InvokeStmt(expr))
+            return None
+        tmp = self._fresh("ret")
+        self._append(ir.AssignStmt(tmp, expr))
+        return tmp
+
+    def construct(
+        self, class_name: str, args: Sequence[ValueLike] = ()
+    ) -> ir.Local:
+        """``tmp = new C; tmp.<init>(args)`` — allocation plus constructor."""
+        obj = self.new(class_name)
+        self.invoke_special(obj, class_name, "<init>", args)
+        return obj
+
+    # -- control flow -----------------------------------------------------------
+
+    def iff(self, cond: ValueLike, target: str) -> None:
+        self._append(ir.IfStmt(self._simple(cond), target))
+
+    def if_eq(self, left: ValueLike, right: ValueLike, target: str) -> None:
+        self.iff(self.binop("==", left, right), target)
+
+    def if_ne(self, left: ValueLike, right: ValueLike, target: str) -> None:
+        self.iff(self.binop("!=", left, right), target)
+
+    def goto(self, target: str) -> None:
+        self._append(ir.GotoStmt(target))
+
+    def switch(
+        self, key: ValueLike, cases: Sequence[Tuple[int, str]], default: str
+    ) -> None:
+        self._append(ir.SwitchStmt(self._simple(key), cases, default))
+
+    def throw(self, value: ValueLike) -> None:
+        self._append(ir.ThrowStmt(self._simple(value)))
+
+    def throw_new(self, class_name: str = "java.lang.RuntimeException") -> None:
+        self.throw(self.construct(class_name))
+
+    def nop(self) -> None:
+        self._append(ir.NopStmt())
+
+    def ret(self, value: ValueLike = None) -> None:
+        if value is None and self._method.return_type.is_void:
+            self._append(ir.ReturnStmt(None))
+        else:
+            self._append(ir.ReturnStmt(self._simple(value)))
+
+    # -- context manager ---------------------------------------------------------
+
+    def __enter__(self) -> "MethodBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self.finish()
+
+    def finish(self) -> JavaMethod:
+        """Seal the body, appending an implicit return when needed."""
+        if self._finished:
+            return self._method
+        if self._pending_label is not None:
+            self._append(ir.NopStmt())
+        if not self._stmts or self._stmts[-1].falls_through:
+            if self._method.return_type.is_void:
+                self._append(ir.ReturnStmt(None))
+            else:
+                self._append(ir.ReturnStmt(ir.NullConst()))
+        self._method.body = self._stmts
+        self._finished = True
+        return self._method
+
+
+class ClassBuilder:
+    """Builds one class; obtained from :meth:`ProgramBuilder.cls`."""
+
+    def __init__(
+        self,
+        name: str,
+        extends: Optional[str] = "java.lang.Object",
+        implements: Sequence[str] = (),
+        modifiers: Modifier = Modifier.PUBLIC,
+        interface: bool = False,
+        abstract: bool = False,
+    ):
+        if interface:
+            modifiers |= Modifier.INTERFACE | Modifier.ABSTRACT
+        if abstract:
+            modifiers |= Modifier.ABSTRACT
+        self._cls = JavaClass(name, extends, tuple(implements), modifiers)
+        self._open_methods: List[MethodBuilder] = []
+
+    @property
+    def name(self) -> str:
+        return self._cls.name
+
+    def field(
+        self,
+        name: str,
+        ftype: TypeLike,
+        modifiers: Modifier = Modifier.PUBLIC,
+        static: bool = False,
+        transient: bool = False,
+    ) -> JavaField:
+        if static:
+            modifiers |= Modifier.STATIC
+        if transient:
+            modifiers |= Modifier.TRANSIENT
+        return self._cls.add_field(JavaField(name, _as_type(ftype), modifiers))
+
+    def method(
+        self,
+        name: str,
+        params: Sequence[TypeLike] = (),
+        returns: TypeLike = "void",
+        modifiers: Modifier = Modifier.PUBLIC,
+        static: bool = False,
+        param_names: Optional[Sequence[str]] = None,
+    ) -> MethodBuilder:
+        if static:
+            modifiers |= Modifier.STATIC
+        method = JavaMethod(
+            name,
+            [_as_type(p) for p in params],
+            _as_type(returns),
+            modifiers,
+            param_names,
+        )
+        self._cls.add_method(method)
+        mb = MethodBuilder(method)
+        self._open_methods.append(mb)
+        return mb
+
+    def abstract_method(
+        self,
+        name: str,
+        params: Sequence[TypeLike] = (),
+        returns: TypeLike = "void",
+    ) -> JavaMethod:
+        """Declare a body-less method (interface or abstract)."""
+        method = JavaMethod(
+            name,
+            [_as_type(p) for p in params],
+            _as_type(returns),
+            Modifier.PUBLIC | Modifier.ABSTRACT,
+        )
+        return self._cls.add_method(method)
+
+    def __enter__(self) -> "ClassBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self.finish()
+
+    def finish(self) -> JavaClass:
+        for mb in self._open_methods:
+            mb.finish()
+        self._open_methods.clear()
+        return self._cls
+
+
+class ProgramBuilder:
+    """Collects classes (optionally tagged with a jar name) into a program."""
+
+    def __init__(self, jar: Optional[str] = None):
+        self.jar = jar
+        self._classes: Dict[str, JavaClass] = {}
+        self._open: List[ClassBuilder] = []
+
+    def cls(
+        self,
+        name: str,
+        extends: Optional[str] = "java.lang.Object",
+        implements: Sequence[str] = (),
+        interface: bool = False,
+        abstract: bool = False,
+    ) -> ClassBuilder:
+        if name in self._classes:
+            raise ClassModelError(f"duplicate class {name}")
+        cb = ClassBuilder(
+            name, extends, implements, interface=interface, abstract=abstract
+        )
+        self._classes[name] = cb._cls
+        cb._cls.jar_name = self.jar
+        self._open.append(cb)
+        return cb
+
+    def interface(self, name: str, extends_interfaces: Sequence[str] = ()) -> ClassBuilder:
+        """Declare an interface (its 'extends' list maps to interface_names)."""
+        return self.cls(name, implements=extends_interfaces, interface=True)
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def add_class(self, cls: JavaClass) -> JavaClass:
+        if cls.name in self._classes:
+            raise ClassModelError(f"duplicate class {cls.name}")
+        if cls.jar_name is None:
+            cls.jar_name = self.jar
+        self._classes[cls.name] = cls
+        return cls
+
+    def build(self) -> List[JavaClass]:
+        """Seal all open builders and return the class list."""
+        for cb in self._open:
+            cb.finish()
+        self._open.clear()
+        return list(self._classes.values())

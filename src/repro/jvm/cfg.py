@@ -1,0 +1,185 @@
+"""Per-method control-flow graphs.
+
+Soot generates a control-flow graph for every method during semantic
+information extraction (paper §III-B1); this module is that piece.  A
+:class:`ControlFlowGraph` partitions a method body into basic blocks and
+links them by fall-through, branch, and switch edges.  The
+controllability analysis (Algorithm 1) walks statements in a
+reverse-post-order linearisation of this graph so that definitions are
+seen before uses on acyclic paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CFGError
+from repro.jvm import ir
+from repro.jvm.model import JavaMethod
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+
+class BasicBlock:
+    """A maximal straight-line sequence of statements."""
+
+    def __init__(self, index: int, statements: List[ir.Statement]):
+        self.index = index
+        self.statements = statements
+        self.successors: List["BasicBlock"] = []
+        self.predecessors: List["BasicBlock"] = []
+
+    @property
+    def first(self) -> ir.Statement:
+        return self.statements[0]
+
+    @property
+    def last(self) -> ir.Statement:
+        return self.statements[-1]
+
+    def __repr__(self) -> str:
+        succ = [b.index for b in self.successors]
+        return f"<BasicBlock {self.index} ({len(self.statements)} stmts) -> {succ}>"
+
+
+class ControlFlowGraph:
+    """Control-flow graph of one method body."""
+
+    def __init__(self, method: JavaMethod, blocks: List[BasicBlock]):
+        self.method = method
+        self.blocks = blocks
+
+    @property
+    def entry(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    @property
+    def exit_blocks(self) -> List[BasicBlock]:
+        return [b for b in self.blocks if not b.successors]
+
+    def statements(self) -> Iterator[ir.Statement]:
+        """All statements in body order."""
+        for block in self.blocks:
+            yield from block.statements
+
+    def reverse_post_order(self) -> List[BasicBlock]:
+        """Blocks in reverse post-order from the entry (forward dataflow
+        order); unreachable blocks are appended at the end in body order."""
+        if not self.blocks:
+            return []
+        seen: Set[int] = set()
+        post: List[BasicBlock] = []
+
+        def dfs(block: BasicBlock) -> None:
+            stack: List[Tuple[BasicBlock, Iterator[BasicBlock]]] = []
+            seen.add(block.index)
+            stack.append((block, iter(block.successors)))
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ.index not in seen:
+                        seen.add(succ.index)
+                        stack.append((succ, iter(succ.successors)))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(current)
+                    stack.pop()
+
+        dfs(self.blocks[0])
+        order = list(reversed(post))
+        for block in self.blocks:
+            if block.index not in seen:
+                order.append(block)
+        return order
+
+    def linearized_statements(self) -> List[ir.Statement]:
+        """Statements in reverse-post-order of their blocks."""
+        out: List[ir.Statement] = []
+        for block in self.reverse_post_order():
+            out.extend(block.statements)
+        return out
+
+    def branch_count(self) -> int:
+        """Number of conditional branch statements (used by decoy metrics)."""
+        return sum(
+            1
+            for stmt in self.statements()
+            if isinstance(stmt, (ir.IfStmt, ir.SwitchStmt))
+        )
+
+    def __repr__(self) -> str:
+        name = self.method.name if self.method else "?"
+        return f"<ControlFlowGraph {name}: {len(self.blocks)} blocks>"
+
+
+def _label_index(statements: Sequence[ir.Statement]) -> Dict[str, int]:
+    labels: Dict[str, int] = {}
+    for i, stmt in enumerate(statements):
+        if stmt.label is not None:
+            if stmt.label in labels:
+                raise CFGError(f"duplicate label {stmt.label!r}")
+            labels[stmt.label] = i
+    return labels
+
+
+def build_cfg(method: JavaMethod) -> ControlFlowGraph:
+    """Build the CFG for ``method``.
+
+    Body-less (abstract/native) methods yield an empty graph.
+    """
+    statements = method.body
+    if not statements:
+        return ControlFlowGraph(method, [])
+
+    labels = _label_index(statements)
+
+    def resolve(label: str) -> int:
+        try:
+            return labels[label]
+        except KeyError:
+            raise CFGError(
+                f"{method.name}: branch to undefined label {label!r}"
+            ) from None
+
+    # Block leaders: statement 0, branch targets, and fall-through
+    # successors of control transfers.
+    leaders: Set[int] = {0}
+    for i, stmt in enumerate(statements):
+        targets = stmt.branch_targets()
+        for label in targets:
+            leaders.add(resolve(label))
+        if targets or not stmt.falls_through:
+            if i + 1 < len(statements):
+                leaders.add(i + 1)
+
+    ordered = sorted(leaders)
+    starts = {start: blk for blk, start in enumerate(ordered)}
+    blocks: List[BasicBlock] = []
+    for blk, start in enumerate(ordered):
+        end = ordered[blk + 1] if blk + 1 < len(ordered) else len(statements)
+        blocks.append(BasicBlock(blk, list(statements[start:end])))
+
+    def block_of(stmt_index: int) -> BasicBlock:
+        return blocks[starts[stmt_index]]
+
+    for blk, start in enumerate(ordered):
+        block = blocks[blk]
+        last = block.last
+        succs: List[BasicBlock] = []
+        for label in last.branch_targets():
+            succs.append(block_of(resolve(label)))
+        if last.falls_through:
+            end = start + len(block.statements)
+            if end < len(statements):
+                succs.append(block_of(end))
+        # dedupe, preserving order
+        seen: Set[int] = set()
+        for succ in succs:
+            if succ.index not in seen:
+                seen.add(succ.index)
+                block.successors.append(succ)
+                succ.predecessors.append(block)
+
+    return ControlFlowGraph(method, blocks)

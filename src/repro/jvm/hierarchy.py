@@ -1,0 +1,264 @@
+"""Class hierarchy analysis.
+
+Resolves the class name graph (superclasses, interfaces) over a set of
+:class:`~repro.jvm.model.JavaClass`, and answers the questions Tabby's
+CPG construction needs:
+
+* subclass / subtype queries and transitive closures,
+* virtual method resolution (JVM-style lookup up the superclass chain),
+* *alias candidates* — for a method ``m`` of class ``c``, the methods of
+  ``c``'s superclass or interfaces that ``m`` may stand in for
+  (Formula 1 in the paper: same name and parameter count, with the Alias
+  edge pointing from the subclass method to the superclass method),
+* serializability (transitive implementation of ``java.io.Serializable``
+  or ``java.io.Externalizable``).
+
+Classes referenced but not defined (e.g. a corpus slice that mentions a
+JDK type we did not model) are treated as *phantom* classes, like Soot's
+phantom refs: they exist as hierarchy leaves with no methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import HierarchyError
+from repro.jvm.model import (
+    EXTERNALIZABLE,
+    SERIALIZABLE,
+    JavaClass,
+    JavaMethod,
+)
+
+__all__ = ["ClassHierarchy"]
+
+
+class ClassHierarchy:
+    """Immutable view over a set of classes with resolution caches."""
+
+    def __init__(self, classes: Iterable[JavaClass]):
+        self._classes: Dict[str, JavaClass] = {}
+        for cls in classes:
+            if cls.name in self._classes:
+                raise HierarchyError(f"duplicate class in hierarchy: {cls.name}")
+            self._classes[cls.name] = cls
+        self._phantoms: Set[str] = set()
+        self._direct_subclasses: Dict[str, List[str]] = {}
+        self._direct_implementers: Dict[str, List[str]] = {}
+        self._supers_cache: Dict[str, Tuple[str, ...]] = {}
+        self._serializable_cache: Dict[str, bool] = {}
+        self._index_edges()
+
+    # -- construction -----------------------------------------------------
+
+    def _index_edges(self) -> None:
+        for cls in self._classes.values():
+            if cls.super_name:
+                self._direct_subclasses.setdefault(cls.super_name, []).append(cls.name)
+                self._note_phantom(cls.super_name)
+            for iface in cls.interface_names:
+                self._direct_implementers.setdefault(iface, []).append(cls.name)
+                self._note_phantom(iface)
+
+    def _note_phantom(self, name: str) -> None:
+        if name not in self._classes:
+            self._phantoms.add(name)
+
+    # -- lookup -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    @property
+    def classes(self) -> List[JavaClass]:
+        return list(self._classes.values())
+
+    @property
+    def phantom_names(self) -> Set[str]:
+        """Names referenced in extends/implements but never defined."""
+        return set(self._phantoms)
+
+    def get(self, name: str) -> Optional[JavaClass]:
+        return self._classes.get(name)
+
+    def require(self, name: str) -> JavaClass:
+        cls = self._classes.get(name)
+        if cls is None:
+            raise HierarchyError(f"class not found: {name}")
+        return cls
+
+    # -- supertype queries ----------------------------------------------------
+
+    def supertypes(self, name: str) -> Tuple[str, ...]:
+        """All transitive supertypes (superclasses and interfaces) of
+        ``name``, excluding itself, in BFS order.  Phantom supertypes are
+        included by name."""
+        cached = self._supers_cache.get(name)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        order: List[str] = []
+        frontier = [name]
+        while frontier:
+            current = frontier.pop(0)
+            cls = self._classes.get(current)
+            parents: List[str] = []
+            if cls is not None:
+                if cls.super_name:
+                    parents.append(cls.super_name)
+                parents.extend(cls.interface_names)
+            for parent in parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    order.append(parent)
+                    frontier.append(parent)
+        result = tuple(order)
+        self._supers_cache[name] = result
+        return result
+
+    def is_subtype_of(self, name: str, super_name: str) -> bool:
+        """Whether ``name`` is ``super_name`` or a transitive subtype."""
+        if name == super_name:
+            return True
+        if super_name == "java.lang.Object":
+            return True
+        return super_name in self.supertypes(name)
+
+    def direct_subtypes(self, name: str) -> List[str]:
+        out = list(self._direct_subclasses.get(name, ()))
+        out.extend(self._direct_implementers.get(name, ()))
+        return out
+
+    def subtypes(self, name: str) -> List[str]:
+        """All transitive subtypes of ``name`` (excluding itself)."""
+        seen: Set[str] = set()
+        order: List[str] = []
+        frontier = [name]
+        while frontier:
+            current = frontier.pop(0)
+            for sub in self.direct_subtypes(current):
+                if sub not in seen:
+                    seen.add(sub)
+                    order.append(sub)
+                    frontier.append(sub)
+        return order
+
+    # -- serializability ----------------------------------------------------------
+
+    def is_serializable(self, name: str) -> bool:
+        """Transitively implements Serializable or Externalizable."""
+        cached = self._serializable_cache.get(name)
+        if cached is not None:
+            return cached
+        result = False
+        if name in (SERIALIZABLE, EXTERNALIZABLE):
+            result = True
+        else:
+            cls = self._classes.get(name)
+            if cls is not None:
+                if cls.declares_serializable:
+                    result = True
+                else:
+                    for parent in self.supertypes(name):
+                        if parent in (SERIALIZABLE, EXTERNALIZABLE):
+                            result = True
+                            break
+        self._serializable_cache[name] = result
+        return result
+
+    # -- method resolution ---------------------------------------------------------
+
+    def resolve_method(
+        self, class_name: str, method_name: str, arity: int
+    ) -> Optional[JavaMethod]:
+        """JVM-style lookup: search ``class_name`` then its superclass
+        chain and interfaces for a method with the given name/arity."""
+        cls = self._classes.get(class_name)
+        if cls is not None:
+            found = cls.find_method(method_name, arity)
+            if found is not None:
+                return found
+        for parent in self.supertypes(class_name):
+            pcls = self._classes.get(parent)
+            if pcls is None:
+                continue
+            found = pcls.find_method(method_name, arity)
+            if found is not None:
+                return found
+        return None
+
+    def dispatch_targets(
+        self, class_name: str, method_name: str, arity: int
+    ) -> List[JavaMethod]:
+        """Possible concrete targets of a virtual call on a receiver whose
+        *declared* type is ``class_name``: the statically resolved method
+        plus every override in subtypes.  Used by baselines that build a
+        call graph by CHA rather than via alias edges."""
+        out: List[JavaMethod] = []
+        resolved = self.resolve_method(class_name, method_name, arity)
+        if resolved is not None:
+            out.append(resolved)
+        for sub in self.subtypes(class_name):
+            cls = self._classes.get(sub)
+            if cls is None:
+                continue
+            found = cls.find_method(method_name, arity)
+            if found is not None and found not in out:
+                out.append(found)
+        return out
+
+    # -- alias candidates (Formula 1) -------------------------------------------------
+
+    def alias_parents(self, method: JavaMethod) -> List[JavaMethod]:
+        """Methods in direct/transitive supertypes that ``method`` can
+        replace under polymorphism: same name and parameter count
+        (Formula 1).  The Alias edge runs ``method -> parent_method``."""
+        owner = method.owner
+        if owner is None:
+            raise HierarchyError(f"method {method.name} has no owner class")
+        out: List[JavaMethod] = []
+        for parent_name in self.supertypes(owner.name):
+            parent = self._classes.get(parent_name)
+            if parent is None:
+                continue
+            candidate = parent.find_method(method.name, method.arity)
+            if candidate is not None and candidate is not method:
+                out.append(candidate)
+        return out
+
+    def overriding_methods(self, method: JavaMethod) -> List[JavaMethod]:
+        """Inverse of :meth:`alias_parents`: methods in subtypes that may
+        stand in for ``method`` at a call site."""
+        owner = method.owner
+        if owner is None:
+            raise HierarchyError(f"method {method.name} has no owner class")
+        out: List[JavaMethod] = []
+        for sub_name in self.subtypes(owner.name):
+            sub = self._classes.get(sub_name)
+            if sub is None:
+                continue
+            candidate = sub.find_method(method.name, method.arity)
+            if candidate is not None:
+                out.append(candidate)
+        return out
+
+    # -- iteration helpers ---------------------------------------------------------
+
+    def all_methods(self) -> List[JavaMethod]:
+        out: List[JavaMethod] = []
+        for cls in self._classes.values():
+            out.extend(cls.methods.values())
+        return out
+
+    def methods_matching(self, class_name: str, method_name: str, arity: Optional[int] = None) -> List[JavaMethod]:
+        cls = self._classes.get(class_name)
+        if cls is None:
+            return []
+        return [
+            m
+            for m in cls.methods_named(method_name)
+            if arity is None or m.arity == arity
+        ]

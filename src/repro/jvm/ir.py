@@ -1,0 +1,649 @@
+"""Jimple-like three-address intermediate representation.
+
+This is the Soot/Jimple replacement.  A method body is a flat list of
+:class:`Statement`; control transfers name a label carried by the target
+statement.  The statement forms cover exactly the rules of Table IV in
+the paper (original assignment, new, field store/load, static store/load,
+array store/load, cast, return, invoke-assign, invoke) plus the control
+statements (if/goto/switch/throw) needed for realistic bodies.
+
+Values are deliberately simple: bases of field/array references are
+locals, and invoke arguments are locals or constants — the "three
+address" discipline Soot's Jimple enforces.  The builder DSL
+(:mod:`repro.jvm.builder`) keeps that invariant for authored code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.jvm import types as jt
+
+__all__ = [
+    # values
+    "Value",
+    "Local",
+    "ThisRef",
+    "ParamRef",
+    "Constant",
+    "IntConst",
+    "StringConst",
+    "NullConst",
+    "ClassConst",
+    "InstanceFieldRef",
+    "StaticFieldRef",
+    "ArrayRef",
+    # expressions
+    "Expr",
+    "NewExpr",
+    "NewArrayExpr",
+    "CastExpr",
+    "InstanceOfExpr",
+    "BinOpExpr",
+    "InvokeExpr",
+    "InvokeKind",
+    # statements
+    "Statement",
+    "IdentityStmt",
+    "AssignStmt",
+    "InvokeStmt",
+    "ReturnStmt",
+    "IfStmt",
+    "GotoStmt",
+    "SwitchStmt",
+    "ThrowStmt",
+    "NopStmt",
+]
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+class Value:
+    """Base class of all IR values."""
+
+    def locals_used(self) -> Tuple["Local", ...]:
+        """Locals read when this value is evaluated."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class Local(Value):
+    """A method-local variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise IRError("local name must be non-empty")
+        self.name = name
+
+    def locals_used(self) -> Tuple["Local", ...]:
+        return (self,)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Local) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("local", self.name))
+
+
+class ThisRef(Value):
+    """``@this`` — the receiver of an instance method."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "@this"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ThisRef)
+
+    def __hash__(self) -> int:
+        return hash("@this")
+
+
+class ParamRef(Value):
+    """``@param-i`` — the i-th method parameter (1-based, as in the paper)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        if index < 1:
+            raise IRError("parameter index is 1-based")
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"@param-{self.index}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ParamRef) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("@param", self.index))
+
+
+class Constant(Value):
+    """Base class of constants."""
+
+    __slots__ = ()
+
+
+class IntConst(Constant):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntConst) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("int", self.value))
+
+
+class StringConst(Constant):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __str__(self) -> str:
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringConst) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("str", self.value))
+
+
+class NullConst(Constant):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "null"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullConst)
+
+    def __hash__(self) -> int:
+        return hash("null")
+
+
+class ClassConst(Constant):
+    """A ``Foo.class`` literal."""
+
+    __slots__ = ("class_name",)
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+
+    def __str__(self) -> str:
+        return f"class {self.class_name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassConst) and other.class_name == self.class_name
+
+    def __hash__(self) -> int:
+        return hash(("class", self.class_name))
+
+
+class InstanceFieldRef(Value):
+    """``base.field`` — instance field access (load or store position)."""
+
+    __slots__ = ("base", "field_name")
+
+    def __init__(self, base: Local, field_name: str):
+        if not isinstance(base, Local):
+            raise IRError("field base must be a local (three-address form)")
+        self.base = base
+        self.field_name = field_name
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        return (self.base,)
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field_name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InstanceFieldRef)
+            and other.base == self.base
+            and other.field_name == self.field_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ifield", self.base, self.field_name))
+
+
+class StaticFieldRef(Value):
+    """``Class.field`` — static field access."""
+
+    __slots__ = ("class_name", "field_name")
+
+    def __init__(self, class_name: str, field_name: str):
+        self.class_name = class_name
+        self.field_name = field_name
+
+    def __str__(self) -> str:
+        return f"{self.class_name}.{self.field_name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StaticFieldRef)
+            and other.class_name == self.class_name
+            and other.field_name == self.field_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(("sfield", self.class_name, self.field_name))
+
+
+class ArrayRef(Value):
+    """``base[index]`` — array element access."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Local, index: Value):
+        if not isinstance(base, Local):
+            raise IRError("array base must be a local (three-address form)")
+        if not isinstance(index, (Local, IntConst)):
+            raise IRError("array index must be a local or int constant")
+        self.base = base
+        self.index = index
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        used: List[Local] = [self.base]
+        used.extend(self.index.locals_used())
+        return tuple(used)
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayRef)
+            and other.base == self.base
+            and other.index == self.index
+        )
+
+    def __hash__(self) -> int:
+        return hash(("aref", self.base, self.index))
+
+
+# ---------------------------------------------------------------------------
+# Expressions (right-hand sides)
+# ---------------------------------------------------------------------------
+
+
+class Expr(Value):
+    """Base class of compound right-hand-side expressions."""
+
+    __slots__ = ()
+
+
+class NewExpr(Expr):
+    """``new ClassName`` — allocation (paper: destroys controllability)."""
+
+    __slots__ = ("class_name",)
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+
+    def __str__(self) -> str:
+        return f"new {self.class_name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NewExpr) and other.class_name == self.class_name
+
+    def __hash__(self) -> int:
+        return hash(("new", self.class_name))
+
+
+class NewArrayExpr(Expr):
+    """``newarray T[size]``."""
+
+    __slots__ = ("element_type", "size")
+
+    def __init__(self, element_type: jt.JavaType, size: Value):
+        self.element_type = element_type
+        self.size = size
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        return self.size.locals_used()
+
+    def __str__(self) -> str:
+        return f"newarray {self.element_type.name}[{self.size}]"
+
+
+class CastExpr(Expr):
+    """``(T) op`` — forced type conversion (controllability passes through)."""
+
+    __slots__ = ("target_type", "op")
+
+    def __init__(self, target_type: jt.JavaType, op: Value):
+        self.target_type = target_type
+        self.op = op
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        return self.op.locals_used()
+
+    def __str__(self) -> str:
+        return f"({self.target_type.name}) {self.op}"
+
+
+class InstanceOfExpr(Expr):
+    """``op instanceof T``."""
+
+    __slots__ = ("op", "check_type")
+
+    def __init__(self, op: Value, check_type: jt.JavaType):
+        self.op = op
+        self.check_type = check_type
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        return self.op.locals_used()
+
+    def __str__(self) -> str:
+        return f"{self.op} instanceof {self.check_type.name}"
+
+
+_BINOPS = {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&", "|", "^"}
+
+
+class BinOpExpr(Expr):
+    """``left op right`` for arithmetic and comparison operators."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Value, right: Value):
+        if op not in _BINOPS:
+            raise IRError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        return self.left.locals_used() + self.right.locals_used()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+class InvokeKind:
+    """Invocation kinds, mirroring JVM invoke instructions."""
+
+    VIRTUAL = "virtual"
+    SPECIAL = "special"
+    STATIC = "static"
+    INTERFACE = "interface"
+    DYNAMIC = "dynamic"  # used to model reflective/proxy dispatch
+
+    ALL = (VIRTUAL, SPECIAL, STATIC, INTERFACE, DYNAMIC)
+
+
+class InvokeExpr(Expr):
+    """A method invocation.
+
+    ``class_name``/``method_name``/len(args) identify the static callee;
+    virtual/interface dispatch is resolved against the class hierarchy
+    later.  ``base`` is None for static invokes.  ``DYNAMIC`` marks
+    reflective or dynamic-proxy call sites whose true callee a static
+    analyser cannot resolve (paper §V-B); all analysers in this repo
+    treat them as opaque.
+    """
+
+    __slots__ = ("kind", "base", "class_name", "method_name", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        base: Optional[Value],
+        class_name: str,
+        method_name: str,
+        args: Sequence[Value] = (),
+    ):
+        if kind not in InvokeKind.ALL:
+            raise IRError(f"unknown invoke kind {kind!r}")
+        if kind == InvokeKind.STATIC and base is not None:
+            raise IRError("static invoke must not have a base")
+        if kind in (InvokeKind.VIRTUAL, InvokeKind.SPECIAL, InvokeKind.INTERFACE):
+            if not isinstance(base, (Local, ThisRef)):
+                raise IRError(f"{kind} invoke base must be a local or @this")
+        for a in args:
+            if isinstance(a, Expr):
+                raise IRError("invoke arguments must be simple values")
+        self.kind = kind
+        self.base = base
+        self.class_name = class_name
+        self.method_name = method_name
+        self.args: Tuple[Value, ...] = tuple(args)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def locals_used(self) -> Tuple[Local, ...]:
+        used: List[Local] = []
+        if self.base is not None:
+            used.extend(self.base.locals_used())
+        for a in self.args:
+            used.extend(a.locals_used())
+        return tuple(used)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        target = f"{self.class_name}.{self.method_name}"
+        if self.base is not None:
+            return f"{self.kind} {self.base}.<{target}>({args})"
+        return f"{self.kind} <{target}>({args})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class of IR statements.
+
+    ``label`` names this statement as a branch target; ``line`` is an
+    optional source-position hint used in diagnostics.
+    """
+
+    def __init__(self, label: Optional[str] = None, line: int = 0):
+        self.label = label
+        self.line = line
+
+    def branch_targets(self) -> Tuple[str, ...]:
+        """Labels this statement may transfer control to."""
+        return ()
+
+    @property
+    def falls_through(self) -> bool:
+        """Whether control may continue to the next statement."""
+        return True
+
+    def invoke_expr(self) -> Optional[InvokeExpr]:
+        """The invocation performed by this statement, if any."""
+        return None
+
+    def _prefix(self) -> str:
+        return f"{self.label}: " if self.label else ""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+class IdentityStmt(Statement):
+    """``local := @this`` / ``local := @param-i`` (Jimple identity)."""
+
+    def __init__(self, local: Local, ref: Value, **kw):
+        super().__init__(**kw)
+        if not isinstance(ref, (ThisRef, ParamRef)):
+            raise IRError("identity statement assigns @this or @param-i")
+        self.local = local
+        self.ref = ref
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}{self.local} := {self.ref}"
+
+
+class AssignStmt(Statement):
+    """``target = rhs`` covering the assignment rows of Table IV.
+
+    ``target`` is a :class:`Local`, :class:`InstanceFieldRef`,
+    :class:`StaticFieldRef` or :class:`ArrayRef`; ``rhs`` is any value
+    or expression (including :class:`InvokeExpr` for
+    ``a = b.func(c)``).
+    """
+
+    def __init__(self, target: Value, rhs: Value, **kw):
+        super().__init__(**kw)
+        if not isinstance(target, (Local, InstanceFieldRef, StaticFieldRef, ArrayRef)):
+            raise IRError(f"invalid assignment target: {target!r}")
+        if isinstance(target, (InstanceFieldRef, StaticFieldRef, ArrayRef)):
+            if isinstance(rhs, Expr):
+                raise IRError("field/array stores take simple values (3-addr form)")
+        self.target = target
+        self.rhs = rhs
+
+    def invoke_expr(self) -> Optional[InvokeExpr]:
+        return self.rhs if isinstance(self.rhs, InvokeExpr) else None
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}{self.target} = {self.rhs}"
+
+
+class InvokeStmt(Statement):
+    """A bare method call, ``b.func(c);``."""
+
+    def __init__(self, expr: InvokeExpr, **kw):
+        super().__init__(**kw)
+        if not isinstance(expr, InvokeExpr):
+            raise IRError("InvokeStmt requires an InvokeExpr")
+        self.expr = expr
+
+    def invoke_expr(self) -> Optional[InvokeExpr]:
+        return self.expr
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}{self.expr}"
+
+
+class ReturnStmt(Statement):
+    """``return`` / ``return value``."""
+
+    def __init__(self, value: Optional[Value] = None, **kw):
+        super().__init__(**kw)
+        if isinstance(value, Expr):
+            raise IRError("return takes a simple value (three-address form)")
+        self.value = value
+
+    @property
+    def falls_through(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"{self._prefix()}return"
+        return f"{self._prefix()}return {self.value}"
+
+
+class IfStmt(Statement):
+    """``if cond goto label`` — conditional branch."""
+
+    def __init__(self, cond: Value, target: str, **kw):
+        super().__init__(**kw)
+        self.cond = cond
+        self.target = target
+
+    def branch_targets(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}if {self.cond} goto {self.target}"
+
+
+class GotoStmt(Statement):
+    """``goto label`` — unconditional branch."""
+
+    def __init__(self, target: str, **kw):
+        super().__init__(**kw)
+        self.target = target
+
+    def branch_targets(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    @property
+    def falls_through(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}goto {self.target}"
+
+
+class SwitchStmt(Statement):
+    """``switch key { case v: goto label ... default: goto label }``."""
+
+    def __init__(self, key: Value, cases: Sequence[Tuple[int, str]], default: str, **kw):
+        super().__init__(**kw)
+        self.key = key
+        self.cases: Tuple[Tuple[int, str], ...] = tuple(cases)
+        self.default = default
+
+    def branch_targets(self) -> Tuple[str, ...]:
+        return tuple(label for _, label in self.cases) + (self.default,)
+
+    @property
+    def falls_through(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        arms = ", ".join(f"case {v}: goto {l}" for v, l in self.cases)
+        return f"{self._prefix()}switch {self.key} {{ {arms}, default: goto {self.default} }}"
+
+
+class ThrowStmt(Statement):
+    """``throw value``."""
+
+    def __init__(self, value: Value, **kw):
+        super().__init__(**kw)
+        self.value = value
+
+    @property
+    def falls_through(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}throw {self.value}"
+
+
+class NopStmt(Statement):
+    """No operation; useful as a labelled join point."""
+
+    def __str__(self) -> str:
+        return f"{self._prefix()}nop"
+
+
+def iter_invoke_exprs(statements: Iterable[Statement]) -> List[InvokeExpr]:
+    """All invocation expressions in a statement sequence, in order."""
+    out: List[InvokeExpr] = []
+    for stmt in statements:
+        expr = stmt.invoke_expr()
+        if expr is not None:
+            out.append(expr)
+    return out

@@ -1,0 +1,130 @@
+"""Jar archives for jasm classes.
+
+A *jar* in this reproduction is a zip archive whose entries are
+``.jasm`` files (one per class, named after the class with ``/`` package
+separators, exactly like ``.class`` entries in real jars) plus a
+``META-INF/MANIFEST.MF`` recording the archive name and class count.
+
+:class:`JarArchive` is the in-memory form; :func:`write_jar` /
+:func:`read_jar` move it to and from disk.  :func:`load_classpath`
+reads a directory of jars the way Tabby's CLI consumes a dependency
+folder.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import zipfile
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import JarError
+from repro.jvm import jasm
+from repro.jvm.model import JavaClass
+
+__all__ = ["JarArchive", "write_jar", "read_jar", "load_classpath"]
+
+_MANIFEST_PATH = "META-INF/MANIFEST.MF"
+
+
+class JarArchive:
+    """A named collection of classes (the unit Table VIII counts)."""
+
+    def __init__(self, name: str, classes: Iterable[JavaClass] = ()):
+        if not name:
+            raise JarError("jar name must be non-empty")
+        self.name = name
+        self._classes: Dict[str, JavaClass] = {}
+        for cls in classes:
+            self.add(cls)
+
+    def add(self, cls: JavaClass) -> JavaClass:
+        if cls.name in self._classes:
+            raise JarError(f"{self.name}: duplicate class {cls.name}")
+        cls.jar_name = self.name
+        self._classes[cls.name] = cls
+        return cls
+
+    @property
+    def classes(self) -> List[JavaClass]:
+        return list(self._classes.values())
+
+    @property
+    def class_names(self) -> List[str]:
+        return list(self._classes)
+
+    def get(self, name: str) -> Optional[JavaClass]:
+        return self._classes.get(name)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __repr__(self) -> str:
+        return f"JarArchive({self.name!r}, {len(self)} classes)"
+
+    # -- size accounting (Table VIII reports "code amount (MB)") ----------
+
+    def code_size_bytes(self) -> int:
+        """Total size of the serialised jasm text of all classes."""
+        return sum(len(jasm.dump_class(c).encode()) for c in self.classes)
+
+
+def _entry_name(class_name: str) -> str:
+    return class_name.replace(".", "/") + ".jasm"
+
+
+def write_jar(archive: JarArchive, path: str) -> None:
+    """Write ``archive`` to ``path`` as a zip of jasm entries."""
+    manifest = (
+        "Manifest-Version: 1.0\n"
+        f"Archive-Name: {archive.name}\n"
+        f"Class-Count: {len(archive)}\n"
+    )
+    try:
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+            zf.writestr(_MANIFEST_PATH, manifest)
+            for cls in archive.classes:
+                zf.writestr(_entry_name(cls.name), jasm.dump_class(cls))
+    except OSError as exc:
+        raise JarError(f"cannot write jar {path}: {exc}") from exc
+
+
+def read_jar(path: str) -> JarArchive:
+    """Read a jar archive previously written by :func:`write_jar`."""
+    name = os.path.splitext(os.path.basename(path))[0]
+    try:
+        with zipfile.ZipFile(path, "r") as zf:
+            names = zf.namelist()
+            if _MANIFEST_PATH in names:
+                manifest = zf.read(_MANIFEST_PATH).decode()
+                for line in manifest.splitlines():
+                    if line.startswith("Archive-Name:"):
+                        name = line.split(":", 1)[1].strip()
+            archive = JarArchive(name)
+            for entry in names:
+                if not entry.endswith(".jasm"):
+                    continue
+                source = zf.read(entry).decode()
+                for cls in jasm.loads(source):
+                    archive.add(cls)
+            return archive
+    except (OSError, zipfile.BadZipFile) as exc:
+        raise JarError(f"cannot read jar {path}: {exc}") from exc
+
+
+def load_classpath(paths: Sequence[str]) -> List[JarArchive]:
+    """Load jars from files and/or directories of ``*.jar`` files."""
+    archives: List[JarArchive] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for entry in sorted(os.listdir(path)):
+                if entry.endswith(".jar"):
+                    archives.append(read_jar(os.path.join(path, entry)))
+        elif os.path.isfile(path):
+            archives.append(read_jar(path))
+        else:
+            raise JarError(f"classpath entry not found: {path}")
+    return archives

@@ -1,0 +1,647 @@
+"""jasm — the textual form of the IR.
+
+Where the paper's Tabby consumes Java bytecode inside jar files, this
+reproduction consumes *jasm*: a Jimple-flavoured assembly language that
+round-trips the IR of :mod:`repro.jvm.ir`.  Jar archives
+(:mod:`repro.jvm.jar`) are zip files of ``.jasm`` entries.
+
+Grammar sketch::
+
+    program   := classdecl*
+    classdecl := ("class" | "interface") QNAME
+                 ["extends" QNAME] ["implements" QNAME ("," QNAME)*]
+                 "{" member* "}"
+    member    := "field"  modifier* TYPE NAME ";"
+               | "method" modifier* TYPE NAME "(" [TYPE NAME ("," TYPE NAME)*] ")"
+                 ( ";" | "{" stmt* "}" )
+    stmt      := [NAME ":"] body ";"
+    body      := NAME ":=" ("@this" | "@param-"INT)
+               | ref "=" rhs
+               | invoke | "return" [val] | "if" val "goto" NAME
+               | "goto" NAME | "throw" val | "nop"
+               | "switch" val "{" ("case" INT ":" "goto" NAME)*
+                                  "default" ":" "goto" NAME "}"
+    ref       := NAME | NAME "." NAME | NAME "[" val "]" | "static" QNAME
+    rhs       := val | ref | "new" QNAME | "newarray" TYPE "[" val "]"
+               | "(" TYPE ")" val | val "instanceof" TYPE
+               | val BINOP val | invoke
+    invoke    := KIND [NAME] QNAME "(" [val ("," val)*] ")"
+    val       := NAME | INT | STRING | "null" | "class" QNAME
+
+A ``static`` reference writes the class and field as one dotted path;
+the final segment is the field name (``static java.lang.System.out``).
+An invoke writes the optional receiver local, then the dotted
+class-and-method path, e.g. ``virtual rt java.lang.Runtime.exec(cmd)``
+or ``static java.lang.Runtime.getRuntime()``; ``<init>`` and
+``<clinit>`` are valid final segments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import JasmSyntaxError
+from repro.jvm import ir
+from repro.jvm import types as jt
+from repro.jvm.model import JavaClass, JavaField, JavaMethod, Modifier
+
+__all__ = ["dumps", "loads", "dump_class", "Lexer", "Parser", "Token"]
+
+_MODIFIER_NAMES = (
+    "public",
+    "private",
+    "protected",
+    "static",
+    "final",
+    "abstract",
+    "native",
+    "transient",
+    "synchronized",
+    "volatile",
+)
+
+_KEYWORDS = {
+    "class",
+    "interface",
+    "extends",
+    "implements",
+    "field",
+    "method",
+    "return",
+    "if",
+    "goto",
+    "switch",
+    "case",
+    "default",
+    "throw",
+    "nop",
+    "new",
+    "newarray",
+    "instanceof",
+    "null",
+    "static",
+    *_MODIFIER_NAMES,
+} | set(ir.InvokeKind.ALL)
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<atref>@this|@param-\d+)
+  | (?P<assign_id>:=)
+  | (?P<int>-?\d+)
+  | (?P<qname>[A-Za-z_$<][\w$>]*(?:\.[A-Za-z_$<][\w$>]*)+)
+  | (?P<name>[A-Za-z_$<][\w$>]*)
+  | (?P<op>==|!=|<=|>=|\|\||&&|\[\]|[{}()\[\];:,.=<>+\-*/%&|^])
+    """,
+    re.VERBOSE,
+)
+
+
+class Lexer:
+    """Tokenises jasm source."""
+
+    def __init__(self, source: str):
+        self.source = source
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        pos = 0
+        line = 1
+        col = 1
+        n = len(self.source)
+        while pos < n:
+            m = _TOKEN_RE.match(self.source, pos)
+            if m is None:
+                raise JasmSyntaxError(
+                    f"unexpected character {self.source[pos]!r}", line, col
+                )
+            kind = m.lastgroup or ""
+            text = m.group()
+            if kind == "nl":
+                line += 1
+                col = 1
+            elif kind in ("ws", "comment"):
+                col += len(text)
+            else:
+                tkind = kind
+                if kind in ("name", "qname") and text in _KEYWORDS:
+                    tkind = "kw"
+                out.append(Token(tkind, text, line, col))
+                col += len(text)
+            pos = m.end()
+        out.append(Token("eof", "", line, col))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class Parser:
+    """Recursive-descent parser producing :class:`JavaClass` objects."""
+
+    def __init__(self, source: str):
+        self._tokens = Lexer(source).tokens()
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise JasmSyntaxError(
+                f"expected {want!r}, got {tok.text!r}", tok.line, tok.column
+            )
+        return tok
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self._peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._next()
+        return None
+
+    def _error(self, message: str) -> JasmSyntaxError:
+        tok = self._peek()
+        return JasmSyntaxError(message + f", got {tok.text!r}", tok.line, tok.column)
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse_program(self) -> List[JavaClass]:
+        classes: List[JavaClass] = []
+        while self._peek().kind != "eof":
+            classes.append(self.parse_class())
+        return classes
+
+    def parse_class(self) -> JavaClass:
+        modifiers = Modifier.PUBLIC
+        is_interface = False
+        tok = self._next()
+        if tok.kind == "kw" and tok.text == "interface":
+            is_interface = True
+            modifiers |= Modifier.INTERFACE | Modifier.ABSTRACT
+        elif not (tok.kind == "kw" and tok.text == "class"):
+            raise JasmSyntaxError(
+                f"expected 'class' or 'interface', got {tok.text!r}",
+                tok.line,
+                tok.column,
+            )
+        name = self._qname()
+        super_name: Optional[str] = "java.lang.Object"
+        interfaces: List[str] = []
+        if self._accept("kw", "extends"):
+            super_name = self._qname()
+        if name == "java.lang.Object":
+            super_name = None
+        if self._accept("kw", "implements"):
+            interfaces.append(self._qname())
+            while self._accept("op", ","):
+                interfaces.append(self._qname())
+        cls = JavaClass(name, super_name, interfaces, modifiers)
+        self._expect("op", "{")
+        while not self._accept("op", "}"):
+            kw = self._peek()
+            if kw.kind == "kw" and kw.text == "field":
+                self._parse_field(cls)
+            elif kw.kind == "kw" and kw.text == "method":
+                self._parse_method(cls, is_interface)
+            else:
+                raise self._error("expected 'field' or 'method'")
+        return cls
+
+    def _qname(self) -> str:
+        tok = self._next()
+        if tok.kind not in ("name", "qname"):
+            raise JasmSyntaxError(
+                f"expected a name, got {tok.text!r}", tok.line, tok.column
+            )
+        return tok.text
+
+    def _modifiers(self) -> Modifier:
+        flags = Modifier(0)
+        while True:
+            tok = self._peek()
+            if tok.kind == "kw" and tok.text in _MODIFIER_NAMES:
+                self._next()
+                flags |= Modifier[tok.text.upper()]
+            else:
+                break
+        return flags or Modifier.PUBLIC
+
+    def _type(self) -> jt.JavaType:
+        name = self._qname()
+        dims = 0
+        while self._peek().kind == "op" and self._peek().text == "[]":
+            self._next()
+            dims += 1
+        # also accept explicit '[' ']' pairs
+        while (
+            self._peek().text == "["
+            and self._peek(1).text == "]"
+        ):
+            self._next()
+            self._next()
+            dims += 1
+        base = jt.type_from_name(name)
+        if dims:
+            return jt.array_of(base, dims)
+        return base
+
+    def _identifier(self) -> str:
+        """An identifier position: keywords are acceptable names here
+        (Java fields/parameters may legitimately be called ``method``,
+        ``class`` has no such clash in jasm grammar positions)."""
+        tok = self._next()
+        if tok.kind not in ("name", "kw"):
+            raise JasmSyntaxError(
+                f"expected an identifier, got {tok.text!r}", tok.line, tok.column
+            )
+        return tok.text
+
+    def _parse_field(self, cls: JavaClass) -> None:
+        self._expect("kw", "field")
+        modifiers = self._modifiers()
+        ftype = self._type()
+        name = self._identifier()
+        self._expect("op", ";")
+        cls.add_field(JavaField(name, ftype, modifiers))
+
+    def _parse_method(self, cls: JavaClass, in_interface: bool) -> None:
+        self._expect("kw", "method")
+        modifiers = self._modifiers()
+        rtype = self._type()
+        name = self._qname()
+        self._expect("op", "(")
+        ptypes: List[jt.JavaType] = []
+        pnames: List[str] = []
+        if not self._accept("op", ")"):
+            while True:
+                ptypes.append(self._type())
+                pnames.append(self._identifier())
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        if in_interface:
+            modifiers |= Modifier.ABSTRACT
+        method = JavaMethod(name, ptypes, rtype, modifiers, pnames)
+        cls.add_method(method)
+        if self._accept("op", ";"):
+            return
+        self._expect("op", "{")
+        body: List[ir.Statement] = []
+        while not self._accept("op", "}"):
+            body.append(self._parse_statement())
+        method.body = body
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_statement(self) -> ir.Statement:
+        label: Optional[str] = None
+        if (
+            self._peek().kind == "name"
+            and self._peek(1).kind == "op"
+            and self._peek(1).text == ":"
+        ):
+            label = self._next().text
+            self._next()
+        stmt = self._parse_statement_body()
+        stmt.label = label
+        self._expect("op", ";")
+        return stmt
+
+    def _parse_statement_body(self) -> ir.Statement:
+        tok = self._peek()
+        if tok.kind == "kw":
+            if tok.text == "return":
+                self._next()
+                if self._peek().text == ";":
+                    return ir.ReturnStmt(None)
+                return ir.ReturnStmt(self._parse_value())
+            if tok.text == "if":
+                self._next()
+                cond = self._parse_value()
+                self._expect("kw", "goto")
+                return ir.IfStmt(cond, self._qname())
+            if tok.text == "goto":
+                self._next()
+                return ir.GotoStmt(self._qname())
+            if tok.text == "throw":
+                self._next()
+                return ir.ThrowStmt(self._parse_value())
+            if tok.text == "nop":
+                self._next()
+                return ir.NopStmt()
+            if tok.text == "switch":
+                return self._parse_switch()
+            if tok.text in ir.InvokeKind.ALL and self._is_invoke_ahead():
+                return ir.InvokeStmt(self._parse_invoke())
+            if tok.text == "static":
+                ref = self._parse_ref()
+                self._expect("op", "=")
+                return ir.AssignStmt(ref, self._parse_rhs())
+        # identity or assignment starting with a ref
+        if tok.kind == "name" and self._peek(1).kind == "assign_id":
+            local = ir.Local(self._next().text)
+            self._next()
+            at = self._expect("atref")
+            if at.text == "@this":
+                return ir.IdentityStmt(local, ir.ThisRef())
+            index = int(at.text[len("@param-") :])
+            return ir.IdentityStmt(local, ir.ParamRef(index))
+        ref = self._parse_ref()
+        self._expect("op", "=")
+        return ir.AssignStmt(ref, self._parse_rhs())
+
+    def _parse_switch(self) -> ir.SwitchStmt:
+        self._expect("kw", "switch")
+        key = self._parse_value()
+        self._expect("op", "{")
+        cases: List[Tuple[int, str]] = []
+        default: Optional[str] = None
+        while not self._accept("op", "}"):
+            if self._accept("kw", "case"):
+                value = int(self._expect("int").text)
+                self._expect("op", ":")
+                self._expect("kw", "goto")
+                cases.append((value, self._qname()))
+            elif self._accept("kw", "default"):
+                self._expect("op", ":")
+                self._expect("kw", "goto")
+                default = self._qname()
+            else:
+                raise self._error("expected 'case' or 'default'")
+            self._accept("op", ",")
+        if default is None:
+            raise self._error("switch requires a default arm")
+        return ir.SwitchStmt(key, cases, default)
+
+    # -- references and values -----------------------------------------------------
+
+    def _parse_ref(self) -> ir.Value:
+        if self._accept("kw", "static"):
+            path = self._qname()
+            class_name, _, field_name = path.rpartition(".")
+            if not class_name:
+                raise self._error("static reference needs Class.field")
+            return ir.StaticFieldRef(class_name, field_name)
+        tok = self._next()
+        if tok.kind == "qname":
+            parts = tok.text.split(".")
+            if len(parts) != 2:
+                raise JasmSyntaxError(
+                    f"instance field access is base.field, got {tok.text!r} "
+                    "(use 'static' for static fields)",
+                    tok.line,
+                    tok.column,
+                )
+            return ir.InstanceFieldRef(ir.Local(parts[0]), parts[1])
+        if tok.kind != "name":
+            raise JasmSyntaxError(
+                f"expected a reference, got {tok.text!r}", tok.line, tok.column
+            )
+        base = ir.Local(tok.text)
+        if self._peek().text == "[":
+            self._next()
+            index = self._parse_value()
+            self._expect("op", "]")
+            if not isinstance(index, (ir.Local, ir.IntConst)):
+                raise self._error("array index must be a local or int")
+            return ir.ArrayRef(base, index)
+        return base
+
+    def _parse_value(self) -> ir.Value:
+        tok = self._peek()
+        if tok.kind == "int":
+            self._next()
+            return ir.IntConst(int(tok.text))
+        if tok.kind == "string":
+            self._next()
+            raw = tok.text[1:-1]
+            return ir.StringConst(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if tok.kind == "kw" and tok.text == "null":
+            self._next()
+            return ir.NullConst()
+        if tok.kind == "kw" and tok.text == "class":
+            self._next()
+            return ir.ClassConst(self._qname())
+        if tok.kind == "kw" and tok.text == "static":
+            return self._parse_ref()
+        if tok.kind in ("name", "qname"):
+            return self._parse_ref()
+        raise JasmSyntaxError(
+            f"expected a value, got {tok.text!r}", tok.line, tok.column
+        )
+
+    def _parse_rhs(self) -> ir.Value:
+        tok = self._peek()
+        if tok.kind == "kw" and tok.text == "new":
+            self._next()
+            return ir.NewExpr(self._qname())
+        if tok.kind == "kw" and tok.text == "newarray":
+            self._next()
+            etype = self._type()
+            self._expect("op", "[")
+            size = self._parse_value()
+            self._expect("op", "]")
+            return ir.NewArrayExpr(etype, size)
+        if tok.kind == "kw" and tok.text in ir.InvokeKind.ALL and self._is_invoke_ahead():
+            return self._parse_invoke()
+        if tok.text == "(":
+            self._next()
+            ttype = self._type()
+            self._expect("op", ")")
+            return ir.CastExpr(ttype, self._parse_value())
+        value = self._parse_value()
+        nxt = self._peek()
+        if nxt.kind == "kw" and nxt.text == "instanceof":
+            self._next()
+            return ir.InstanceOfExpr(value, self._type())
+        if nxt.kind == "op" and nxt.text in (
+            "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&", "|", "^",
+        ):
+            self._next()
+            right = self._parse_value()
+            return ir.BinOpExpr(nxt.text, value, right)
+        return value
+
+    def _is_invoke_ahead(self) -> bool:
+        """Disambiguate ``static C.m(...)`` (invoke) from ``static C.f``
+        (field reference): an invoke has ``(`` after its target path."""
+        offset = 1
+        if self._peek(offset).kind == "name":  # receiver local
+            offset += 1
+        if self._peek(offset).kind != "qname":
+            return False
+        after = self._peek(offset + 1)
+        return after.kind == "op" and after.text == "("
+
+    def _parse_invoke(self) -> ir.InvokeExpr:
+        kind_tok = self._next()
+        kind = kind_tok.text
+        base: Optional[ir.Value] = None
+        if kind != ir.InvokeKind.STATIC:
+            tok = self._expect("name")
+            base = ir.Local(tok.text)
+        path_tok = self._next()
+        if path_tok.kind != "qname":
+            raise JasmSyntaxError(
+                f"expected Class.method path, got {path_tok.text!r}",
+                path_tok.line,
+                path_tok.column,
+            )
+        class_name, _, method_name = path_tok.text.rpartition(".")
+        if not class_name:
+            raise self._error("invoke target needs Class.method")
+        self._expect("op", "(")
+        args: List[ir.Value] = []
+        if not self._accept("op", ")"):
+            while True:
+                args.append(self._parse_value())
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        return ir.InvokeExpr(kind, base, class_name, method_name, args)
+
+
+# ---------------------------------------------------------------------------
+# Printer
+# ---------------------------------------------------------------------------
+
+
+def _fmt_value(v: ir.Value) -> str:
+    if isinstance(v, ir.StaticFieldRef):
+        return f"static {v.class_name}.{v.field_name}"
+    if isinstance(v, ir.InstanceFieldRef):
+        return f"{v.base.name}.{v.field_name}"
+    if isinstance(v, ir.ArrayRef):
+        return f"{v.base.name}[{_fmt_value(v.index)}]"
+    if isinstance(v, ir.InvokeExpr):
+        args = ", ".join(_fmt_value(a) for a in v.args)
+        target = f"{v.class_name}.{v.method_name}"
+        if v.base is None:
+            return f"{v.kind} {target}({args})"
+        base = "this" if isinstance(v.base, ir.ThisRef) else _fmt_value(v.base)
+        return f"{v.kind} {base} {target}({args})"
+    if isinstance(v, ir.NewExpr):
+        return f"new {v.class_name}"
+    if isinstance(v, ir.NewArrayExpr):
+        return f"newarray {v.element_type.name}[{_fmt_value(v.size)}]"
+    if isinstance(v, ir.CastExpr):
+        return f"({v.target_type.name}) {_fmt_value(v.op)}"
+    if isinstance(v, ir.InstanceOfExpr):
+        return f"{_fmt_value(v.op)} instanceof {v.check_type.name}"
+    if isinstance(v, ir.BinOpExpr):
+        return f"{_fmt_value(v.left)} {v.op} {_fmt_value(v.right)}"
+    return str(v)
+
+
+def _fmt_statement(stmt: ir.Statement) -> str:
+    prefix = f"{stmt.label}: " if stmt.label else ""
+    if isinstance(stmt, ir.IdentityStmt):
+        return f"{prefix}{stmt.local.name} := {stmt.ref}"
+    if isinstance(stmt, ir.AssignStmt):
+        return f"{prefix}{_fmt_value(stmt.target)} = {_fmt_value(stmt.rhs)}"
+    if isinstance(stmt, ir.InvokeStmt):
+        return f"{prefix}{_fmt_value(stmt.expr)}"
+    if isinstance(stmt, ir.ReturnStmt):
+        if stmt.value is None:
+            return f"{prefix}return"
+        return f"{prefix}return {_fmt_value(stmt.value)}"
+    if isinstance(stmt, ir.IfStmt):
+        return f"{prefix}if {_fmt_value(stmt.cond)} goto {stmt.target}"
+    if isinstance(stmt, ir.GotoStmt):
+        return f"{prefix}goto {stmt.target}"
+    if isinstance(stmt, ir.SwitchStmt):
+        arms = " ".join(f"case {v}: goto {l}," for v, l in stmt.cases)
+        return (
+            f"{prefix}switch {_fmt_value(stmt.key)} "
+            f"{{ {arms} default: goto {stmt.default} }}"
+        )
+    if isinstance(stmt, ir.ThrowStmt):
+        return f"{prefix}throw {_fmt_value(stmt.value)}"
+    if isinstance(stmt, ir.NopStmt):
+        return f"{prefix}nop"
+    raise JasmSyntaxError(f"cannot print statement {stmt!r}")
+
+
+def dump_class(cls: JavaClass) -> str:
+    """Serialise one class to jasm text."""
+    lines: List[str] = []
+    kind = "interface" if cls.is_interface else "class"
+    header = f"{kind} {cls.name}"
+    if cls.super_name and cls.super_name != "java.lang.Object":
+        header += f" extends {cls.super_name}"
+    if cls.interface_names:
+        header += " implements " + ", ".join(cls.interface_names)
+    lines.append(header + " {")
+    for field in cls.fields.values():
+        mods = " ".join(
+            n
+            for n in field.modifiers.names()
+            if n in _MODIFIER_NAMES and n != "public"
+        )
+        mods = (mods + " ") if mods else ""
+        lines.append(f"  field {mods}{field.type.name} {field.name};")
+    for method in cls.methods.values():
+        mods = " ".join(
+            n
+            for n in method.modifiers.names()
+            if n in _MODIFIER_NAMES and n != "public"
+        )
+        mods = (mods + " ") if mods else ""
+        params = ", ".join(
+            f"{t.name} {n}" for t, n in zip(method.param_types, method.param_names)
+        )
+        sig = f"  method {mods}{method.return_type.name} {method.name}({params})"
+        if not method.has_body:
+            lines.append(sig + ";")
+            continue
+        lines.append(sig + " {")
+        for stmt in method.body:
+            lines.append(f"    {_fmt_statement(stmt)};")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dumps(classes: Sequence[JavaClass]) -> str:
+    """Serialise classes to a single jasm document."""
+    return "\n".join(dump_class(c) for c in classes)
+
+
+def loads(source: str) -> List[JavaClass]:
+    """Parse jasm text into classes."""
+    return Parser(source).parse_program()

@@ -1,0 +1,227 @@
+"""Program validation — Soot-style body and linkage checks.
+
+`validate_classes` inspects a class set the way Soot validates Jimple
+bodies before analysis, reporting :class:`ValidationIssue` records
+rather than raising, so callers can decide between strict loading
+(``tabby analyze`` on untrusted jars) and best-effort analysis.
+
+Checks:
+
+* **body shape** — identity statements appear only in the prologue,
+  cover exactly the receiver and each parameter once, and every
+  non-void method returns on every fall-through path end;
+* **branch targets** — every ``goto``/``if``/``switch`` label resolves
+  within the body, with no duplicate labels;
+* **call sites** — when an invocation's declared class is defined, a
+  matching method (name + arity) must be resolvable through the
+  hierarchy; arity mismatches against a resolved method are flagged;
+* **field access** — instance/static field references into *defined*
+  classes must name a declared field (phantom classes are exempt,
+  like Soot's phantom refs);
+* **hierarchy sanity** — no inheritance cycles, interfaces are not
+  used as superclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.jvm import ir
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass, JavaMethod
+
+__all__ = ["ValidationIssue", "validate_classes"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a class set."""
+
+    severity: str  # "error" | "warning"
+    class_name: str
+    method_name: str
+    message: str
+
+    def __str__(self) -> str:
+        where = self.class_name
+        if self.method_name:
+            where += f".{self.method_name}"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+def validate_classes(classes: Sequence[JavaClass]) -> List[ValidationIssue]:
+    """Validate a class set; returns all issues found (empty = clean)."""
+    issues: List[ValidationIssue] = []
+    hierarchy = ClassHierarchy(classes)
+
+    issues.extend(_check_hierarchy(hierarchy))
+    for cls in classes:
+        for method in cls.methods.values():
+            if method.has_body:
+                issues.extend(_check_body(cls, method, hierarchy))
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# hierarchy checks
+# ---------------------------------------------------------------------------
+
+
+def _check_hierarchy(hierarchy: ClassHierarchy) -> List[ValidationIssue]:
+    issues: List[ValidationIssue] = []
+    for cls in hierarchy.classes:
+        if cls.super_name and cls.name in hierarchy.supertypes(cls.name):
+            issues.append(
+                ValidationIssue(
+                    "error", cls.name, "", "class participates in an inheritance cycle"
+                )
+            )
+        if cls.super_name:
+            parent = hierarchy.get(cls.super_name)
+            if parent is not None and parent.is_interface:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        cls.name,
+                        "",
+                        f"extends the interface {cls.super_name} "
+                        "(must use implements)",
+                    )
+                )
+        for iface_name in cls.interface_names:
+            iface = hierarchy.get(iface_name)
+            if iface is not None and not iface.is_interface:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        cls.name,
+                        "",
+                        f"implements the class {iface_name} (not an interface)",
+                    )
+                )
+    return issues
+
+
+# ---------------------------------------------------------------------------
+# body checks
+# ---------------------------------------------------------------------------
+
+
+def _check_body(
+    cls: JavaClass, method: JavaMethod, hierarchy: ClassHierarchy
+) -> List[ValidationIssue]:
+    issues: List[ValidationIssue] = []
+
+    def issue(severity: str, message: str) -> None:
+        issues.append(ValidationIssue(severity, cls.name, method.name, message))
+
+    body = method.body
+    labels: Set[str] = set()
+    for stmt in body:
+        if stmt.label is not None:
+            if stmt.label in labels:
+                issue("error", f"duplicate label {stmt.label!r}")
+            labels.add(stmt.label)
+
+    # prologue identities
+    prologue = True
+    seen_this = False
+    seen_params: Set[int] = set()
+    for stmt in body:
+        if isinstance(stmt, ir.IdentityStmt):
+            if not prologue:
+                issue("error", "identity statement outside the prologue")
+            if isinstance(stmt.ref, ir.ThisRef):
+                if method.is_static:
+                    issue("error", "@this in a static method")
+                if seen_this:
+                    issue("error", "duplicate @this binding")
+                seen_this = True
+            else:
+                index = stmt.ref.index
+                if index > method.arity:
+                    issue("error", f"@param-{index} exceeds arity {method.arity}")
+                if index in seen_params:
+                    issue("error", f"duplicate @param-{index} binding")
+                seen_params.add(index)
+        else:
+            prologue = False
+    if not method.is_static and not seen_this:
+        issue("warning", "receiver never bound (@this missing)")
+    missing = set(range(1, method.arity + 1)) - seen_params
+    if missing:
+        issue("warning", f"parameters never bound: {sorted(missing)}")
+
+    # control flow
+    for stmt in body:
+        for target in stmt.branch_targets():
+            if target not in labels:
+                issue("error", f"branch to undefined label {target!r}")
+    if body and body[-1].falls_through:
+        issue("error", "body may fall off the end without returning")
+
+    # call sites and field refs
+    for stmt in body:
+        invoke = stmt.invoke_expr()
+        if invoke is not None and invoke.kind != ir.InvokeKind.DYNAMIC:
+            declared = hierarchy.get(invoke.class_name)
+            if declared is not None:
+                resolved = hierarchy.resolve_method(
+                    invoke.class_name, invoke.method_name, invoke.arity
+                )
+                if resolved is None:
+                    wrong_arity = _resolve_any_arity(
+                        hierarchy, invoke.class_name, invoke.method_name
+                    )
+                    if wrong_arity is not None:
+                        issue(
+                            "error",
+                            f"call to {invoke.class_name}.{invoke.method_name} "
+                            f"with {invoke.arity} argument(s) does not match any "
+                            "overload",
+                        )
+                    else:
+                        issue(
+                            "warning",
+                            f"call target {invoke.class_name}."
+                            f"{invoke.method_name}/{invoke.arity} not found in the "
+                            "defined hierarchy",
+                        )
+        if isinstance(stmt, ir.AssignStmt):
+            for value in (stmt.target, stmt.rhs):
+                if isinstance(value, ir.StaticFieldRef):
+                    owner = hierarchy.get(value.class_name)
+                    if owner is not None and _find_field(
+                        hierarchy, value.class_name, value.field_name
+                    ) is None:
+                        issue(
+                            "warning",
+                            f"static field {value.class_name}.{value.field_name} "
+                            "not declared",
+                        )
+    return issues
+
+
+def _resolve_any_arity(
+    hierarchy: ClassHierarchy, class_name: str, method_name: str
+) -> Optional[JavaMethod]:
+    """A method of that name with *some* arity, up the hierarchy."""
+    for name in (class_name,) + hierarchy.supertypes(class_name):
+        cls = hierarchy.get(name)
+        if cls is not None:
+            found = cls.find_method(method_name)
+            if found is not None:
+                return found
+    return None
+
+
+def _find_field(hierarchy: ClassHierarchy, class_name: str, field_name: str):
+    cls = hierarchy.get(class_name)
+    if cls is not None and cls.field(field_name) is not None:
+        return cls.field(field_name)
+    for super_name in hierarchy.supertypes(class_name):
+        parent = hierarchy.get(super_name)
+        if parent is not None and parent.field(field_name) is not None:
+            return parent.field(field_name)
+    return None

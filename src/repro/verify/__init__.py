@@ -1,0 +1,24 @@
+"""Gadget-chain verification — the PoC oracle.
+
+The paper validates every reported chain by hand: "we manually
+instantiated the classes in the three tools' gadget chains and wrote a
+Proof of Concept to verify their effectiveness" (§IV-C).  This package
+mechanises that step for the jasm corpus: a chain-guided abstract
+interpreter simulates deserialization (the attacker controls the object
+graph: every field of a serialized object may hold an attacker-chosen
+serializable object) and executes the candidate chain, honouring the
+concrete semantics of branch guards over non-attacker state.  A chain
+is *effective* when the sink is reached with attacker data in every
+Trigger_Condition position.
+"""
+
+from repro.verify.payload import PayloadNode, PayloadSpec, PayloadSynthesizer
+from repro.verify.poc import ChainVerifier, VerificationReport
+
+__all__ = [
+    "ChainVerifier",
+    "VerificationReport",
+    "PayloadSynthesizer",
+    "PayloadSpec",
+    "PayloadNode",
+]

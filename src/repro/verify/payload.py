@@ -1,0 +1,377 @@
+"""Payload synthesis — the paper's §V-C future work, implemented.
+
+"Currently, Tabby cannot automatically generate malicious input
+payloads based on the identified gadget chains" — this module does,
+for the jasm corpus: given a verified chain, it derives the **attacker
+object graph** a deserialization exploit would serialise: which class
+to instantiate at the root, which field of each object must hold which
+next gadget instance, and where the attacker's command string lands.
+
+The synthesis walks the chain like the PoC oracle does, but instead of
+checking feasibility it records *why* each hop's receiver is
+attacker-reachable: the access path (``this.field``, ``this.field[0]``,
+a callee return, ...) from the current gadget object to the value that
+dispatches the next hop.  The result is a nested :class:`PayloadNode`
+tree, renderable as JSON (for tooling) or as a ysoserial-style recipe
+(for humans).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.chains import ChainStep, GadgetChain
+from repro.core.sinks import SinkCatalog
+from repro.errors import VerificationError
+from repro.jvm import ir
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass, JavaMethod
+
+__all__ = ["PayloadNode", "PayloadSpec", "PayloadSynthesizer"]
+
+#: the placeholder planted in Trigger_Condition positions
+ATTACKER_VALUE = "${attacker-controlled}"
+
+
+@dataclass
+class PayloadNode:
+    """One object in the attacker graph."""
+
+    class_name: str
+    #: field name -> nested gadget object or attacker scalar marker
+    fields: Dict[str, "PayloadNode | str"] = field(default_factory=dict)
+    #: arrays: field name -> element list (depth-1, as in the corpus)
+    note: str = ""
+
+    def to_jsonable(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"class": self.class_name}
+        if self.note:
+            out["note"] = self.note
+        if self.fields:
+            out["fields"] = {
+                name: value.to_jsonable() if isinstance(value, PayloadNode) else value
+                for name, value in self.fields.items()
+            }
+        return out
+
+
+@dataclass
+class PayloadSpec:
+    """A synthesised exploit recipe for one gadget chain."""
+
+    chain: GadgetChain
+    root: PayloadNode
+    trigger: str  # how the deserializer reaches the source method
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "trigger": self.trigger,
+                "sink": f"{self.chain.sink.qualified}()",
+                "object_graph": self.root.to_jsonable(),
+            },
+            indent=indent,
+        )
+
+    def render(self) -> str:
+        """A ysoserial-style human recipe."""
+        lines = [
+            f"exploit recipe for {self.chain.sink.qualified}() "
+            f"[{self.chain.sink_category}]",
+            f"trigger: {self.trigger}",
+            "serialize:",
+        ]
+        lines.extend(self._render_node(self.root, depth=1))
+        return "\n".join(lines)
+
+    def _render_node(self, node: "PayloadNode | str", depth: int) -> List[str]:
+        pad = "  " * depth
+        if isinstance(node, str):
+            return [f"{pad}{node}"]
+        lines = [f"{pad}new {node.class_name}" + (f"  // {node.note}" if node.note else "")]
+        for name, value in node.fields.items():
+            if isinstance(value, PayloadNode):
+                lines.append(f"{pad}  .{name} =")
+                lines.extend(self._render_node(value, depth + 2))
+            else:
+                lines.append(f"{pad}  .{name} = {value}")
+        return lines
+
+
+_SOURCE_TRIGGERS = {
+    "readObject": "native deserialization (ObjectInputStream.readObject)",
+    "readExternal": "native deserialization (Externalizable)",
+    "readResolve": "native deserialization (readResolve hook)",
+    "readObjectNoData": "native deserialization (readObjectNoData hook)",
+    "validateObject": "native deserialization (ObjectInputValidation)",
+    "finalize": "garbage-collection of the deserialized object",
+    "hashCode": "reconstruction of a hash-keyed collection (e.g. HashMap)",
+    "equals": "key comparison during collection reconstruction",
+    "compareTo": "reconstruction of an ordered collection",
+    "toString": "marshalling-framework string coercion",
+}
+
+
+class PayloadSynthesizer:
+    """Derives attacker object graphs from gadget chains."""
+
+    def __init__(
+        self,
+        classes: Sequence[JavaClass],
+        sinks: Optional[SinkCatalog] = None,
+    ):
+        self.hierarchy = ClassHierarchy(classes)
+        self.sinks = sinks if sinks is not None else SinkCatalog()
+
+    # -- public -------------------------------------------------------------
+
+    def synthesize(self, chain: GadgetChain) -> PayloadSpec:
+        """Build the payload recipe for ``chain``.
+
+        Raises :class:`VerificationError` when the chain's data flow
+        cannot be statically recovered (e.g. the source has no body).
+        Synthesis does not re-check feasibility — run the chain through
+        :class:`~repro.verify.poc.ChainVerifier` first.
+        """
+        source = chain.source
+        root = PayloadNode(source.class_name, note="chain entry point")
+        trigger = _SOURCE_TRIGGERS.get(
+            source.method_name, f"invocation of {source.method_name}()"
+        )
+        self._populate(root, list(chain.steps), 0)
+        return PayloadSpec(chain=chain, root=root, trigger=trigger)
+
+    # -- hop walking -----------------------------------------------------------
+
+    def _populate(
+        self,
+        node: PayloadNode,
+        steps: List[ChainStep],
+        index: int,
+        param_seeds: Optional[Dict[int, Tuple[PayloadNode, List[str]]]] = None,
+    ) -> None:
+        """Fill the object graph so that steps[index] (executing in the
+        gadget ``node``) dispatches steps[index+1...].
+
+        ``param_seeds`` maps the executing method's 1-based parameter
+        indexes to (owner node, access path) pairs from the caller frame
+        — how data threads across static hops and helper calls.
+        """
+        if index >= len(steps) - 1:
+            return
+        method = self._executing_method(steps[index])
+        if method is None:
+            raise VerificationError(
+                f"cannot synthesise: {steps[index].qualified} has no body"
+            )
+        next_index, next_exec = self._next_executable(steps, index + 1)
+        paths = self._local_access_paths(method, node, param_seeds or {})
+        invoke = self._find_dispatch(method, steps, index + 1)
+        if invoke is None:
+            raise VerificationError(
+                f"cannot synthesise: no dispatch from {steps[index].qualified} "
+                f"to {steps[index + 1].qualified}"
+            )
+
+        if next_exec is None or next_index == len(steps) - 1:
+            self._plant_sink_arguments(node, invoke, steps[-1], paths)
+            return
+
+        # bind the receiver of the next executable gadget
+        child_class = steps[next_index].class_name
+        receiver_loc = None
+        if isinstance(invoke.base, ir.Local):
+            receiver_loc = paths.get(invoke.base.name)
+        same_object = False
+        if receiver_loc is not None and receiver_loc[0] is node and not receiver_loc[1]:
+            # dispatch on `this` (an inherited method): same gadget object
+            child = node
+            same_object = True
+        elif self.hierarchy.is_subtype_of(node.class_name, child_class) and (
+            invoke.kind == ir.InvokeKind.STATIC
+            and steps[next_index].class_name == node.class_name
+        ):
+            child = node
+            same_object = True
+        else:
+            child = PayloadNode(child_class)
+            if invoke.kind == ir.InvokeKind.STATIC:
+                # static hop: the gadget travels through an argument
+                arg_loc = next(
+                    (
+                        paths[a.name]
+                        for a in invoke.args
+                        if isinstance(a, ir.Local) and a.name in paths
+                    ),
+                    None,
+                )
+                if arg_loc is not None and arg_loc[1]:
+                    self._assign_path(arg_loc[0], arg_loc[1], child)
+                else:
+                    node.fields.setdefault(f"<{invoke.method_name}-arg>", child)
+            elif receiver_loc is not None and receiver_loc[1]:
+                self._assign_path(receiver_loc[0], receiver_loc[1], child)
+            else:
+                child.note = "receiver produced by a call"
+                node.fields.setdefault(f"<{invoke.method_name}-receiver>", child)
+
+        # thread argument provenance into the callee frame
+        seeds: Dict[int, Tuple[PayloadNode, List[str]]] = {}
+        target_method = self._executing_method(steps[next_index])
+        offset = 0
+        if invoke.kind == ir.InvokeKind.STATIC and target_method is not None and not target_method.is_static:
+            offset = 0  # defensive; corpus static hops target static methods
+        for i, arg in enumerate(invoke.args, start=1):
+            if isinstance(arg, ir.Local) and arg.name in paths:
+                seeds[i + offset] = paths[arg.name]
+        if same_object and isinstance(invoke.base, ir.Local):
+            loc = paths.get(invoke.base.name)
+            if loc is not None:
+                seeds[0] = loc
+        self._populate(child, steps, next_index, seeds)
+
+    def _executing_method(self, step: ChainStep) -> Optional[JavaMethod]:
+        cls = self.hierarchy.get(step.class_name)
+        if cls is None:
+            return None
+        method = cls.find_method(step.method_name, step.arity)
+        if method is not None and method.has_body:
+            return method
+        return None
+
+    def _next_executable(
+        self, steps: List[ChainStep], start: int
+    ) -> Tuple[int, Optional[JavaMethod]]:
+        i = start
+        while (
+            i + 1 < len(steps)
+            and steps[i + 1].method_name == steps[i].method_name
+            and steps[i + 1].arity == steps[i].arity
+            and self.hierarchy.is_subtype_of(
+                steps[i + 1].class_name, steps[i].class_name
+            )
+        ):
+            i += 1
+        for j in range(i, len(steps)):
+            method = self._executing_method(steps[j])
+            if method is not None:
+                return j, method
+        return len(steps) - 1, None
+
+    # -- intra-method access-path recovery ----------------------------------------
+
+    def _find_dispatch(
+        self, method: JavaMethod, steps: List[ChainStep], target_index: int
+    ) -> Optional[ir.InvokeExpr]:
+        """Locate the invocation that advances the chain."""
+        target = steps[target_index]
+        for stmt in method.body:
+            invoke = stmt.invoke_expr()
+            if invoke is None:
+                continue
+            if invoke.kind == ir.InvokeKind.DYNAMIC:
+                return invoke  # proxies dispatch anywhere
+            if (
+                invoke.method_name == target.method_name
+                and invoke.arity == target.arity
+                and (
+                    invoke.class_name == target.class_name
+                    or self.hierarchy.is_subtype_of(
+                        target.class_name, invoke.class_name
+                    )
+                    or self.hierarchy.is_subtype_of(
+                        invoke.class_name, target.class_name
+                    )
+                )
+            ):
+                return invoke
+        return None
+
+    def _local_access_paths(
+        self,
+        method: JavaMethod,
+        this_node: PayloadNode,
+        param_seeds: Dict[int, Tuple[PayloadNode, List[str]]],
+    ) -> Dict[str, Tuple[PayloadNode, List[str]]]:
+        """Map each local to an (owner gadget node, field path) pair
+        where statically recoverable (straight-line field/array loads)."""
+        paths: Dict[str, Tuple[PayloadNode, List[str]]] = {}
+        for stmt in method.body:
+            if isinstance(stmt, ir.IdentityStmt):
+                if isinstance(stmt.ref, ir.ThisRef):
+                    paths[stmt.local.name] = (this_node, [])
+                else:
+                    seed = param_seeds.get(stmt.ref.index)
+                    if seed is not None:
+                        paths[stmt.local.name] = (seed[0], list(seed[1]))
+            elif isinstance(stmt, ir.AssignStmt) and isinstance(stmt.target, ir.Local):
+                rhs = stmt.rhs
+                if isinstance(rhs, ir.InstanceFieldRef) and rhs.base.name in paths:
+                    owner, base = paths[rhs.base.name]
+                    paths[stmt.target.name] = (owner, base + [rhs.field_name])
+                elif isinstance(rhs, ir.ArrayRef) and rhs.base.name in paths:
+                    owner, base = paths[rhs.base.name]
+                    paths[stmt.target.name] = (owner, base + ["[]"])
+                elif isinstance(rhs, ir.Local) and rhs.name in paths:
+                    owner, base = paths[rhs.name]
+                    paths[stmt.target.name] = (owner, list(base))
+                elif isinstance(rhs, ir.CastExpr):
+                    op = rhs.op
+                    if isinstance(op, ir.Local) and op.name in paths:
+                        owner, base = paths[op.name]
+                        paths[stmt.target.name] = (owner, list(base))
+                elif (
+                    isinstance(rhs, ir.InvokeExpr)
+                    and isinstance(rhs.base, ir.Local)
+                    and rhs.base.name in paths
+                    and paths[rhs.base.name][1]
+                ):
+                    # a call result derives from its receiver object;
+                    # attribute it to the receiver's access path so sink
+                    # arguments like `this.val2.toString()` resolve
+                    owner, base = paths[rhs.base.name]
+                    paths[stmt.target.name] = (owner, list(base))
+        return paths
+
+    def _assign_path(
+        self, node: PayloadNode, path: List[str], value: "PayloadNode | str"
+    ) -> None:
+        """Nest ``value`` under ``node`` along a field/array path."""
+        current = node
+        for i, segment in enumerate(path[:-1]):
+            nxt = current.fields.get(segment)
+            if not isinstance(nxt, PayloadNode):
+                is_array = i + 1 < len(path) and path[i + 1] == "[]"
+                nxt = PayloadNode("java.lang.Object[]" if is_array else "<holder>")
+                current.fields[segment] = nxt
+            current = nxt
+        last = path[-1] if path else "<receiver>"
+        current.fields[last] = value
+
+    # -- sink arguments ---------------------------------------------------------------
+
+    def _plant_sink_arguments(
+        self,
+        node: PayloadNode,
+        call: ir.InvokeExpr,
+        sink_step: ChainStep,
+        paths: Dict[str, Tuple[PayloadNode, List[str]]],
+    ) -> None:
+        """Mark the fields feeding the sink call's Trigger_Condition
+        positions as attacker values."""
+        sink = self.sinks.lookup(sink_step.class_name, sink_step.method_name)
+        tc = sink.trigger_condition if sink is not None else (0,)
+        for position in tc:
+            value = call.base if position == 0 else (
+                call.args[position - 1] if position - 1 < len(call.args) else None
+            )
+            if isinstance(value, ir.Local) and value.name in paths and paths[value.name][1]:
+                owner, fpath = paths[value.name]
+                self._assign_path(owner, fpath, ATTACKER_VALUE)
+            elif isinstance(value, ir.Local):
+                node.fields.setdefault(f"<arg-{position}>", ATTACKER_VALUE)
+        node.note = (node.note + "; " if node.note else "") + (
+            f"calls {sink_step.qualified}()"
+        )

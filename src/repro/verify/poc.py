@@ -1,0 +1,541 @@
+"""Chain-guided PoC verification.
+
+:class:`ChainVerifier` mechanises the paper's manual PoC step: it
+simulates the deserialization of an attacker-crafted object graph and
+checks that a candidate gadget chain actually executes from its source
+to its sink with attacker data in every Trigger_Condition position.
+
+The verifier walks the chain hop by hop.  Inside the current method's
+body it explores all *feasible* paths — branch guards over concrete,
+non-attacker state are evaluated for real (this is what kills the fake
+chains behind ``if``/``switch`` guards, §IV-E), while guards over
+attacker data explore both arms (the attacker picks the branch by
+crafting fields).  A hop to the next chain step is taken when an
+invocation's declared target matches the step and the receiver can be
+*bound*: either the receiver is attacker-derived (the attacker
+serialises an instance of the step's class there — requiring that class
+to be serializable) or it is a concrete object whose class actually
+dispatches to the step.  Reflective/proxy call sites (``DYNAMIC``)
+bind to any step when the receiver is attacker-derived — dynamic-proxy
+chains *verify* even though static analysers cannot find them (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.chains import ChainStep, GadgetChain
+from repro.core.sinks import SinkCatalog
+from repro.core.sources import SourceCatalog
+from repro.errors import VerificationError
+from repro.jvm import ir
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass, JavaMethod
+from repro.verify.values import AInt, ANull, AObject, AString, ATop, AValue
+
+__all__ = ["ChainVerifier", "VerificationReport"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one chain."""
+
+    chain: GadgetChain
+    effective: bool
+    reason: str
+    steps_used: int = 0
+
+    def __repr__(self) -> str:
+        verdict = "EFFECTIVE" if self.effective else "fake"
+        return f"<VerificationReport {verdict}: {self.reason}>"
+
+
+class _Budget:
+    __slots__ = ("remaining",)
+
+    def __init__(self, limit: int):
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        self.remaining -= 1
+        return self.remaining > 0
+
+
+class ChainVerifier:
+    """Verifies gadget chains against the class corpus they came from."""
+
+    def __init__(
+        self,
+        classes: Sequence[JavaClass],
+        sinks: Optional[SinkCatalog] = None,
+        sources: Optional[SourceCatalog] = None,
+        max_steps: int = 50_000,
+        max_loop_visits: int = 2,
+    ):
+        self.hierarchy = ClassHierarchy(classes)
+        self.sinks = sinks if sinks is not None else SinkCatalog()
+        self.sources = sources if sources is not None else SourceCatalog.extended()
+        self.max_steps = max_steps
+        self.max_loop_visits = max_loop_visits
+
+    # -- public ------------------------------------------------------------
+
+    def verify(self, chain: GadgetChain) -> VerificationReport:
+        budget = _Budget(self.max_steps)
+        source = chain.source
+        method = self._resolve_step(source)
+        if method is None or not method.has_body:
+            return VerificationReport(chain, False, "source method has no body")
+        if not self.sources.is_source(method, self.hierarchy):
+            return VerificationReport(
+                chain, False, "source is not a deserialization entry point"
+            )
+        statics: Dict[str, AValue] = {}
+        this_value = AObject(source.class_name, attacker=True)
+        args: List[AValue] = [ATop(tainted=True) for _ in range(method.arity)]
+        ok = self._run_hop(method, this_value, args, list(chain.steps), budget, statics)
+        used = self.max_steps - budget.remaining
+        if ok:
+            return VerificationReport(chain, True, "sink reached with attacker data", used)
+        if budget.remaining <= 0:
+            return VerificationReport(chain, False, "verification budget exhausted", used)
+        return VerificationReport(
+            chain, False, "no feasible execution reaches the sink", used
+        )
+
+    def verify_all(self, chains: Sequence[GadgetChain]) -> List[VerificationReport]:
+        return [self.verify(c) for c in chains]
+
+    # -- step resolution ------------------------------------------------------
+
+    def _resolve_step(self, step: ChainStep) -> Optional[JavaMethod]:
+        cls = self.hierarchy.get(step.class_name)
+        if cls is None:
+            return None
+        return cls.find_method(step.method_name, step.arity)
+
+    def _first_executable(
+        self, steps: List[ChainStep], start: int
+    ) -> Tuple[Optional[int], Optional[JavaMethod]]:
+        """The step that actually *executes* for the hop at ``start``.
+
+        Consecutive steps with the same name/arity form an alias-bridge
+        run (declaration -> override, e.g. ``Object.hashCode ->
+        URL.hashCode``): virtual dispatch selects the *last* method of
+        the run, even when an earlier declaration has a trivial body.
+        After the run, body-less steps (phantom/interface nodes) are
+        skipped forward.
+        """
+        i = start
+        while (
+            i + 1 < len(steps)
+            and steps[i + 1].method_name == steps[i].method_name
+            and steps[i + 1].arity == steps[i].arity
+            and self.hierarchy.is_subtype_of(
+                steps[i + 1].class_name, steps[i].class_name
+            )
+        ):
+            i += 1
+        for j in range(i, len(steps)):
+            method = self._resolve_step(steps[j])
+            if method is not None and method.has_body:
+                return j, method
+        return None, None
+
+    # -- hop execution ------------------------------------------------------------
+
+    def _run_hop(
+        self,
+        method: JavaMethod,
+        this_value: Optional[AValue],
+        args: List[AValue],
+        remaining: List[ChainStep],
+        budget: _Budget,
+        statics: Dict[str, AValue],
+    ) -> bool:
+        """Execute ``method`` (the step remaining[0]) looking for a
+        feasible invocation that advances the chain."""
+        if len(remaining) < 2:
+            raise VerificationError("hop called with a completed chain")
+
+        # Which invocation advances the chain?  The immediate next step;
+        # body-less steps (alias/interface/phantom nodes) are looked
+        # through to the next executable step, or to the sink.
+        next_step = remaining[1]
+        exec_index, exec_method = self._first_executable(remaining, 1)
+        sink_is_next = exec_index is None or exec_index == len(remaining) - 1
+        # the sink itself may be a defined method; treat the final step
+        # as the sink regardless
+        sink_step = remaining[-1]
+
+        # DFS over (stmt index, environment)
+        env: Dict[str, AValue] = {}
+        frames: List[Tuple[int, Dict[str, AValue], Dict[int, int]]] = [(0, env, {})]
+        body = method.body
+        labels = {s.label: i for i, s in enumerate(body) if s.label}
+
+        while frames:
+            if not budget.spend():
+                return False
+            index, env, visits = frames.pop()
+            if index >= len(body):
+                continue
+            count = visits.get(index, 0)
+            if count >= self.max_loop_visits:
+                continue
+            visits = dict(visits)
+            visits[index] = count + 1
+            stmt = body[index]
+
+            if isinstance(stmt, ir.IdentityStmt):
+                env = dict(env)
+                if isinstance(stmt.ref, ir.ThisRef):
+                    env[stmt.local.name] = this_value or ATop()
+                else:
+                    pi = stmt.ref.index
+                    env[stmt.local.name] = (
+                        args[pi - 1] if pi - 1 < len(args) else ATop()
+                    )
+                frames.append((index + 1, env, visits))
+                continue
+
+            invoke = stmt.invoke_expr()
+            if invoke is not None:
+                receiver = (
+                    self._eval(invoke.base, env, statics)
+                    if invoke.base is not None
+                    else None
+                )
+                arg_values = [self._eval(a, env, statics) for a in invoke.args]
+                # (a) does this invocation advance the chain?
+                if self._matches_step(invoke, next_step, receiver):
+                    if sink_is_next or exec_method is None:
+                        if self._sink_satisfied(invoke, sink_step, receiver, arg_values):
+                            return True
+                    else:
+                        bound = self._bind_receiver(
+                            invoke, receiver, remaining[exec_index], exec_method
+                        )
+                        if bound is not False:
+                            if self._run_hop(
+                                exec_method,
+                                bound,
+                                arg_values,
+                                remaining[exec_index:],
+                                budget,
+                                statics,
+                            ):
+                                return True
+                # (b) otherwise summarise the call and continue this path
+                env = dict(env)
+                self._summarise_call(stmt, invoke, receiver, arg_values, env)
+                frames.append((index + 1, env, visits))
+                continue
+
+            if isinstance(stmt, ir.AssignStmt):
+                env = dict(env)
+                self._assign(stmt, env, statics)
+                frames.append((index + 1, env, visits))
+                continue
+
+            if isinstance(stmt, ir.IfStmt):
+                cond = self._eval(stmt.cond, env, statics)
+                target = labels.get(stmt.target)
+                taken = cond.concrete_int
+                if taken is None or cond.tainted:
+                    # unknown/attacker guard: both arms feasible
+                    if target is not None:
+                        frames.append((target, env, visits))
+                    frames.append((index + 1, env, visits))
+                elif taken != 0:
+                    if target is not None:
+                        frames.append((target, env, visits))
+                else:
+                    frames.append((index + 1, env, visits))
+                continue
+
+            if isinstance(stmt, ir.GotoStmt):
+                target = labels.get(stmt.target)
+                if target is not None:
+                    frames.append((target, env, visits))
+                continue
+
+            if isinstance(stmt, ir.SwitchStmt):
+                key = self._eval(stmt.key, env, statics)
+                concrete = key.concrete_int
+                if concrete is not None and not key.tainted:
+                    chosen = stmt.default
+                    for value, label in stmt.cases:
+                        if value == concrete:
+                            chosen = label
+                            break
+                    target = labels.get(chosen)
+                    if target is not None:
+                        frames.append((target, env, visits))
+                else:
+                    for _, label in stmt.cases:
+                        target = labels.get(label)
+                        if target is not None:
+                            frames.append((target, env, visits))
+                    target = labels.get(stmt.default)
+                    if target is not None:
+                        frames.append((target, env, visits))
+                continue
+
+            if isinstance(stmt, (ir.ReturnStmt, ir.ThrowStmt)):
+                continue  # path ends without reaching the next hop
+
+            # NopStmt and anything else: fall through
+            frames.append((index + 1, env, visits))
+
+        return False
+
+    # -- matching ------------------------------------------------------------------
+
+    def _matches_step(
+        self, invoke: ir.InvokeExpr, step: ChainStep, receiver: Optional[AValue]
+    ) -> bool:
+        if invoke.kind == ir.InvokeKind.DYNAMIC:
+            # dynamic proxy / reflection: the attacker picks the target
+            return receiver is not None and receiver.tainted
+        if invoke.method_name != step.method_name or invoke.arity != step.arity:
+            return False
+        if invoke.class_name == step.class_name:
+            return True
+        # dispatch-aware: some tools (GadgetInspector) record the resolved
+        # override rather than the declared target; accept either end of
+        # the alias relation
+        return self.hierarchy.is_subtype_of(
+            step.class_name, invoke.class_name
+        ) or self.hierarchy.is_subtype_of(invoke.class_name, step.class_name)
+
+    def _bind_receiver(
+        self,
+        invoke: ir.InvokeExpr,
+        receiver: Optional[AValue],
+        exec_step: ChainStep,
+        exec_method: JavaMethod,
+    ):
+        """Can the receiver dispatch to ``exec_method``?
+
+        Returns the bound receiver value (may be None for static calls)
+        or False when binding is impossible.
+        """
+        if invoke.kind == ir.InvokeKind.STATIC:
+            # static target must be the executable step itself
+            if (
+                invoke.class_name == exec_step.class_name
+                and invoke.method_name == exec_step.method_name
+            ):
+                return None
+            return False
+        if receiver is None:
+            return False
+        if isinstance(receiver, AObject):
+            # the receiver's class is known: if dispatch on it already
+            # selects the executable method (including inherited
+            # superclass methods), no new object is needed
+            resolved = self.hierarchy.resolve_method(
+                receiver.cls, invoke.method_name, invoke.arity
+            )
+            if resolved is exec_method:
+                return receiver
+            if not receiver.attacker:
+                return False  # concrete allocation: class is fixed
+        if receiver.tainted:
+            # attacker-chosen object: must be a serializable instance of
+            # the executable step's class (when the profile demands it)
+            if self.sources.require_serializable and not self.hierarchy.is_serializable(
+                exec_step.class_name
+            ):
+                return False
+            return AObject(exec_step.class_name, attacker=True)
+        return False
+
+    def _sink_satisfied(
+        self,
+        invoke: ir.InvokeExpr,
+        sink_step: ChainStep,
+        receiver: Optional[AValue],
+        args: List[AValue],
+    ) -> bool:
+        if invoke.kind != ir.InvokeKind.DYNAMIC:
+            if (
+                invoke.class_name != sink_step.class_name
+                or invoke.method_name != sink_step.method_name
+            ):
+                return False
+        sink = self.sinks.lookup(sink_step.class_name, sink_step.method_name)
+        tc = sink.trigger_condition if sink is not None else (0,)
+        for position in tc:
+            if position == 0:
+                if receiver is None or not receiver.tainted:
+                    return False
+            else:
+                if position - 1 >= len(args) or not args[position - 1].tainted:
+                    return False
+        return True
+
+    def _read_field(self, base: AObject, field_name: str) -> AValue:
+        """Field read honouring ``transient``: the deserializer does not
+        restore transient fields from attacker bytes — the runtime
+        repopulates them with trusted instances of the declared type
+        (the ``URL.handler`` situation in URLDNS)."""
+        existing = base.fields.get(field_name)
+        if existing is not None:
+            return existing
+        declaration = None
+        cls = self.hierarchy.get(base.cls)
+        if cls is not None:
+            declaration = cls.field(field_name)
+            if declaration is None:
+                for super_name in self.hierarchy.supertypes(base.cls):
+                    super_cls = self.hierarchy.get(super_name)
+                    if super_cls is not None:
+                        declaration = super_cls.field(field_name)
+                        if declaration is not None:
+                            break
+        if (
+            base.attacker
+            and declaration is not None
+            and declaration.is_transient
+            and declaration.type.is_reference
+        ):
+            trusted = AObject(declaration.type.name, attacker=False)
+            base.fields[field_name] = trusted
+            return trusted
+        return base.get_field(field_name)
+
+    # -- expression evaluation -------------------------------------------------------
+
+    def _eval(
+        self, value: ir.Value, env: Dict[str, AValue], statics: Dict[str, AValue]
+    ) -> AValue:
+        if isinstance(value, ir.Local):
+            return env.get(value.name, ATop())
+        if isinstance(value, ir.IntConst):
+            return AInt(value.value)
+        if isinstance(value, ir.StringConst):
+            return AString(value.value)
+        if isinstance(value, ir.NullConst):
+            return ANull()
+        if isinstance(value, ir.ClassConst):
+            return ATop()
+        if isinstance(value, ir.InstanceFieldRef):
+            base = env.get(value.base.name, ATop())
+            if isinstance(base, AObject):
+                return self._read_field(base, value.field_name)
+            if base.tainted:
+                return ATop(tainted=True)
+            return ATop()
+        if isinstance(value, ir.StaticFieldRef):
+            # unset static state is JVM-default (0 / null), NOT attacker data
+            return statics.get(
+                f"{value.class_name}.{value.field_name}", AInt(0)
+            )
+        if isinstance(value, ir.ArrayRef):
+            base = env.get(value.base.name, ATop())
+            if isinstance(base, AObject):
+                return base.get_field("[]")
+            return ATop(tainted=base.tainted)
+        if isinstance(value, ir.CastExpr):
+            return self._eval(value.op, env, statics)
+        if isinstance(value, ir.InstanceOfExpr):
+            return AInt(None, tainted=self._eval(value.op, env, statics).tainted)
+        if isinstance(value, ir.BinOpExpr):
+            return self._eval_binop(value, env, statics)
+        if isinstance(value, ir.NewExpr):
+            return AObject(value.class_name, attacker=False)
+        if isinstance(value, ir.NewArrayExpr):
+            return AObject("[]", attacker=False)
+        if isinstance(value, ir.InvokeExpr):  # pragma: no cover - handled upstream
+            return ATop()
+        raise VerificationError(f"cannot evaluate {value!r}")
+
+    def _eval_binop(
+        self, expr: ir.BinOpExpr, env: Dict[str, AValue], statics: Dict[str, AValue]
+    ) -> AValue:
+        left = self._eval(expr.left, env, statics)
+        right = self._eval(expr.right, env, statics)
+        tainted = left.tainted or right.tainted
+        a, b = left.concrete_int, right.concrete_int
+        if a is None or b is None or tainted:
+            return AInt(None, tainted=tainted)
+        op = expr.op
+        try:
+            if op == "+":
+                return AInt(a + b)
+            if op == "-":
+                return AInt(a - b)
+            if op == "*":
+                return AInt(a * b)
+            if op == "/":
+                return AInt(a // b if b else 0)
+            if op == "%":
+                return AInt(a % b if b else 0)
+            if op == "==":
+                return AInt(int(a == b))
+            if op == "!=":
+                return AInt(int(a != b))
+            if op == "<":
+                return AInt(int(a < b))
+            if op == "<=":
+                return AInt(int(a <= b))
+            if op == ">":
+                return AInt(int(a > b))
+            if op == ">=":
+                return AInt(int(a >= b))
+            if op == "&":
+                return AInt(a & b)
+            if op == "|":
+                return AInt(a | b)
+            if op == "^":
+                return AInt(a ^ b)
+        except (OverflowError, ValueError):  # pragma: no cover - defensive
+            return AInt(None, tainted=tainted)
+        return AInt(None, tainted=tainted)
+
+    # -- state updates ------------------------------------------------------------------
+
+    def _assign(
+        self, stmt: ir.AssignStmt, env: Dict[str, AValue], statics: Dict[str, AValue]
+    ) -> None:
+        value = self._eval(stmt.rhs, env, statics)
+        target = stmt.target
+        if isinstance(target, ir.Local):
+            env[target.name] = value
+        elif isinstance(target, ir.InstanceFieldRef):
+            base = env.get(target.base.name, ATop())
+            if isinstance(base, AObject):
+                base.set_field(target.field_name, value)
+        elif isinstance(target, ir.StaticFieldRef):
+            statics[f"{target.class_name}.{target.field_name}"] = value
+        elif isinstance(target, ir.ArrayRef):
+            base = env.get(target.base.name, ATop())
+            if isinstance(base, AObject):
+                base.set_field("[]", value)
+
+    def _summarise_call(
+        self,
+        stmt: ir.Statement,
+        invoke: ir.InvokeExpr,
+        receiver: Optional[AValue],
+        args: List[AValue],
+        env: Dict[str, AValue],
+    ) -> None:
+        """Off-chain call: the result (and mutated receiver) derives
+        from the inputs' taint; no body is executed."""
+        tainted = bool(receiver is not None and receiver.tainted) or any(
+            a.tainted for a in args
+        )
+        if (
+            isinstance(receiver, AObject)
+            and any(a.tainted for a in args)
+            and invoke.method_name == "<init>"
+        ):
+            # constructor stuffing attacker data into a fresh object
+            receiver.tainted = True
+            receiver.attacker = True
+        if isinstance(stmt, ir.AssignStmt) and isinstance(stmt.target, ir.Local):
+            env[stmt.target.name] = ATop(tainted=tainted)

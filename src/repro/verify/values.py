@@ -1,0 +1,131 @@
+"""Abstract value domain for the PoC oracle.
+
+The verifier needs just enough concreteness to evaluate the branch
+guards that break fake chains (§IV-E: Tabby's false positives come from
+"certain logical judgments in the code") and just enough taint to check
+Trigger_Conditions at the sink:
+
+* :class:`AInt` — integers with an optional concrete value;
+* :class:`AString` — strings with an optional concrete value;
+* :class:`ANull` — the null reference;
+* :class:`AObject` — an object with a class name and field map;
+  ``attacker=True`` marks objects the attacker materialises during
+  deserialization (their unset fields yield fresh attacker values —
+  the attacker chooses what was serialized there);
+* :class:`ATop` — unknown values (summarised call results).
+
+Every value carries ``tainted``: whether it derives from attacker data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["AValue", "AInt", "AString", "ANull", "AObject", "ATop"]
+
+
+class AValue:
+    """Base abstract value."""
+
+    __slots__ = ("tainted",)
+
+    def __init__(self, tainted: bool = False):
+        self.tainted = tainted
+
+    @property
+    def concrete_int(self) -> Optional[int]:
+        return None
+
+    @property
+    def class_name(self) -> Optional[str]:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        taint = "T" if self.tainted else "-"
+        return f"<{type(self).__name__} {taint}>"
+
+
+class AInt(AValue):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[int] = None, tainted: bool = False):
+        super().__init__(tainted)
+        self.value = value
+
+    @property
+    def concrete_int(self) -> Optional[int]:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        taint = "T" if self.tainted else "-"
+        return f"<AInt {self.value} {taint}>"
+
+
+class AString(AValue):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[str] = None, tainted: bool = False):
+        super().__init__(tainted)
+        self.value = value
+
+
+class ANull(AValue):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(False)
+
+    @property
+    def concrete_int(self) -> Optional[int]:
+        return 0  # null compares equal to the zero constant in guards
+
+
+class AObject(AValue):
+    """An object instance.
+
+    ``attacker`` objects are materialised by the deserializer from
+    attacker bytes: reading an *unset* non-transient field produces a
+    fresh attacker value (the attacker serialised whatever they liked
+    there).  Concrete (``new``-allocated) objects read unset fields as
+    null, like a real JVM.
+    """
+
+    __slots__ = ("cls", "fields", "attacker")
+
+    def __init__(
+        self,
+        cls: str,
+        attacker: bool = False,
+        fields: Optional[Dict[str, AValue]] = None,
+    ):
+        super().__init__(tainted=attacker)
+        self.cls = cls
+        self.attacker = attacker
+        self.fields: Dict[str, AValue] = dict(fields or {})
+
+    @property
+    def class_name(self) -> Optional[str]:
+        return self.cls
+
+    def get_field(self, name: str) -> AValue:
+        value = self.fields.get(name)
+        if value is not None:
+            return value
+        if self.attacker:
+            fresh = ATop(tainted=True)
+            self.fields[name] = fresh
+            return fresh
+        return ANull()
+
+    def set_field(self, name: str, value: AValue) -> None:
+        self.fields[name] = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "atk" if self.attacker else "new"
+        return f"<AObject {self.cls} {kind}>"
+
+
+class ATop(AValue):
+    """An unknown value (e.g. the result of a summarised call)."""
+
+    __slots__ = ()

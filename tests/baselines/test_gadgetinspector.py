@@ -1,0 +1,124 @@
+"""Tests for the GadgetInspector baseline and its designed weaknesses."""
+
+import pytest
+
+from repro.baselines import GadgetInspector
+from repro.corpus.jdk import build_lang_base
+from repro.corpus.patterns import (
+    plant_extends_chain,
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_proxy_chain,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+
+def classes_with(plant):
+    pb = ProgramBuilder(jar="x.jar")
+    spec = plant(pb)
+    return build_lang_base() + pb.build(), spec
+
+
+class TestDispatchWeakness:
+    def test_follows_extension_dispatch(self):
+        classes, spec = classes_with(
+            lambda pb: plant_extends_chain(
+                pb, base="t.Base", sub="t.Sub", source="t.Src", sink_key="exec"
+            )
+        )
+        result = GadgetInspector(classes).run()
+        assert any(spec.matches(c) for c in result.chains)
+
+    def test_misses_interface_dispatch(self):
+        classes, spec = classes_with(
+            lambda pb: plant_interface_chain(
+                pb, iface="t.I", impl="t.Impl", source="t.Src", sink_key="exec"
+            )
+        )
+        result = GadgetInspector(classes).run()
+        assert not any(spec.matches(c) for c in result.chains)
+
+    def test_misses_dynamic_proxy(self):
+        classes, spec = classes_with(
+            lambda pb: plant_proxy_chain(
+                pb, source="t.Src", handler="t.H", sink_key="exec"
+            )
+        )
+        result = GadgetInspector(classes).run()
+        assert result.chains == []
+
+
+class TestTaintWeakness:
+    def test_reports_uncontrollable_sink_args(self):
+        """GI's optimistic taint: constant-argument sink calls reachable
+        from a source are reported (its FPR driver)."""
+        pb = ProgramBuilder(jar="x.jar")
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                rt = m.invoke_static(
+                    "java.lang.Runtime", "getRuntime", returns="java.lang.Runtime"
+                )
+                m.invoke(rt, "java.lang.Runtime", "exec", ["rm -rf /tmp/cache"])
+        classes = build_lang_base() + pb.build()
+        result = GadgetInspector(classes).run()
+        assert result.result_count == 1
+
+    def test_reports_guard_decoys(self):
+        classes, _ = classes_with(
+            lambda pb: plant_guard_decoy(pb, "t.Decoy", "t.Config")
+        )
+        result = GadgetInspector(classes).run()
+        assert result.result_count == 1
+
+
+class TestVisitedSetWeakness:
+    def test_second_route_through_shared_node_lost(self):
+        """Two sources sharing a helper: the helper is visited once per
+        source, so both chains are found; but two routes from ONE source
+        through a shared helper yield only the first."""
+        pb = ProgramBuilder(jar="x.jar")
+        with pb.cls("t.Helper") as c:
+            with c.method("sinkCall", params=["java.lang.Object"]) as m:
+                rt = m.invoke_static(
+                    "java.lang.Runtime", "getRuntime", returns="java.lang.Runtime"
+                )
+                m.invoke(rt, "java.lang.Runtime", "exec", [m.param(1)])
+        with pb.cls("t.Mid") as c:
+            with c.method("route", params=["java.lang.Object"]) as m:
+                h = m.new("t.Helper")
+                m.invoke(h, "t.Helper", "sinkCall", [m.param(1)])
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("v", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                v = m.get_field(m.this, "v")
+                h = m.new("t.Helper")
+                m.invoke(h, "t.Helper", "sinkCall", [v])  # direct route
+                mid = m.new("t.Mid")
+                m.invoke(mid, "t.Mid", "route", [v])  # route via Mid
+        classes = build_lang_base() + pb.build()
+        result = GadgetInspector(classes).run()
+        # whichever route reaches t.Helper.sinkCall first wins; the
+        # other requires revisiting the node and is lost
+        routes = {tuple(s.class_name for s in c.steps) for c in result.chains}
+        through_helper = {r for r in routes if "t.Helper" in r}
+        assert len(through_helper) == 1
+
+
+class TestBudget:
+    def test_step_budget_marks_unterminated(self):
+        classes, _ = classes_with(
+            lambda pb: plant_extends_chain(
+                pb, base="t.Base", sub="t.Sub", source="t.Src", sink_key="exec"
+            )
+        )
+        result = GadgetInspector(classes, step_budget=1).run()
+        assert not result.terminated
+
+    def test_result_repr(self):
+        classes, _ = classes_with(
+            lambda pb: plant_guard_decoy(pb, "t.D", "t.C")
+        )
+        result = GadgetInspector(classes).run()
+        assert "gadgetinspector" in repr(result)
+        assert result.elapsed_seconds >= 0

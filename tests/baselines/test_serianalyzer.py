@@ -1,0 +1,99 @@
+"""Tests for the Serianalyzer baseline and its designed weaknesses."""
+
+import pytest
+
+from repro.baselines import Serianalyzer
+from repro.core.chains import filter_by_package
+from repro.corpus.jdk import build_lang_base
+from repro.corpus.patterns import (
+    plant_interface_chain,
+    plant_sl_bomb,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+
+class TestOverApproximation:
+    def test_name_only_source_check(self):
+        """A toString on a NON-serializable class heads an SL chain."""
+        pb = ProgramBuilder(jar="x.jar")
+        with pb.cls("t.NotSerializable") as c:
+            with c.method("toString", returns="java.lang.String") as m:
+                rt = m.invoke_static(
+                    "java.lang.Runtime", "getRuntime", returns="java.lang.Runtime"
+                )
+                m.invoke(rt, "java.lang.Runtime", "exec", ["id"])
+                m.ret("x")
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes).run()
+        assert result.result_count == 1
+
+    def test_finds_interface_chains(self):
+        pb = ProgramBuilder(jar="x.jar")
+        spec = plant_interface_chain(
+            pb, iface="t.I", impl="t.Impl", source="t.Src", sink_key="exec"
+        )
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes).run()
+        assert any(spec.matches(c) for c in result.chains)
+
+    def test_flood_reported_in_full(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_flood(pb, "t.flood", 12)
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes).run()
+        assert result.result_count == 12
+
+
+class TestCallerCap:
+    def test_cap_loses_chains(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_crowders(pb, "t.crowd", ["exec"], count=3)
+        spec = plant_interface_chain(
+            pb, iface="t.I", impl="t.Impl", source="t.Src", sink_key="exec"
+        )
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes).run()
+        assert not any(spec.matches(c) for c in result.chains)
+
+    def test_wider_cap_recovers_chains(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_crowders(pb, "t.crowd", ["exec"], count=3)
+        spec = plant_interface_chain(
+            pb, iface="t.I", impl="t.Impl", source="t.Src", sink_key="exec"
+        )
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes, caller_cap=10).run()
+        assert any(spec.matches(c) for c in result.chains)
+
+
+class TestTermination:
+    def test_bomb_exceeds_budget(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_bomb(pb, "t.bomb")
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes, step_budget=40_000).run()
+        assert not result.terminated
+
+    def test_generous_budget_terminates(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_flood(pb, "t.flood", 5)
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes, step_budget=10_000_000).run()
+        assert result.terminated
+
+
+class TestPackageFilter:
+    def test_paper_post_filter(self):
+        """§IV-C: SL output is post-filtered to chains touching the
+        component's package."""
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_flood(pb, "com.target.flood", 4)
+        plant_sl_flood(pb, "org.elsewhere.flood", 3)
+        classes = build_lang_base() + pb.build()
+        result = Serianalyzer(classes).run()
+        assert result.result_count == 7
+        filtered = filter_by_package(result.chains, "com.target")
+        assert len(filtered) == 4

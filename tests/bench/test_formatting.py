@@ -1,0 +1,54 @@
+"""Rendering coverage for the table formatters."""
+
+import pytest
+
+from repro.bench.metrics import ToolScore
+from repro.bench.tables import (
+    ComponentResult,
+    SceneResult,
+    TableVIIIRow,
+    format_table_ix,
+    format_table_viii,
+    format_table_x,
+    format_table_xi,
+)
+from repro.core.chains import ChainStep, GadgetChain
+
+
+def test_table_viii_columns_align():
+    rows = [TableVIIIRow(10, 11.0, 2, 5, 20, 60, 0.0123)]
+    text = format_table_viii(rows)
+    header, sep, row = text.splitlines()
+    assert len(sep) == len(header)
+    assert "0.012" in row
+
+
+def test_table_ix_unterminated_renders_x():
+    score = lambda t, **kw: ToolScore(t, "C", known_in_dataset=1, **kw)
+    result = ComponentResult(
+        "C", 1,
+        tabby=score("tabby", result_count=2, known_found=1),
+        gadgetinspector=score("gadgetinspector", result_count=3, fake_count=3),
+        serianalyzer=ToolScore("serianalyzer", "C", known_in_dataset=1, terminated=False),
+    )
+    text = format_table_ix([result])
+    assert "/    X" in text or "/X" in text.replace(" ", "/")
+
+
+def test_table_x_rendering():
+    row = SceneResult("S", "1.0", 3, 12.5, 10, 7, 30.0, 0.5)
+    text = format_table_x([row])
+    assert "30.0%" in text and "12.5" in text
+
+
+def test_table_xi_starts_at_target_source():
+    chain = GadgetChain([
+        ChainStep("x.Source", "readObject", 1),
+        ChainStep("org.springframework.aop.target.LazyInitTargetSource", "getTarget", 0),
+        ChainStep("javax.naming.Context", "lookup", 1),
+    ])
+    text = format_table_xi([chain])
+    lines = text.splitlines()
+    assert lines[0] == "#1"
+    assert "LazyInitTargetSource" in lines[1]
+    assert "x.Source" not in text  # presentation starts at the getTarget hop

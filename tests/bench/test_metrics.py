@@ -1,0 +1,79 @@
+"""Tests for the evaluation metrics (Formulas 5 and 6, classification)."""
+
+import pytest
+
+from repro.bench.metrics import ToolScore, classify_chains, fnr, fpr
+from repro.core.chains import ChainStep, GadgetChain
+from repro.corpus import build_component, build_lang_base
+from repro.verify import ChainVerifier
+
+
+class TestFormulas:
+    def test_fpr_formula_5(self):
+        assert fpr(26, 79) == pytest.approx(32.9, abs=0.05)
+        assert fpr(0, 10) == 0.0
+        assert fpr(0, 0) == 0.0
+
+    def test_fnr_formula_6(self):
+        assert fnr(26, 38) == pytest.approx(31.6, abs=0.05)
+        assert fnr(38, 38) == 0.0
+        assert fnr(0, 0) == 0.0
+
+    def test_toolscore_percentages(self):
+        score = ToolScore("t", "c", result_count=10, fake_count=3,
+                          known_found=1, known_in_dataset=2)
+        assert score.fpr_percent == 30.0
+        assert score.fnr_percent == 50.0
+
+    def test_unterminated_has_no_percentages(self):
+        score = ToolScore("t", "c", terminated=False, known_in_dataset=2)
+        assert score.fpr_percent is None
+        assert score.fnr_percent is None
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        spec = build_component("CommonsBeanutils1")
+        classes = build_lang_base() + spec.classes
+        return spec, ChainVerifier(classes)
+
+    def test_known_chain_classified(self, setup):
+        spec, verifier = setup
+        chain = GadgetChain([
+            ChainStep("java.util.PriorityQueue", "readObject", 1),
+            ChainStep("java.lang.reflect.Method", "invoke", 2),
+        ])
+        score = classify_chains("t", spec, [chain], verifier)
+        assert score.known_found == 1
+        assert score.fake_count == 0 and score.unknown_count == 0
+
+    def test_duplicate_known_counted_once(self, setup):
+        spec, verifier = setup
+        chain1 = GadgetChain([
+            ChainStep("java.util.PriorityQueue", "readObject", 1),
+            ChainStep("java.lang.reflect.Method", "invoke", 2),
+        ])
+        chain2 = GadgetChain([
+            ChainStep("java.util.PriorityQueue", "readObject", 1),
+            ChainStep("x.Middle", "hop", 0),
+            ChainStep("java.lang.reflect.Method", "invoke", 2),
+        ])
+        score = classify_chains("t", spec, [chain1, chain2], verifier)
+        assert score.result_count == 2
+        assert score.known_found == 1
+
+    def test_unmatched_ineffective_is_fake(self, setup):
+        spec, verifier = setup
+        bogus = GadgetChain([
+            ChainStep("no.Such", "readObject", 1),
+            ChainStep("java.lang.Runtime", "exec", 1),
+        ])
+        score = classify_chains("t", spec, [bogus], verifier)
+        assert score.fake_count == 1
+
+    def test_unterminated_short_circuits(self, setup):
+        spec, verifier = setup
+        score = classify_chains("t", spec, [], verifier, terminated=False)
+        assert not score.terminated
+        assert score.result_count == 0

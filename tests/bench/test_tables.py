@@ -1,0 +1,64 @@
+"""Smoke tests for the table harness (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.bench import (
+    format_table_ix,
+    format_table_viii,
+    format_table_x,
+    format_table_xi,
+    run_scene,
+    run_table_ix,
+    run_table_viii,
+    run_table_xi,
+    table_ix_totals,
+)
+
+
+class TestTableVIII:
+    def test_rows_and_formatting(self):
+        rows = run_table_viii(sizes_kb=(10, 20), repetitions=3)
+        assert len(rows) == 2
+        assert rows[1].method_nodes > rows[0].method_nodes
+        text = format_table_viii(rows)
+        assert "Time(s)" in text and "10" in text
+
+
+class TestTableIX:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_table_ix(components=["CommonsBeanutils1", "Myface"])
+
+    def test_subset_run(self, results):
+        assert [r.component for r in results] == ["CommonsBeanutils1", "Myface"]
+        cb = results[0]
+        assert cb.tabby.known_found == 1
+        assert cb.gadgetinspector.known_found == 0
+
+    def test_totals(self, results):
+        totals = table_ix_totals(results)
+        assert totals["known_in_dataset"] == 2
+        assert totals["tabby_known"] == 2
+
+    def test_formatting(self, results):
+        text = format_table_ix(results)
+        assert "CommonsBeanutils1" in text
+        assert "FPR%" in text and "FNR%" in text
+
+
+class TestTableX:
+    def test_single_scene(self):
+        row = run_scene("Tomcat")
+        assert row.result_count == 4
+        assert row.effective_count == 3
+        text = format_table_x([row])
+        assert "Tomcat" in text
+
+
+class TestTableXI:
+    def test_chains_and_formatting(self):
+        chains = run_table_xi()
+        assert len(chains) == 3
+        text = format_table_xi(chains)
+        assert "LazyInitTargetSource" in text
+        assert "javax.naming.Context.lookup()" in text

@@ -1,0 +1,100 @@
+"""Tests for blacklist derivation and enforcement (§IV-E workflow)."""
+
+import pytest
+
+from repro.core import Tabby, apply_blacklist, derive_blacklist
+from repro.core.blacklist import DeserializationBlacklist
+from repro.corpus import build_component, build_lang_base, build_scene
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.verify import ChainVerifier
+
+
+@pytest.fixture(scope="module")
+def cc():
+    spec = build_component("commons-collections(3.2.1)")
+    classes = build_lang_base() + spec.classes
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    verifier = ChainVerifier(classes)
+    effective = [
+        c for c in chains
+        if spec.match_known(c) is not None or verifier.verify(c).effective
+    ]
+    return classes, ClassHierarchy(classes), effective
+
+
+class TestFilter:
+    def test_exact_class_entry(self):
+        bl = DeserializationBlacklist(classes=frozenset({"a.Evil"}))
+        assert bl.blocks("a.Evil")
+        assert not bl.blocks("a.Good")
+
+    def test_package_entry(self):
+        bl = DeserializationBlacklist(packages=("org.apache.commons.collections",))
+        assert bl.blocks("org.apache.commons.collections.functors.InvokerTransformer")
+        assert not bl.blocks("org.apache.commons.lang.Builder")
+
+    def test_subtype_entry(self, cc):
+        classes, hierarchy, _ = cc
+        bl = DeserializationBlacklist(
+            subtype_roots=("org.apache.commons.collections.Transformer",)
+        )
+        assert bl.blocks(
+            "org.apache.commons.collections.functors.InvokerTransformer", hierarchy
+        )
+        assert not bl.blocks("org.apache.commons.collections.bag.HashBag", hierarchy)
+
+    def test_merge_and_entries(self):
+        a = DeserializationBlacklist(classes=frozenset({"x.A"}))
+        b = DeserializationBlacklist(packages=("y",))
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.entries() == ["deny-class x.A", "deny-package y.*"]
+
+
+class TestDerivation:
+    def test_blacklist_kills_all_effective_chains(self, cc):
+        classes, hierarchy, effective = cc
+        blacklist = derive_blacklist(effective, hierarchy)
+        survivors = apply_blacklist(classes, blacklist)
+        assert survivors == [] or all(
+            not ChainVerifier(classes).verify(c).effective for c in survivors
+        )
+
+    def test_blacklist_never_contains_runtime_classes(self, cc):
+        classes, hierarchy, effective = cc
+        blacklist = derive_blacklist(effective, hierarchy)
+        for name in blacklist.classes:
+            assert not name.startswith("java.")
+
+    def test_greedy_cover_actually_covers(self, cc):
+        """Every effective chain carries at least one chosen class."""
+        classes, hierarchy, effective = cc
+        blacklist = derive_blacklist(effective, hierarchy)
+        for chain in effective:
+            assert any(cls in blacklist.classes for cls in chain.classes()), chain
+
+    def test_blacklist_smaller_than_chain_count(self, cc):
+        classes, hierarchy, effective = cc
+        blacklist = derive_blacklist(effective, hierarchy)
+        assert 0 < len(blacklist.classes) < len(effective) + 2
+
+    def test_empty_chains_empty_blacklist(self, cc):
+        _, hierarchy, _ = cc
+        assert len(derive_blacklist([], hierarchy)) == 0
+
+
+class TestSceneRemediation:
+    @pytest.mark.parametrize("scene_name", ["Spring", "JDK8", "Apache Dubbo"])
+    def test_xstream_dubbo_story(self, scene_name):
+        """The paper's remediation narrative: derive a blacklist from
+        the effective chains; with it installed, no effective chain
+        survives."""
+        scene = build_scene(scene_name)
+        chains = Tabby().add_classes(scene.classes).find_gadget_chains()
+        verifier = ChainVerifier(scene.classes)
+        effective = [c for c in chains if verifier.verify(c).effective]
+        hierarchy = ClassHierarchy(scene.classes)
+        blacklist = derive_blacklist(effective, hierarchy)
+        survivors = apply_blacklist(scene.classes, blacklist)
+        for chain in survivors:
+            assert not verifier.verify(chain).effective

@@ -1,0 +1,166 @@
+"""Figure 5 walkthrough — the paper's worked controllability example.
+
+Source program (Figure 5(a))::
+
+    public A example(A a, B b) {
+        A a1 = new A();
+        A a2 = a;
+        a = a1;
+        B b1 = B.exchange(a, b);
+        return a2;
+    }
+    public static B exchange(A a, B b) {
+        a.b = b;
+        b = new B();
+        return a.b;
+    }
+
+Expected results (Figures 5(b)-(d)):
+
+* ``exchange``'s Action is ``{final-param-1: init-param-1,
+  final-param-1.b: init-param-2, final-param-2: null,
+  return: init-param-2, this: null}``;
+* the PP of the ``example -> exchange`` call edge is ``[∞, ∞, 2]``;
+* after the call, ``example``'s localMap effects yield
+  ``b1 = 2`` (controllable via param 2) and ``a.b = 2``;
+* ``example``'s Action maps ``return -> init-param-1`` (via ``a2``).
+"""
+
+import pytest
+
+from repro.core.actions import UNCONTROLLABLE_WEIGHT, param, param_field
+from repro.core.controllability import ControllabilityAnalysis
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    pb = ProgramBuilder()
+    with pb.cls("fig5.A") as c:
+        c.field("b", "fig5.B")
+    pb.cls("fig5.B").finish()
+    with pb.cls("fig5.Main") as c:
+        with c.method(
+            "example", params=["fig5.A", "fig5.B"], returns="fig5.A",
+            param_names=["a", "b"],
+        ) as m:
+            a1 = m.local("a1")
+            m.assign(a1, m.new("fig5.A"))
+            a2 = m.local("a2")
+            m.assign(a2, m.param(1))
+            m.assign(m.param(1), a1)
+            b1 = m.invoke_static(
+                "fig5.B", "exchange", [m.param(1), m.param(2)], returns="fig5.B"
+            )
+            m.ret(a2)
+    with pb.cls("fig5.B2") as c:
+        pass
+    # exchange lives on B per the figure; declare it in its own builder pass
+    classes = pb.build()
+    pb2 = ProgramBuilder()
+    with pb2.cls("fig5.BImpl", extends="fig5.B") as c:
+        pass
+    hierarchy_classes = classes + pb2.build()
+    # attach exchange to fig5.B
+    b_cls = next(c for c in hierarchy_classes if c.name == "fig5.B")
+    from repro.jvm.builder import MethodBuilder
+    from repro.jvm.model import JavaMethod, Modifier
+    from repro.jvm import types as jt
+
+    method = JavaMethod(
+        "exchange",
+        [jt.class_type("fig5.A"), jt.class_type("fig5.B")],
+        jt.class_type("fig5.B"),
+        Modifier.PUBLIC | Modifier.STATIC,
+        param_names=["a", "b"],
+    )
+    b_cls.add_method(method)
+    mb = MethodBuilder(method)
+    mb.set_field(mb.param(1), "b", mb.param(2))
+    mb.assign(mb.param(2), mb.new("fig5.B"))
+    ret = mb.get_field(mb.param(1), "b")
+    mb.ret(ret)
+    mb.finish()
+
+    hierarchy = ClassHierarchy(hierarchy_classes)
+    analysis = ControllabilityAnalysis(hierarchy)
+    return analysis.analyze_all()
+
+
+def _summary(summaries, cls, name):
+    return next(
+        s
+        for s in summaries.values()
+        if s.method.class_name == cls and s.method.name == name
+    )
+
+
+class TestExchangeAction:
+    """Figure 5(b)."""
+
+    def test_final_param_1_unchanged(self, summaries):
+        action = _summary(summaries, "fig5.B", "exchange").action
+        assert action.mapping["final-param-1"] == "init-param-1"
+
+    def test_field_write_recorded(self, summaries):
+        action = _summary(summaries, "fig5.B", "exchange").action
+        assert action.mapping["final-param-1.b"] == "init-param-2"
+
+    def test_param_2_destroyed_by_new(self, summaries):
+        action = _summary(summaries, "fig5.B", "exchange").action
+        assert action.mapping["final-param-2"] == "null"
+
+    def test_return_is_init_param_2(self, summaries):
+        action = _summary(summaries, "fig5.B", "exchange").action
+        assert action.mapping["return"] == "init-param-2"
+
+    def test_static_method_has_no_this(self, summaries):
+        action = _summary(summaries, "fig5.B", "exchange").action
+        assert "this" not in action.mapping
+
+
+class TestExampleCallSite:
+    """Figure 5(c): PP of the exchange call is [∞, ∞, 2]."""
+
+    def test_pp(self, summaries):
+        example = _summary(summaries, "fig5.Main", "example")
+        (site,) = [s for s in example.call_sites if s.callee_name == "exchange"]
+        assert site.polluted_position == [
+            UNCONTROLLABLE_WEIGHT,
+            UNCONTROLLABLE_WEIGHT,
+            2,
+        ]
+
+    def test_call_not_pruned(self, summaries):
+        example = _summary(summaries, "fig5.Main", "example")
+        (site,) = [s for s in example.call_sites if s.callee_name == "exchange"]
+        assert not site.pruned  # one position (arg 2) is controllable
+
+
+class TestExampleAction:
+    """Figure 5(a) lines 2-6 and 5(d): the effects in example's frame."""
+
+    def test_return_is_original_param_1(self, summaries):
+        action = _summary(summaries, "fig5.Main", "example").action
+        assert action.mapping["return"] == "init-param-1"
+
+    def test_final_param_1_destroyed(self, summaries):
+        # a was overwritten by a1 = new A()
+        action = _summary(summaries, "fig5.Main", "example").action
+        assert action.mapping["final-param-1"] == "null"
+
+    def test_final_param_2_destroyed_interprocedurally(self, summaries):
+        # exchange() reassigns its second parameter; correct() folds the
+        # ∞ back into example's localMap for local b
+        action = _summary(summaries, "fig5.Main", "example").action
+        assert action.mapping["final-param-2"] == "null"
+
+    def test_field_of_param_1_tracked_through_call(self, summaries):
+        # a.b = 2 after the call (Figure 5(d) localMap) — but a itself is
+        # the new A(), so the effect shows on final-param-1.b only if the
+        # analysis keys fields syntactically, which it does; since local
+        # 'a' no longer holds init-param-1, the Action records the write
+        # under final-param-1.b = init-param-2
+        action = _summary(summaries, "fig5.Main", "example").action
+        assert action.mapping.get("final-param-1.b") == "init-param-2"

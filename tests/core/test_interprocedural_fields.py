@@ -1,0 +1,140 @@
+"""Deeper interprocedural controllability coverage: this.x Action keys
+and receiver-field effects across calls (§III-C design details)."""
+
+import pytest
+
+from repro.core.actions import UNCONTROLLABLE_WEIGHT
+from repro.core.controllability import ControllabilityAnalysis
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+def analyze(build_fn):
+    pb = ProgramBuilder()
+    build_fn(pb)
+    return ControllabilityAnalysis(ClassHierarchy(pb.build())).analyze_all()
+
+
+def summary(summaries, cls, name):
+    return next(
+        s for s in summaries.values()
+        if s.method.class_name == cls and s.method.name == name
+    )
+
+
+class TestThisFieldActions:
+    def test_setter_records_this_field_key(self):
+        def build(pb):
+            with pb.cls("t.C") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("setValue", params=["java.lang.Object"]) as m:
+                    m.set_field(m.this, "value", m.param(1))
+
+        action = summary(analyze(build), "t.C", "setValue").action
+        assert action.mapping["this.value"] == "init-param-1"
+
+    def test_getter_returns_this_field(self):
+        def build(pb):
+            with pb.cls("t.C") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("getValue", returns="java.lang.Object") as m:
+                    v = m.get_field(m.this, "value")
+                    m.ret(v)
+
+        action = summary(analyze(build), "t.C", "getValue").action
+        assert action.mapping["return"] == "this.value"
+
+    def test_clearing_field_records_null(self):
+        def build(pb):
+            with pb.cls("t.C") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("clear") as m:
+                    fresh = m.new("t.C")
+                    m.set_field(m.this, "value", fresh)
+
+        action = summary(analyze(build), "t.C", "clear").action
+        assert action.mapping["this.value"] == "null"
+
+
+class TestReceiverFieldEffectsAcrossCalls:
+    def test_setter_call_taints_receiver_field(self):
+        """obj.setValue(param); obj.getValue() must be controllable:
+        the setter's this.value Action entry flows back via correct()."""
+
+        def build(pb):
+            with pb.cls("t.Holder") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("setValue", params=["java.lang.Object"]) as m:
+                    m.set_field(m.this, "value", m.param(1))
+                with c.method("getValue", returns="java.lang.Object") as m:
+                    v = m.get_field(m.this, "value")
+                    m.ret(v)
+            with pb.cls("t.User") as c:
+                with c.method("use", params=["java.lang.Object"]) as m:
+                    h = m.construct("t.Holder")
+                    m.invoke(h, "t.Holder", "setValue", [m.param(1)])
+                    out = m.invoke(h, "t.Holder", "getValue", returns="java.lang.Object")
+                    m.invoke(out, "java.lang.Object", "toString", returns="java.lang.String")
+
+        s = summary(analyze(build), "t.User", "use")
+        to_string = [c for c in s.call_sites if c.callee_name == "toString"][0]
+        assert to_string.polluted_position[0] == 1
+
+    def test_scrubbing_setter_untaints_field(self):
+        def build(pb):
+            with pb.cls("t.Holder") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("reset", params=["java.lang.Object"]) as m:
+                    fresh = m.new("t.Holder")
+                    m.set_field(m.this, "value", fresh)
+                with c.method("getValue", returns="java.lang.Object") as m:
+                    v = m.get_field(m.this, "value")
+                    m.ret(v)
+            with pb.cls("t.User") as c:
+                c.field("stash", "t.Holder")
+                with c.method("use", params=["java.lang.Object"]) as m:
+                    h = m.get_field(m.this, "stash")
+                    m.invoke(h, "t.Holder", "reset", [m.param(1)])
+                    out = m.invoke(h, "t.Holder", "getValue", returns="java.lang.Object")
+                    m.invoke(out, "java.lang.Object", "toString", returns="java.lang.String")
+
+        s = summary(analyze(build), "t.User", "use")
+        to_string = [c for c in s.call_sites if c.callee_name == "toString"][0]
+        # this.stash.value was overwritten with a fresh object inside reset()
+        assert to_string.polluted_position[0] == UNCONTROLLABLE_WEIGHT
+
+    def test_two_level_composition(self):
+        """A wrapper forwarding to the setter keeps field precision."""
+
+        def build(pb):
+            with pb.cls("t.Holder") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("setValue", params=["java.lang.Object"]) as m:
+                    m.set_field(m.this, "value", m.param(1))
+            with pb.cls("t.Wrapper") as c:
+                with c.method("fill", params=["t.Holder", "java.lang.Object"]) as m:
+                    m.invoke(m.param(1), "t.Holder", "setValue", [m.param(2)])
+            with pb.cls("t.User") as c:
+                with c.method("use", params=["java.lang.Object"]) as m:
+                    h = m.construct("t.Holder")
+                    w = m.construct("t.Wrapper")
+                    m.invoke(w, "t.Wrapper", "fill", [h, m.param(1)])
+                    v = m.get_field(h, "value")
+                    m.invoke(v, "java.lang.Object", "toString", returns="java.lang.String")
+
+        s = summary(analyze(build), "t.User", "use")
+        to_string = [c for c in s.call_sites if c.callee_name == "toString"][0]
+        assert to_string.polluted_position[0] == 1
+
+    def test_wrapper_action_exposes_param_field_write(self):
+        def build(pb):
+            with pb.cls("t.Holder") as c:
+                c.field("value", "java.lang.Object")
+                with c.method("setValue", params=["java.lang.Object"]) as m:
+                    m.set_field(m.this, "value", m.param(1))
+            with pb.cls("t.Wrapper") as c:
+                with c.method("fill", params=["t.Holder", "java.lang.Object"]) as m:
+                    m.invoke(m.param(1), "t.Holder", "setValue", [m.param(2)])
+
+        action = summary(analyze(build), "t.Wrapper", "fill").action
+        assert action.mapping.get("final-param-1.value") == "init-param-2"

@@ -1,0 +1,115 @@
+"""Property-based invariants of the core analysis, driven by the
+random corpus generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Tabby
+from repro.core.actions import UNCONTROLLABLE_WEIGHT
+from repro.core.controllability import ControllabilityAnalysis
+from repro.core.cpg import ALIAS, CALL
+from repro.corpus.generator import generate_corpus
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+def corpus_classes(kb, seed):
+    return [c for jar in generate_corpus(kb, seed=seed) for c in jar.classes]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_pp_weights_are_well_formed(seed):
+    """Every Polluted_Position entry is ∞ (-1) or a frame position
+    0..arity, and its length is 1 + call arity."""
+    classes = corpus_classes(15, seed)
+    analysis = ControllabilityAnalysis(ClassHierarchy(classes))
+    for summary in analysis.analyze_all().values():
+        for site in summary.call_sites:
+            pp = site.polluted_position
+            assert len(pp) == site.arity + 1
+            max_weight = summary.method.arity
+            for weight in pp:
+                assert weight == UNCONTROLLABLE_WEIGHT or 0 <= weight <= max_weight
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_pruned_iff_all_uncontrollable(seed):
+    classes = corpus_classes(15, seed)
+    analysis = ControllabilityAnalysis(ClassHierarchy(classes))
+    for summary in analysis.analyze_all().values():
+        for site in summary.call_sites:
+            assert site.pruned == all(
+                w == UNCONTROLLABLE_WEIGHT for w in site.polluted_position
+            )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_action_values_parse(seed):
+    """Every Action entry is a valid Table III value string."""
+    from repro.core.actions import Origin
+
+    classes = corpus_classes(15, seed)
+    analysis = ControllabilityAnalysis(ClassHierarchy(classes))
+    for summary in analysis.analyze_all().values():
+        for key, value in summary.action.mapping.items():
+            assert key == "return" or key == "this" or key.startswith(
+                ("this.", "final-param-")
+            )
+            Origin.from_action_value(value)  # must not raise
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_cpg_edges_reference_live_nodes(seed):
+    classes = corpus_classes(12, seed)
+    cpg = Tabby().add_classes(classes).build_cpg()
+    g = cpg.graph
+    for rel in g.relationships():
+        assert g.has_node(rel.start_id) and g.has_node(rel.end_id)
+    # live (non-pruned) CALL edges keep a PP of matching shape
+    for rel in g.relationships(CALL):
+        assert isinstance(rel["POLLUTED_POSITION"], list)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_alias_edges_satisfy_formula_1(seed):
+    """ALIAS edges only connect same-name/same-arity methods whose
+    classes are subtype-related."""
+    classes = corpus_classes(12, seed)
+    cpg = Tabby().add_classes(classes).build_cpg()
+    g = cpg.graph
+    for rel in g.relationships(ALIAS):
+        sub = g.node(rel.start_id)
+        sup = g.node(rel.end_id)
+        assert sub["NAME"] == sup["NAME"]
+        assert sub["ARITY"] == sup["ARITY"]
+        assert cpg.hierarchy.is_subtype_of(sub["CLASSNAME"], sup["CLASSNAME"])
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_chains_end_at_sinks_and_start_at_sources(seed):
+    classes = corpus_classes(12, seed)
+    tabby = Tabby().add_classes(classes)
+    cpg = tabby.build_cpg()
+    for chain in tabby.find_gadget_chains():
+        src = cpg.method_node(chain.source.class_name, chain.source.method_name)
+        snk = cpg.method_node(chain.sink.class_name, chain.sink.method_name)
+        assert src is not None and src.get("IS_SOURCE")
+        assert snk is not None and snk.get("IS_SINK")
+        assert chain.length >= 1
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_deterministic_analysis(seed):
+    """Re-running the whole pipeline on the same input yields the same
+    chains (order included)."""
+    classes = corpus_classes(10, seed)
+    first = [c.key for c in Tabby().add_classes(classes).find_gadget_chains()]
+    second = [c.key for c in Tabby().add_classes(classes).find_gadget_chains()]
+    assert first == second

@@ -1,0 +1,286 @@
+"""Unit tests for the gadget-chain finder, including the Figure 6 example."""
+
+import pytest
+
+from repro.core.chains import ChainStep, GadgetChain
+from repro.core.cpg import ALIAS, CALL, CPG, CPGStatistics
+from repro.core.pathfinder import GadgetChainFinder
+from repro.errors import PathFinderError
+from repro.graphdb.graph import PropertyGraph
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+def hand_built_cpg(graph):
+    """Wrap a hand-assembled graph in a CPG (hierarchy unused here)."""
+    return CPG(graph, ClassHierarchy([]), CPGStatistics(), {})
+
+
+def method_node(graph, name, cls="g", source=False, sink=False, tc=None):
+    props = {
+        "NAME": name,
+        "CLASSNAME": cls,
+        "ARITY": 0,
+        "IS_SOURCE": source,
+        "IS_SINK": sink,
+    }
+    if sink:
+        props["TRIGGER_CONDITION"] = tc if tc is not None else [0]
+        props["SINK_TYPE"] = "EXEC"
+    return graph.create_node(["Method"], props)
+
+
+def call(graph, caller, callee, pp):
+    return graph.create_relationship(
+        CALL, caller, callee, {"POLLUTED_POSITION": pp, "KIND": "virtual"}
+    )
+
+
+def alias(graph, sub, sup):
+    return graph.create_relationship(ALIAS, sub, sup)
+
+
+class TestFigure6:
+    """The worked example of §III-D: nodes A..J, sink A, source H.
+
+    Expected: E and I are excluded by the Expander (their edges carry an
+    uncontrollable PP for the required TC position), G is excluded by
+    the Evaluator (depth), and the H-rooted chains are found.
+    """
+
+    @pytest.fixture
+    def setup(self):
+        g = PropertyGraph()
+        A = method_node(g, "A", sink=True, tc=[1])
+        C = method_node(g, "C")
+        C1 = method_node(g, "C1")
+        C2 = method_node(g, "C2")
+        E = method_node(g, "E")
+        G = method_node(g, "G")
+        H = method_node(g, "H", source=True)
+        I = method_node(g, "I")  # noqa: E741 - matches the figure
+        J = method_node(g, "J")
+        # C calls A with the argument controllable from C's receiver
+        call(g, C, A, [0, 0])
+        # E calls A but the required argument is uncontrollable -> Expander drops E
+        call(g, E, A, [0, -1])
+        # alias family: C1 and C2 override C
+        alias(g, C1, C)
+        alias(g, C2, C)
+        # I calls C1, but I's edge kills the controllability -> Expander drops the I chain
+        call(g, I, C1, [-1, -1])
+        # H (source) calls C2 with its receiver flowing into position 0
+        call(g, H, C2, [0, 0])
+        # J -> G -> ... deep helper chain for the Evaluator depth cut
+        call(g, G, C, [0, 0])
+        call(g, J, G, [0, 0])
+        return g, {"A": A, "C": C, "C1": C1, "C2": C2, "E": E, "G": G, "H": H, "I": I, "J": J}
+
+    def test_h_chain_found(self, setup):
+        g, nodes = setup
+        finder = GadgetChainFinder(hand_built_cpg(g), max_depth=10)
+        chains = finder.find_chains()
+        names = {tuple(s.method_name for s in c.steps) for c in chains}
+        assert ("H", "C2", "C", "A") in names
+
+    def test_expander_excludes_uncontrollable_edges(self, setup):
+        g, nodes = setup
+        finder = GadgetChainFinder(hand_built_cpg(g), max_depth=10)
+        chains = finder.find_chains()
+        for chain in chains:
+            step_names = [s.method_name for s in chain.steps]
+            assert "E" not in step_names
+            assert "I" not in step_names
+
+    def test_evaluator_excludes_beyond_depth(self, setup):
+        g, nodes = setup
+        # make J a source so that, absent the depth cut, J-G-C-A would match
+        g.set_node_property(nodes["J"], "IS_SOURCE", True)
+        finder = GadgetChainFinder(hand_built_cpg(g), max_depth=2)
+        chains = finder.find_chains()
+        names = {tuple(s.method_name for s in c.steps) for c in chains}
+        assert ("J", "G", "C", "A") not in names
+        deep = GadgetChainFinder(hand_built_cpg(g), max_depth=5)
+        names = {
+            tuple(s.method_name for s in c.steps) for c in deep.find_chains()
+        }
+        assert ("J", "G", "C", "A") in names
+
+
+class TestTCPropagation:
+    def test_tc_remaps_through_pp(self):
+        """Sink needs arg1; the middle method passes its receiver into
+        arg1; the source's edge must therefore satisfy position 0."""
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[1])
+        mid = method_node(g, "mid")
+        src = method_node(g, "readObject", source=True)
+        call(g, mid, sink, [-1, 0])  # arg1 comes from mid's receiver
+        call(g, src, mid, [0, -1])  # mid's receiver comes from src's receiver
+        chains = GadgetChainFinder(hand_built_cpg(g)).find_chains()
+        assert len(chains) == 1
+
+    def test_tc_chain_breaks_when_position_lost(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[1])
+        mid = method_node(g, "mid")
+        src = method_node(g, "readObject", source=True)
+        call(g, mid, sink, [-1, 2])  # arg1 comes from mid's 2nd parameter
+        call(g, src, mid, [0, 0, -1])  # ...which src passes uncontrolled
+        chains = GadgetChainFinder(hand_built_cpg(g)).find_chains()
+        assert chains == []
+
+    def test_alias_passes_tc_unchanged(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[1])
+        impl = method_node(g, "work", cls="Impl")
+        decl = method_node(g, "work", cls="Iface")
+        src = method_node(g, "readObject", source=True)
+        call(g, impl, sink, [0, 0])
+        alias(g, impl, decl)
+        call(g, src, decl, [0, 0])
+        chains = GadgetChainFinder(hand_built_cpg(g)).find_chains()
+        assert len(chains) == 1
+        assert [s.class_name for s in chains[0].steps] == ["g", "Iface", "Impl", "g"]
+
+    def test_follow_alias_ablation(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[1])
+        impl = method_node(g, "work", cls="Impl")
+        decl = method_node(g, "work", cls="Iface")
+        src = method_node(g, "readObject", source=True)
+        call(g, impl, sink, [0, 0])
+        alias(g, impl, decl)
+        call(g, src, decl, [0, 0])
+        finder = GadgetChainFinder(hand_built_cpg(g), follow_alias=False)
+        assert finder.find_chains() == []
+
+
+class TestFinderConfig:
+    def test_bad_depth_rejected(self):
+        g = PropertyGraph()
+        with pytest.raises(PathFinderError):
+            GadgetChainFinder(hand_built_cpg(g), max_depth=0)
+
+    def test_source_filter(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        s1 = method_node(g, "readObject", cls="com.a.X", source=True)
+        s2 = method_node(g, "readObject", cls="org.b.Y", source=True)
+        call(g, s1, sink, [0])
+        call(g, s2, sink, [0])
+        finder = GadgetChainFinder(hand_built_cpg(g))
+        chains = finder.find_chains(source_filter="com.a")
+        assert len(chains) == 1
+        assert chains[0].source.class_name == "com.a.X"
+
+    def test_max_results_per_sink(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        for i in range(10):
+            s = method_node(g, f"readObject{i}", source=True)
+            call(g, s, sink, [0])
+        finder = GadgetChainFinder(hand_built_cpg(g), max_results_per_sink=3)
+        assert len(finder.find_chains()) <= 3
+
+    def test_find_between(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        s1 = method_node(g, "readObject", cls="A", source=True)
+        s2 = method_node(g, "readObject", cls="B", source=True)
+        call(g, s1, sink, [0])
+        call(g, s2, sink, [0])
+        finder = GadgetChainFinder(hand_built_cpg(g))
+        chains = finder.find_between(s1, sink)
+        assert len(chains) == 1
+        assert chains[0].source.class_name == "A"
+
+    def test_default_tc_when_missing(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True)
+        g.set_node_property(sink, "TRIGGER_CONDITION", None)
+        src = method_node(g, "readObject", source=True)
+        call(g, src, sink, [0])
+        chains = GadgetChainFinder(hand_built_cpg(g)).find_chains()
+        assert len(chains) == 1
+
+
+class TestChainModel:
+    def test_render_matches_table_i_format(self):
+        chain = GadgetChain(
+            [
+                ChainStep("demo.EvilObjectA", "readObject", 1, "CALL"),
+                ChainStep("demo.EvilObjectB", "toString", 0, "CALL"),
+                ChainStep("java.lang.Runtime", "exec", 1),
+            ],
+            sink_category="EXEC",
+        )
+        text = chain.render()
+        assert text.startswith("(source)demo.EvilObjectA.readObject()")
+        assert text.endswith("(sink)java.lang.Runtime.exec()")
+
+    def test_too_short_chain_rejected(self):
+        with pytest.raises(ValueError):
+            GadgetChain([ChainStep("A", "m", 0)])
+
+    def test_dedupe_and_keys(self):
+        from repro.core.chains import dedupe_chains
+
+        a = GadgetChain([ChainStep("A", "m", 0), ChainStep("B", "n", 0)])
+        b = GadgetChain([ChainStep("A", "m", 0), ChainStep("B", "n", 0)])
+        c = GadgetChain([ChainStep("A", "m", 0), ChainStep("C", "n", 0)])
+        assert dedupe_chains([a, b, c]) == [a, c]
+        assert a.endpoint_key == (("A", "m"), ("B", "n"))
+
+    def test_filter_by_package(self):
+        from repro.core.chains import filter_by_package
+
+        a = GadgetChain(
+            [ChainStep("org.x.A", "m", 0), ChainStep("java.B", "n", 0)]
+        )
+        b = GadgetChain(
+            [ChainStep("com.y.A", "m", 0), ChainStep("java.B", "n", 0)]
+        )
+        assert filter_by_package([a, b], "org.x") == [a]
+
+
+class TestSearchStatistics:
+    def test_fig6_style_counters(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[1])
+        good = method_node(g, "good")
+        bad = method_node(g, "bad")
+        src = method_node(g, "readObject", source=True)
+        call(g, good, sink, [0, 0])
+        call(g, bad, sink, [0, -1])  # Expander must reject this edge
+        call(g, src, good, [0, 0])
+        finder = GadgetChainFinder(hand_built_cpg(g), max_depth=5)
+        chains = finder.find_chains()
+        stats = finder.last_search_stats
+        assert stats.chains_found == len(chains) == 1
+        assert stats.call_edges_rejected >= 1
+        assert stats.call_edges_followed >= 2
+        assert stats.sinks_searched == 1
+        assert stats.paths_visited >= 3
+
+    def test_depth_pruning_counted(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        prev = sink
+        for i in range(5):
+            n = method_node(g, f"hop{i}")
+            call(g, n, prev, [0])
+            prev = n
+        finder = GadgetChainFinder(hand_built_cpg(g), max_depth=2)
+        finder.find_chains()
+        assert finder.last_search_stats.depth_pruned >= 1
+
+    def test_stats_reset_between_runs(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        src = method_node(g, "readObject", source=True)
+        call(g, src, sink, [0])
+        finder = GadgetChainFinder(hand_built_cpg(g))
+        finder.find_chains()
+        first = finder.last_search_stats.paths_visited
+        finder.find_chains()
+        assert finder.last_search_stats.paths_visited == first

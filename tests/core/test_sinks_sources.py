@@ -1,0 +1,117 @@
+"""Unit tests for the sink and source catalogs."""
+
+import pytest
+
+from repro.core.sinks import DEFAULT_SINKS, SinkCatalog, SinkMethod
+from repro.core.sources import SourceCatalog
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import EXTERNALIZABLE, SERIALIZABLE
+
+
+class TestSinkCatalog:
+    def test_catalog_has_38_entries(self):
+        assert len(DEFAULT_SINKS) == 38
+        assert len(SinkCatalog()) == 38
+
+    def test_table_vii_rows_present(self):
+        cat = SinkCatalog()
+        expectations = [
+            ("java.nio.file.Files", "newOutputStream", "FILE", (1,)),
+            ("java.io.File", "delete", "FILE", (0,)),
+            ("java.lang.reflect.Method", "invoke", "CODE", (0, 1)),
+            ("javax.naming.Context", "lookup", "JNDI", (1,)),
+            ("java.rmi.registry.Registry", "lookup", "JNDI", (1,)),
+            ("java.lang.Runtime", "exec", "EXEC", (1,)),
+            ("java.lang.ProcessImpl", "start", "EXEC", (1,)),
+            ("javax.xml.parsers.DocumentBuilder", "parse", "XXE", (1,)),
+            ("javax.xml.transform.Transformer", "transform", "XXE", (1,)),
+            ("java.net.InetAddress", "getByName", "SSRF", (1,)),
+            ("java.net.URL", "openConnection", "SSRF", (0,)),
+            ("java.lang.Object", "readObject", "JDV", (0,)),
+        ]
+        for cls, name, category, tc in expectations:
+            sink = cat.lookup(cls, name)
+            assert sink is not None, f"{cls}.{name} missing"
+            assert sink.category == category
+            assert sink.trigger_condition == tc
+
+    def test_lookup_miss(self):
+        assert SinkCatalog().lookup("java.lang.Math", "abs") is None
+
+    def test_with_extra(self):
+        custom = SinkMethod("com.corp.Audit", "logRaw", "CUSTOM", (1,))
+        cat = SinkCatalog().with_extra([custom])
+        assert len(cat) == 39
+        assert cat.lookup("com.corp.Audit", "logRaw") is custom
+        # original untouched
+        assert SinkCatalog().lookup("com.corp.Audit", "logRaw") is None
+
+    def test_categories_cover_paper_types(self):
+        cats = set(SinkCatalog().categories())
+        assert {"FILE", "CODE", "JNDI", "EXEC", "XXE", "SSRF", "JDV"} <= cats
+
+    def test_of_category(self):
+        exec_sinks = SinkCatalog().of_category("EXEC")
+        assert any(s.method_name == "exec" for s in exec_sinks)
+
+
+def hierarchy_with(*specs):
+    pb = ProgramBuilder()
+    for name, interfaces, method_names in specs:
+        with pb.cls(name, implements=list(interfaces)) as c:
+            for mn in method_names:
+                params = ["java.io.ObjectInputStream"] if mn == "readObject" else []
+                with c.method(mn, params=params, returns="void") as m:
+                    m.ret()
+    return ClassHierarchy(pb.build())
+
+
+class TestSourceCatalog:
+    def test_native_read_object(self):
+        h = hierarchy_with(("t.C", [SERIALIZABLE], ["readObject"]))
+        method = h.require("t.C").find_method("readObject")
+        assert SourceCatalog.native().is_source(method, h)
+
+    def test_non_serializable_not_source(self):
+        h = hierarchy_with(("t.C", [], ["readObject"]))
+        method = h.require("t.C").find_method("readObject")
+        assert not SourceCatalog.native().is_source(method, h)
+
+    def test_externalizable_counts(self):
+        h = hierarchy_with(("t.C", [EXTERNALIZABLE], ["readExternal"]))
+        method = h.require("t.C").find_method("readExternal")
+        assert SourceCatalog.native().is_source(method, h)
+
+    def test_extended_includes_marshalling_entries(self):
+        h = hierarchy_with(("t.C", [SERIALIZABLE], ["toString", "hashCode"]))
+        cat = SourceCatalog.extended()
+        assert cat.is_source(h.require("t.C").find_method("toString"), h)
+        assert cat.is_source(h.require("t.C").find_method("hashCode"), h)
+
+    def test_native_excludes_marshalling_entries(self):
+        h = hierarchy_with(("t.C", [SERIALIZABLE], ["toString"]))
+        assert not SourceCatalog.native().is_source(
+            h.require("t.C").find_method("toString"), h
+        )
+
+    def test_abstract_method_not_source(self):
+        pb = ProgramBuilder()
+        cb = pb.cls("t.C", implements=[SERIALIZABLE], abstract=True)
+        cb.abstract_method("readObject", params=["java.io.ObjectInputStream"])
+        cb.finish()
+        h = ClassHierarchy(pb.build())
+        method = h.require("t.C").find_method("readObject")
+        assert not SourceCatalog.native().is_source(method, h)
+
+    def test_with_names_extension(self):
+        h = hierarchy_with(("t.C", [SERIALIZABLE], ["customHook"]))
+        cat = SourceCatalog.native().with_names(["customHook"])
+        assert cat.is_source(h.require("t.C").find_method("customHook"), h)
+
+    def test_require_serializable_can_be_disabled(self):
+        h = hierarchy_with(("t.C", [], ["readObject"]))
+        cat = SourceCatalog(
+            names=frozenset({"readObject"}), require_serializable=False
+        )
+        assert cat.is_source(h.require("t.C").find_method("readObject"), h)

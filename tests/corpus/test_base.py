@@ -1,0 +1,49 @@
+"""Tests for the corpus data model (ComponentSpec / KnownChainSpec)."""
+
+import pytest
+
+from repro.core.chains import ChainStep, GadgetChain
+from repro.corpus.base import ComponentSpec, KnownChainSpec
+
+
+def chain(src, snk):
+    return GadgetChain([ChainStep(*src, 1), ChainStep(*snk, 1)])
+
+
+class TestKnownChainSpec:
+    def test_string_rendering(self):
+        spec = KnownChainSpec(("a.S", "readObject"), ("b.K", "exec"))
+        assert "a.S.readObject()" in str(spec)
+        proxy = KnownChainSpec(("a.S", "readObject"), ("b.K", "exec"), via_proxy=True)
+        assert "(proxy)" in str(proxy)
+
+    def test_frozen(self):
+        spec = KnownChainSpec(("a", "b"), ("c", "d"))
+        with pytest.raises(AttributeError):
+            spec.via_proxy = True
+
+    def test_matching_is_endpoint_based(self):
+        spec = KnownChainSpec(("a.S", "readObject"), ("b.K", "exec"))
+        long_chain = GadgetChain([
+            ChainStep("a.S", "readObject", 1),
+            ChainStep("mid.M", "hop", 0),
+            ChainStep("b.K", "exec", 1),
+        ])
+        assert spec.matches(long_chain)
+        assert not spec.matches(chain(("a.S", "readObject"), ("other.K", "exec")))
+
+
+class TestComponentSpec:
+    def test_known_count_and_match(self):
+        specs = [
+            KnownChainSpec(("a.S", "readObject"), ("b.K", "exec")),
+            KnownChainSpec(("c.S", "hashCode"), ("b.K", "exec"), via_proxy=True),
+        ]
+        comp = ComponentSpec("X", [], known_chains=specs, package="a")
+        assert comp.known_count == 2
+        assert comp.match_known(chain(("a.S", "readObject"), ("b.K", "exec"))) is specs[0]
+        assert comp.match_known(chain(("z.S", "readObject"), ("b.K", "exec"))) is None
+
+    def test_repr(self):
+        comp = ComponentSpec("X", [], package="a")
+        assert "X" in repr(comp)

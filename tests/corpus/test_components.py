@@ -1,0 +1,106 @@
+"""Tests over the 26 dataset components and their ground truth."""
+
+import pytest
+
+from repro.core import Tabby
+from repro.corpus import (
+    COMPONENT_NAMES,
+    build_component,
+    build_lang_base,
+)
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+class TestRegistry:
+    def test_26_components(self):
+        assert len(COMPONENT_NAMES) == 26
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            build_component("log4shell")
+
+    def test_known_in_dataset_totals_38(self):
+        total = sum(build_component(n).known_count for n in COMPONENT_NAMES)
+        assert total == 38
+
+    def test_twelve_proxy_chains(self):
+        proxies = sum(
+            sum(1 for k in build_component(n).known_chains if k.via_proxy)
+            for n in COMPONENT_NAMES
+        )
+        assert proxies == 12  # = paper's 38 - 26 found
+
+    def test_gi_findable_chains(self):
+        gi = sum(
+            sum(1 for k in build_component(n).known_chains if k.gi_findable)
+            for n in COMPONENT_NAMES
+        )
+        assert gi == 5  # matches GI's Known column total
+
+
+@pytest.mark.parametrize("name", COMPONENT_NAMES)
+class TestEveryComponent:
+    def test_builds_valid_hierarchy(self, name):
+        spec = build_component(name)
+        hierarchy = ClassHierarchy(build_lang_base() + spec.classes)
+        assert len(hierarchy) > 10
+
+    def test_builds_fresh_classes_each_time(self, name):
+        a = build_component(name)
+        b = build_component(name)
+        assert {c.name for c in a.classes} == {c.name for c in b.classes}
+        assert all(x is not y for x, y in zip(a.classes, b.classes))
+
+    def test_package_set(self, name):
+        spec = build_component(name)
+        assert spec.package
+        assert any(c.name.startswith(spec.package) for c in spec.classes)
+
+    def test_tabby_recovers_exactly_the_non_proxy_knowns(self, name):
+        spec = build_component(name)
+        classes = build_lang_base() + spec.classes
+        chains = Tabby().add_classes(classes).find_gadget_chains()
+        for known in spec.known_chains:
+            found = any(known.matches(c) for c in chains)
+            if known.via_proxy:
+                assert not found, f"{known} should be invisible to Tabby"
+            else:
+                assert found, f"{known} should be found by Tabby"
+
+
+class TestKnownChainSpec:
+    def test_matches_by_endpoints(self):
+        from repro.core.chains import ChainStep, GadgetChain
+        from repro.corpus.base import KnownChainSpec
+
+        spec = KnownChainSpec(("a.Src", "readObject"), ("b.Snk", "run"))
+        chain = GadgetChain(
+            [ChainStep("a.Src", "readObject", 1), ChainStep("b.Snk", "run", 0)]
+        )
+        assert spec.matches(chain)
+        other = GadgetChain(
+            [ChainStep("a.Other", "readObject", 1), ChainStep("b.Snk", "run", 0)]
+        )
+        assert not spec.matches(other)
+
+    def test_component_match_known(self):
+        spec = build_component("CommonsBeanutils1")
+        from repro.core.chains import ChainStep, GadgetChain
+
+        chain = GadgetChain(
+            [
+                ChainStep("java.util.PriorityQueue", "readObject", 1),
+                ChainStep("java.lang.reflect.Method", "invoke", 2),
+            ]
+        )
+        assert spec.match_known(chain) is not None
+
+
+@pytest.mark.parametrize("name", COMPONENT_NAMES)
+def test_component_validates_error_free(name):
+    """Every component passes Soot-style body/linkage validation."""
+    from repro.jvm.validate import validate_classes
+
+    spec = build_component(name)
+    issues = validate_classes(build_lang_base() + spec.classes)
+    assert [i for i in issues if i.severity == "error"] == []

@@ -1,0 +1,59 @@
+"""Tests for the synthetic JDK corpus."""
+
+import pytest
+
+from repro.core import Tabby
+from repro.corpus.jdk import (
+    URLDNS_SINK,
+    URLDNS_SOURCE,
+    build_jdk8_extras,
+    build_lang_base,
+)
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+class TestLangBase:
+    def test_object_is_root(self):
+        h = ClassHierarchy(build_lang_base())
+        assert h.require("java.lang.Object").super_name is None
+
+    def test_serialization_interfaces_defined(self):
+        h = ClassHierarchy(build_lang_base())
+        assert h.get("java.io.Serializable").is_interface
+        assert h.is_subtype_of("java.io.Externalizable", "java.io.Serializable")
+
+    def test_collections_serializable(self):
+        h = ClassHierarchy(build_lang_base())
+        for name in ("java.util.HashMap", "java.util.PriorityQueue", "java.util.Hashtable"):
+            assert h.is_serializable(name)
+
+    def test_base_is_chain_free(self):
+        """The base alone must yield no gadget chains — it provides
+        only chain *prefixes*."""
+        chains = Tabby().add_classes(build_lang_base()).find_gadget_chains()
+        assert chains == []
+
+    def test_fresh_copies_per_call(self):
+        a, b = build_lang_base(), build_lang_base()
+        assert all(x is not y for x, y in zip(a, b))
+
+
+class TestURLDNS:
+    @pytest.fixture(scope="class")
+    def chains(self):
+        classes = build_lang_base() + build_jdk8_extras()
+        return Tabby().add_classes(classes).find_gadget_chains()
+
+    def test_urldns_endpoints(self, chains):
+        assert any(c.endpoint_key == (URLDNS_SOURCE, URLDNS_SINK) for c in chains)
+
+    def test_transient_handler_field(self):
+        h = ClassHierarchy(build_jdk8_extras())
+        field = h.require("java.net.URL").field("handler")
+        assert field.is_transient
+
+    def test_enummap_decoy_present_but_harmless(self, chains):
+        classes = build_jdk8_extras()
+        assert any(c.name == "java.util.EnumMap" for c in classes)
+        for chain in chains:
+            assert all(s.class_name != "java.util.EnumMap" for s in chain.steps)

@@ -1,0 +1,215 @@
+"""Tests for the chain-pattern generators: each pattern must have its
+designed visibility profile per tool (the table in the module docstring)."""
+
+import pytest
+
+from repro.baselines import GadgetInspector, Serianalyzer
+from repro.core import Tabby
+from repro.corpus.jdk import build_lang_base
+from repro.corpus.patterns import (
+    SINK_SHAPES,
+    plant_extends_chain,
+    plant_gi_bait_fan,
+    plant_guard_decoy,
+    plant_interface_chain,
+    plant_proxy_chain,
+    plant_sl_bomb,
+    plant_sl_crowders,
+    plant_sl_flood,
+)
+from repro.errors import CorpusError
+from repro.jvm.builder import ProgramBuilder
+from repro.verify import ChainVerifier
+
+
+def run_all(pb):
+    classes = build_lang_base() + pb.build()
+    tabby = Tabby().add_classes(classes).find_gadget_chains()
+    gi = GadgetInspector(classes).run()
+    sl = Serianalyzer(classes, step_budget=40_000).run()
+    return classes, tabby, gi, sl
+
+
+class TestSinkShapes:
+    def test_all_shapes_are_catalog_sinks(self):
+        from repro.core.sinks import SinkCatalog
+
+        catalog = SinkCatalog()
+        for shape in SINK_SHAPES.values():
+            assert catalog.lookup(shape.class_name, shape.method_name) is not None
+
+    def test_unknown_shape_rejected(self):
+        from repro.corpus.patterns import emit_sink
+
+        pb = ProgramBuilder()
+        with pb.cls("t.C") as c:
+            with c.method("m") as m:
+                with pytest.raises(CorpusError):
+                    emit_sink(m, "nuke_from_orbit", None)
+                m.ret()
+
+
+class TestInterfaceChain:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        pb = ProgramBuilder(jar="x.jar")
+        spec = plant_interface_chain(
+            pb, iface="t.Handler", impl="t.HandlerImpl", source="t.Source",
+            sink_key="exec",
+        )
+        return spec, run_all(pb)
+
+    def test_tabby_finds_it(self, outcome):
+        spec, (classes, tabby, gi, sl) = outcome
+        assert any(spec.matches(c) for c in tabby)
+
+    def test_gi_misses_it(self, outcome):
+        spec, (classes, tabby, gi, sl) = outcome
+        assert not any(spec.matches(c) for c in gi.chains)
+
+    def test_sl_finds_it(self, outcome):
+        spec, (classes, tabby, gi, sl) = outcome
+        assert any(spec.matches(c) for c in sl.chains)
+
+    def test_it_verifies_effective(self, outcome):
+        spec, (classes, tabby, gi, sl) = outcome
+        chain = next(c for c in tabby if spec.matches(c))
+        assert ChainVerifier(classes).verify(chain).effective
+
+
+class TestExtendsChain:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        pb = ProgramBuilder(jar="x.jar")
+        spec = plant_extends_chain(
+            pb, base="t.Base", sub="t.Sub", source="t.Source", sink_key="exec",
+        )
+        return spec, run_all(pb)
+
+    def test_spec_flags_gi_findable(self, outcome):
+        spec, _ = outcome
+        assert spec.gi_findable and not spec.via_proxy
+
+    def test_all_three_tools_find_it(self, outcome):
+        spec, (classes, tabby, gi, sl) = outcome
+        assert any(spec.matches(c) for c in tabby)
+        assert any(spec.matches(c) for c in gi.chains)
+        assert any(spec.matches(c) for c in sl.chains)
+
+
+class TestProxyChain:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        pb = ProgramBuilder(jar="x.jar")
+        spec = plant_proxy_chain(
+            pb, source="t.ProxySource", handler="t.Handler", sink_key="exec",
+        )
+        return spec, run_all(pb)
+
+    def test_every_static_tool_misses_it(self, outcome):
+        spec, (classes, tabby, gi, sl) = outcome
+        assert not any(spec.matches(c) for c in tabby)
+        assert not any(spec.matches(c) for c in gi.chains)
+        assert not any(spec.matches(c) for c in sl.chains)
+
+    def test_but_it_is_actually_effective(self, outcome):
+        """The §V-B limitation: the chain exists, tools just can't see it."""
+        from repro.core.chains import ChainStep, GadgetChain
+
+        spec, (classes, _, _, _) = outcome
+        witness = GadgetChain(
+            [
+                ChainStep("t.ProxySource", "readObject", 1),
+                ChainStep("t.Handler", "invokeImpl", 1),
+                ChainStep("java.lang.Runtime", "exec", 1),
+            ]
+        )
+        assert ChainVerifier(classes).verify(witness).effective
+
+
+class TestGuardDecoy:
+    def test_reported_by_tabby_but_fake(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_guard_decoy(pb, "t.Decoy", "t.Config")
+        classes, tabby, gi, sl = run_all(pb)
+        assert len(tabby) == 1
+        verifier = ChainVerifier(classes)
+        assert not verifier.verify(tabby[0]).effective
+
+    def test_interface_variant_hides_from_gi(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_guard_decoy(pb, "t.Decoy", "t.Config", through_interface="t.Guard")
+        classes, tabby, gi, sl = run_all(pb)
+        assert len(tabby) == 1
+        assert gi.result_count == 0
+
+    def test_direct_variant_visible_to_gi(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_guard_decoy(pb, "t.Decoy", "t.Config")
+        classes, tabby, gi, sl = run_all(pb)
+        assert gi.result_count == 1
+
+
+class TestGIBaitFan:
+    def test_gi_reports_leaves_tabby_prunes(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_gi_bait_fan(pb, "t.BaitSource", "t.BaitHelper", leaves=5)
+        classes, tabby, gi, sl = run_all(pb)
+        assert tabby == []
+        assert gi.result_count == 5
+
+    def test_zero_leaves_is_noop(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_gi_bait_fan(pb, "t.BaitSource", "t.BaitHelper", leaves=0)
+        assert pb.build() == []
+
+
+class TestSLFlood:
+    @pytest.mark.parametrize("count", [1, 3, 7, 20])
+    def test_flood_produces_exact_count(self, count):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_flood(pb, "t.flood", count)
+        classes, tabby, gi, sl = run_all(pb)
+        assert sl.result_count == count
+        assert tabby == []
+        assert gi.result_count == 0
+
+    def test_flood_chains_are_fake(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_flood(pb, "t.flood", 3)
+        classes, tabby, gi, sl = run_all(pb)
+        verifier = ChainVerifier(classes)
+        assert all(not verifier.verify(c).effective for c in sl.chains)
+
+
+class TestSLCrowders:
+    def test_crowders_hide_later_chains_from_sl(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_crowders(pb, "t.crowd", ["exec"])
+        spec = plant_interface_chain(
+            pb, iface="t.Handler", impl="t.HandlerImpl", source="t.Source",
+            sink_key="exec",
+        )
+        classes, tabby, gi, sl = run_all(pb)
+        assert any(spec.matches(c) for c in tabby)  # Tabby unaffected
+        assert not any(spec.matches(c) for c in sl.chains)  # SL's cap loss
+
+    def test_chains_before_crowders_survive(self):
+        pb = ProgramBuilder(jar="x.jar")
+        spec = plant_interface_chain(
+            pb, iface="t.Handler", impl="t.HandlerImpl", source="t.Source",
+            sink_key="exec",
+        )
+        plant_sl_crowders(pb, "t.crowd", ["exec"])
+        classes, tabby, gi, sl = run_all(pb)
+        assert any(spec.matches(c) for c in sl.chains)
+
+
+class TestSLBomb:
+    def test_bomb_explodes_sl_only(self):
+        pb = ProgramBuilder(jar="x.jar")
+        plant_sl_bomb(pb, "t.bomb")
+        classes, tabby, gi, sl = run_all(pb)
+        assert not sl.terminated
+        assert gi.terminated
+        assert tabby == []

@@ -1,0 +1,69 @@
+"""Tests for the Table X development scenes."""
+
+import pytest
+
+from repro.bench import run_scene
+from repro.corpus import SCENE_BUILDERS, build_scene
+from repro.corpus.scenes import TABLE_XI_TARGET_SOURCES
+
+
+class TestSceneRegistry:
+    def test_five_scenes(self):
+        assert sorted(SCENE_BUILDERS) == sorted(
+            ["Spring", "JDK8", "Tomcat", "Jetty", "Apache Dubbo"]
+        )
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            build_scene("WebSphere")
+
+    @pytest.mark.parametrize("name", sorted(SCENE_BUILDERS))
+    def test_scene_shape(self, name):
+        scene = build_scene(name)
+        assert scene.jar_count >= 2
+        assert scene.code_size_bytes() > 1000
+        assert scene.expected_effective > 0
+
+
+@pytest.mark.parametrize(
+    "name,result,effective",
+    [
+        ("Spring", 10, 7),
+        ("JDK8", 13, 10),
+        ("Tomcat", 4, 3),
+        ("Jetty", 6, 4),
+        ("Apache Dubbo", 5, 3),
+    ],
+)
+def test_scene_reproduces_table_x_row(name, result, effective):
+    row = run_scene(name)
+    assert row.result_count == result
+    assert row.effective_count == effective
+
+
+def test_spring_scene_contains_table_xi_chains():
+    row = run_scene("Spring")
+    heads = {
+        step.class_name
+        for chain in row.effective_chains
+        for step in chain.steps
+        if step.class_name in TABLE_XI_TARGET_SOURCES
+    }
+    assert heads == set(TABLE_XI_TARGET_SOURCES)
+
+
+def test_jdk8_scene_has_xstream_bypass_family():
+    scene = build_scene("JDK8")
+    xstream_classes = [c for c in scene.classes if c.jar_name == "xstream-1.4.15.jar"]
+    sources = [c for c in xstream_classes if c.declares_serializable and
+               any(m.name in ("readObject", "readResolve") for m in c.methods.values())]
+    assert len(sources) >= 5  # 1 known + the 4 CVE chains
+
+
+@pytest.mark.parametrize("name", sorted(SCENE_BUILDERS))
+def test_scene_validates_error_free(name):
+    from repro.jvm.validate import validate_classes
+
+    scene = build_scene(name)
+    issues = validate_classes(scene.classes)
+    assert [i for i in issues if i.severity == "error"] == []

@@ -1,0 +1,163 @@
+"""Unit tests for the property-graph store."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError, RelationshipNotFoundError
+from repro.graphdb.graph import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    return PropertyGraph()
+
+
+class TestNodes:
+    def test_create_with_labels_and_properties(self, graph):
+        n = graph.create_node(["Method"], {"NAME": "exec", "ARITY": 1})
+        assert n.has_label("Method")
+        assert n["NAME"] == "exec"
+        assert n.get("MISSING") is None
+        assert "ARITY" in n
+
+    def test_ids_are_unique_and_dense(self, graph):
+        ids = [graph.create_node().id for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_missing_property_keyerror(self, graph):
+        n = graph.create_node()
+        with pytest.raises(KeyError):
+            _ = n["nope"]
+
+    def test_empty_label_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.create_node([""])
+
+    def test_unsupported_property_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.create_node(properties={"bad": object()})
+
+    def test_list_property_items_checked(self, graph):
+        graph.create_node(properties={"ok": [1, "two", None]})
+        with pytest.raises(GraphError):
+            graph.create_node(properties={"bad": [object()]})
+
+    def test_dict_property_allowed(self, graph):
+        n = graph.create_node(properties={"ACTION": {"return": "init-param-1"}})
+        assert n["ACTION"]["return"] == "init-param-1"
+
+    def test_node_lookup(self, graph):
+        n = graph.create_node()
+        assert graph.node(n.id) is n
+        with pytest.raises(NodeNotFoundError):
+            graph.node(999)
+
+    def test_set_property_reindexes(self, graph):
+        graph.indexes.create_index("Method", "NAME")
+        n = graph.create_node(["Method"], {"NAME": "a"})
+        graph.set_node_property(n, "NAME", "b")
+        assert graph.find_nodes("Method", NAME="b") == [n]
+        assert graph.find_nodes("Method", NAME="a") == []
+
+
+class TestRelationships:
+    def test_create_and_adjacency(self, graph):
+        a = graph.create_node()
+        b = graph.create_node()
+        r = graph.create_relationship("CALL", a, b, {"PP": [0, 1]})
+        assert graph.out_relationships(a) == [r]
+        assert graph.in_relationships(b) == [r]
+        assert r["PP"] == [0, 1]
+
+    def test_type_filter(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        graph.create_relationship("CALL", a, b)
+        alias = graph.create_relationship("ALIAS", a, b)
+        assert graph.out_relationships(a, "ALIAS") == [alias]
+
+    def test_other_id(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        r = graph.create_relationship("CALL", a, b)
+        assert r.other_id(a.id) == b.id
+        assert r.other_id(b.id) == a.id
+        with pytest.raises(GraphError):
+            r.other_id(12345)
+
+    def test_missing_endpoint_rejected(self, graph):
+        a = graph.create_node()
+        with pytest.raises(NodeNotFoundError):
+            graph.create_relationship("CALL", a, 999)
+
+    def test_empty_type_rejected(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        with pytest.raises(GraphError):
+            graph.create_relationship("", a, b)
+
+    def test_self_loop_allowed(self, graph):
+        a = graph.create_node()
+        r = graph.create_relationship("CALL", a, a)
+        assert r.other_id(a.id) == a.id
+        assert graph.degree(a) == 2
+
+
+class TestDeletion:
+    def test_delete_relationship(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        r = graph.create_relationship("CALL", a, b)
+        graph.delete_relationship(r)
+        assert graph.out_relationships(a) == []
+        with pytest.raises(RelationshipNotFoundError):
+            graph.relationship(r.id)
+
+    def test_delete_node_with_rels_requires_detach(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        graph.create_relationship("CALL", a, b)
+        with pytest.raises(GraphError):
+            graph.delete_node(a)
+        graph.delete_node(a, detach=True)
+        assert not graph.has_node(a.id)
+        assert graph.relationship_count == 0
+
+    def test_delete_removes_from_indexes(self, graph):
+        n = graph.create_node(["Method"])
+        graph.delete_node(n)
+        assert list(graph.nodes("Method")) == []
+
+
+class TestFind:
+    def test_find_by_label(self, graph):
+        m = graph.create_node(["Method"])
+        graph.create_node(["Class"])
+        assert list(graph.nodes("Method")) == [m]
+
+    def test_find_by_property_without_index(self, graph):
+        graph.create_node(["M"], {"NAME": "a"})
+        hit = graph.create_node(["M"], {"NAME": "b"})
+        assert graph.find_nodes("M", NAME="b") == [hit]
+
+    def test_find_with_index(self, graph):
+        graph.indexes.create_index("M", "NAME")
+        hit = graph.create_node(["M"], {"NAME": "x"})
+        graph.create_node(["M"], {"NAME": "y"})
+        assert graph.find_nodes("M", NAME="x") == [hit]
+
+    def test_find_node_single(self, graph):
+        assert graph.find_node("M", NAME="zzz") is None
+        hit = graph.create_node(["M"], {"NAME": "zzz"})
+        assert graph.find_node("M", NAME="zzz") == hit
+
+    def test_find_multi_property(self, graph):
+        graph.indexes.create_index("M", "NAME")
+        graph.create_node(["M"], {"NAME": "f", "ARITY": 1})
+        hit = graph.create_node(["M"], {"NAME": "f", "ARITY": 2})
+        assert graph.find_nodes("M", NAME="f", ARITY=2) == [hit]
+
+
+class TestStats:
+    def test_counts(self, graph):
+        a = graph.create_node(["Class"])
+        b = graph.create_node(["Method"])
+        graph.create_relationship("HAS", a, b)
+        assert graph.node_count == 2
+        assert graph.relationship_count == 1
+        assert graph.label_counts() == {"Class": 1, "Method": 1}
+        assert graph.relationship_type_counts() == {"HAS": 1}

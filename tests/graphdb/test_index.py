@@ -1,0 +1,77 @@
+"""Unit tests for the index manager."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.index import IndexManager, _index_key
+
+
+class TestIndexManager:
+    def test_label_index_automatic(self):
+        g = PropertyGraph()
+        n = g.create_node(["Method"])
+        assert g.indexes.nodes_with_label("Method") == {n.id}
+        assert g.indexes.nodes_with_label("Class") == set()
+
+    def test_property_index_declared_before_load(self):
+        g = PropertyGraph()
+        g.indexes.create_index("M", "NAME")
+        a = g.create_node(["M"], {"NAME": "x"})
+        g.create_node(["M"], {"NAME": "y"})
+        assert g.indexes.lookup("M", "NAME", "x") == {a.id}
+
+    def test_lookup_without_index_returns_none(self):
+        g = PropertyGraph()
+        g.create_node(["M"], {"NAME": "x"})
+        assert g.indexes.lookup("M", "NAME", "x") is None
+
+    def test_create_index_idempotent(self):
+        ix = IndexManager()
+        ix.create_index("A", "k")
+        ix.create_index("A", "k")
+        assert ix.indexes() == [("A", "k")]
+
+    def test_invalid_index_spec(self):
+        ix = IndexManager()
+        with pytest.raises(GraphError):
+            ix.create_index("", "k")
+        with pytest.raises(GraphError):
+            ix.create_index("A", "")
+
+    def test_unindex_on_delete(self):
+        g = PropertyGraph()
+        g.indexes.create_index("M", "NAME")
+        n = g.create_node(["M"], {"NAME": "x"})
+        g.delete_node(n)
+        assert g.indexes.lookup("M", "NAME", "x") == set()
+
+    def test_label_counts(self):
+        g = PropertyGraph()
+        g.create_node(["A"])
+        g.create_node(["A"])
+        g.create_node(["B"])
+        assert g.indexes.label_counts() == {"A": 2, "B": 1}
+
+    def test_multi_label_node_indexed_under_each(self):
+        g = PropertyGraph()
+        n = g.create_node(["A", "B"])
+        assert n.id in g.indexes.nodes_with_label("A")
+        assert n.id in g.indexes.nodes_with_label("B")
+
+
+class TestIndexKeys:
+    def test_list_values_hashable(self):
+        assert _index_key([1, 2]) == (1, 2)
+
+    def test_dict_values_hashable(self):
+        assert _index_key({"b": 1, "a": [2]}) == (("a", (2,)), ("b", 1))
+
+    def test_scalar_passthrough(self):
+        assert _index_key("x") == "x"
+
+    def test_list_property_lookup(self):
+        g = PropertyGraph()
+        g.indexes.create_index("E", "PP")
+        n = g.create_node(["E"], {"PP": [0, 1]})
+        assert g.indexes.lookup("E", "PP", [0, 1]) == {n.id}

@@ -1,0 +1,241 @@
+"""Unit tests for the Cypher-subset query engine."""
+
+import pytest
+
+from repro.errors import QueryExecutionError, QuerySyntaxError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query import parse_query, run_query
+
+
+@pytest.fixture
+def g():
+    """A small CPG-shaped graph:
+
+    Class(A) -HAS-> Method(a.read) -CALL-> Method(b.work) -CALL-> Method(c.exec sink)
+    Class(B) -HAS-> Method(b.work); Method(b.work) -ALIAS-> Method(a.read)
+    """
+    g = PropertyGraph()
+    g.indexes.create_index("Method", "NAME")
+    ca = g.create_node(["Class"], {"NAME": "A"})
+    cb = g.create_node(["Class"], {"NAME": "B"})
+    ma = g.create_node(["Method"], {"NAME": "read", "CLASSNAME": "A", "IS_SOURCE": True})
+    mb = g.create_node(["Method"], {"NAME": "work", "CLASSNAME": "B"})
+    mc = g.create_node(["Method"], {"NAME": "exec", "CLASSNAME": "C", "IS_SINK": True})
+    g.create_relationship("HAS", ca, ma)
+    g.create_relationship("HAS", cb, mb)
+    g.create_relationship("CALL", ma, mb, {"PP": [0]})
+    g.create_relationship("CALL", mb, mc, {"PP": [1]})
+    g.create_relationship("ALIAS", mb, ma)
+    return g
+
+
+class TestParsing:
+    def test_minimal(self):
+        q = parse_query("MATCH (n) RETURN n")
+        assert len(q.patterns) == 1
+        assert q.items[0].alias == "n"
+
+    def test_full_clause_set(self):
+        q = parse_query(
+            "MATCH (a:Method {NAME: 'x'})-[r:CALL|ALIAS*1..3]->(b) "
+            "WHERE a.NAME = 'x' AND NOT b.NAME = 'y' "
+            "RETURN DISTINCT a.NAME AS n, count(*) ORDER BY n DESC SKIP 1 LIMIT 5"
+        )
+        assert q.distinct
+        assert q.limit == 5 and q.skip == 1
+        rel = q.patterns[0].rels[0]
+        assert rel.types == ["CALL", "ALIAS"]
+        assert rel.min_hops == 1 and rel.max_hops == 3
+
+    def test_unbounded_var_length(self):
+        q = parse_query("MATCH (a)-[:CALL*]->(b) RETURN a")
+        rel = q.patterns[0].rels[0]
+        assert rel.min_hops == 1 and rel.max_hops is None
+
+    def test_exact_hops(self):
+        q = parse_query("MATCH (a)-[:CALL*2]->(b) RETURN a")
+        rel = q.patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (2, 2)
+
+    def test_syntax_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (a RETURN a")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("RETURN 1")
+
+    def test_double_arrow_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (a)<-[:X]->(b) RETURN a")
+
+
+class TestMatching:
+    def test_label_scan(self, g):
+        res = run_query(g, "MATCH (m:Method) RETURN m.NAME ORDER BY m.NAME")
+        assert res.values("m.NAME") == ["exec", "read", "work"]
+
+    def test_inline_properties(self, g):
+        res = run_query(g, "MATCH (m:Method {NAME: 'exec'}) RETURN m.CLASSNAME")
+        assert res.single() == {"m.CLASSNAME": "C"}
+
+    def test_directed_edge(self, g):
+        res = run_query(
+            g, "MATCH (a:Method)-[:CALL]->(b:Method {NAME: 'exec'}) RETURN a.NAME"
+        )
+        assert res.values("a.NAME") == ["work"]
+
+    def test_reverse_direction(self, g):
+        res = run_query(
+            g, "MATCH (a:Method {NAME: 'exec'})<-[:CALL]-(b) RETURN b.NAME"
+        )
+        assert res.values("b.NAME") == ["work"]
+
+    def test_undirected(self, g):
+        res = run_query(
+            g, "MATCH (a:Method {NAME: 'work'})-[:ALIAS]-(b) RETURN b.NAME"
+        )
+        assert res.values("b.NAME") == ["read"]
+
+    def test_two_hop_pattern(self, g):
+        res = run_query(
+            g,
+            "MATCH (a:Method)-[:CALL]->(b:Method)-[:CALL]->(c:Method) "
+            "RETURN a.NAME, c.NAME",
+        )
+        assert res.single() == {"a.NAME": "read", "c.NAME": "exec"}
+
+    def test_var_length(self, g):
+        res = run_query(
+            g,
+            "MATCH (a:Method {IS_SOURCE: true})-[r:CALL*1..5]->(b:Method {IS_SINK: true}) "
+            "RETURN b.NAME",
+        )
+        assert res.values("b.NAME") == ["exec"]
+
+    def test_var_length_binds_rel_list(self, g):
+        res = run_query(
+            g,
+            "MATCH (a:Method {NAME: 'read'})-[r:CALL*1..5]->(b:Method {NAME: 'exec'}) "
+            "RETURN r",
+        )
+        rels = res.single()["r"]
+        assert [rel.type for rel in rels] == ["CALL", "CALL"]
+
+    def test_multi_pattern_join(self, g):
+        res = run_query(
+            g,
+            "MATCH (c:Class)-[:HAS]->(m:Method), (m)-[:CALL]->(s:Method {IS_SINK: true}) "
+            "RETURN c.NAME",
+        )
+        assert res.values("c.NAME") == ["B"]
+
+    def test_shared_variable_must_agree(self, g):
+        res = run_query(
+            g,
+            "MATCH (m:Method {NAME: 'read'}), (m {NAME: 'work'}) RETURN m",
+        )
+        assert len(res) == 0
+
+    def test_rel_property_access(self, g):
+        res = run_query(
+            g,
+            "MATCH (a:Method {NAME: 'work'})-[r:CALL]->(b) RETURN r.PP",
+        )
+        assert res.single()["r.PP"] == [1]
+
+
+class TestWhere:
+    def test_comparison_operators(self, g):
+        res = run_query(g, "MATCH (m:Method) WHERE m.NAME <> 'exec' RETURN count(*)")
+        assert res.single()["count(*)"] == 2
+
+    def test_contains(self, g):
+        res = run_query(
+            g, "MATCH (m:Method) WHERE m.CLASSNAME CONTAINS 'B' RETURN m.NAME"
+        )
+        assert res.values("m.NAME") == ["work"]
+
+    def test_starts_ends_with(self, g):
+        res = run_query(
+            g, "MATCH (m:Method) WHERE m.NAME STARTS WITH 're' RETURN m.NAME"
+        )
+        assert res.values("m.NAME") == ["read"]
+        res = run_query(
+            g, "MATCH (m:Method) WHERE m.NAME ENDS WITH 'ork' RETURN m.NAME"
+        )
+        assert res.values("m.NAME") == ["work"]
+
+    def test_in_list(self, g):
+        res = run_query(
+            g,
+            "MATCH (m:Method) WHERE m.NAME IN ['read', 'exec'] RETURN count(*)",
+        )
+        assert res.single()["count(*)"] == 2
+
+    def test_exists(self, g):
+        res = run_query(
+            g, "MATCH (m:Method) WHERE exists(m.IS_SINK) RETURN m.NAME"
+        )
+        assert res.values("m.NAME") == ["exec"]
+
+    def test_boolean_connectives(self, g):
+        res = run_query(
+            g,
+            "MATCH (m:Method) WHERE m.NAME = 'read' OR (m.NAME = 'work' AND NOT m.CLASSNAME = 'Z') "
+            "RETURN count(*)",
+        )
+        assert res.single()["count(*)"] == 2
+
+    def test_null_comparisons_false(self, g):
+        res = run_query(g, "MATCH (m:Method) WHERE m.NOPE > 3 RETURN count(*)")
+        assert res.single()["count(*)"] == 0
+
+
+class TestReturn:
+    def test_alias(self, g):
+        res = run_query(g, "MATCH (m:Method {NAME: 'exec'}) RETURN m.NAME AS name")
+        assert res.single() == {"name": "exec"}
+
+    def test_distinct(self, g):
+        res = run_query(g, "MATCH (m:Method)-[:CALL]->() RETURN DISTINCT 1 AS one")
+        assert len(res) == 1
+
+    def test_count_star_groups(self, g):
+        res = run_query(
+            g,
+            "MATCH (m:Method)-[:CALL]->(x) RETURN m.NAME AS n, count(*) AS c ORDER BY n",
+        )
+        assert res.rows == [{"n": "read", "c": 1}, {"n": "work", "c": 1}]
+
+    def test_count_star_empty_match(self, g):
+        res = run_query(g, "MATCH (m:Method {NAME: 'zzz'}) RETURN count(*) AS c")
+        assert res.single()["c"] == 0
+
+    def test_count_distinct(self, g):
+        res = run_query(
+            g,
+            "MATCH (m:Method)-[:CALL]->(x:Method) RETURN count(DISTINCT x.CLASSNAME) AS c",
+        )
+        assert res.single()["c"] == 2
+
+    def test_order_desc_and_limit(self, g):
+        res = run_query(
+            g, "MATCH (m:Method) RETURN m.NAME ORDER BY m.NAME DESC LIMIT 2"
+        )
+        assert res.values("m.NAME") == ["work", "read"]
+
+    def test_skip(self, g):
+        res = run_query(g, "MATCH (m:Method) RETURN m.NAME ORDER BY m.NAME SKIP 2")
+        assert res.values("m.NAME") == ["work"]
+
+    def test_literal_return(self, g):
+        res = run_query(g, "MATCH (m:Method {NAME: 'exec'}) RETURN 42 AS answer")
+        assert res.single()["answer"] == 42
+
+    def test_unbound_variable_error(self, g):
+        with pytest.raises(QueryExecutionError):
+            run_query(g, "MATCH (m:Method) RETURN q.NAME")
+
+    def test_single_raises_on_many(self, g):
+        res = run_query(g, "MATCH (m:Method) RETURN m.NAME")
+        with pytest.raises(QueryExecutionError):
+            res.single()

@@ -1,0 +1,127 @@
+"""Additional query-engine coverage: tricky patterns and errors."""
+
+import pytest
+
+from repro.errors import QueryExecutionError, QuerySyntaxError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query import parse_query, run_query
+
+
+@pytest.fixture
+def ring():
+    """a0 -> a1 -> a2 -> a0 (a directed 3-cycle)."""
+    g = PropertyGraph()
+    nodes = [g.create_node(["N"], {"i": i}) for i in range(3)]
+    for i in range(3):
+        g.create_relationship("E", nodes[i], nodes[(i + 1) % 3])
+    return g
+
+
+class TestVariableLengthOnCycles:
+    def test_unbounded_terminates(self, ring):
+        res = run_query(ring, "MATCH (a {i: 0})-[:E*]->(b) RETURN b.i ORDER BY b.i")
+        # simple paths only: 1 hop -> a1, 2 hops -> a2 (back to a0 blocked)
+        assert res.values("b.i") == [1, 2]
+
+    def test_min_hops_respected(self, ring):
+        res = run_query(ring, "MATCH (a {i: 0})-[:E*2..3]->(b) RETURN b.i")
+        assert res.values("b.i") == [2]
+
+    def test_zero_matches_ok(self, ring):
+        res = run_query(ring, "MATCH (a {i: 0})-[:MISSING*]->(b) RETURN b.i")
+        assert len(res) == 0
+
+
+class TestMixedPatterns:
+    def test_pattern_reusing_rel_variable_joins(self, ring):
+        res = run_query(
+            ring, "MATCH (a {i: 0})-[r:E]->(b), (a)-[r]->(c) RETURN c.i"
+        )
+        assert res.values("c.i") == [1]
+
+    def test_three_patterns(self, ring):
+        res = run_query(
+            ring,
+            "MATCH (a {i: 0}), (b {i: 1}), (a)-[:E]->(b) RETURN count(*) AS n",
+        )
+        assert res.single()["n"] == 1
+
+    def test_undirected_var_length(self, ring):
+        res = run_query(
+            ring, "MATCH (a {i: 0})-[:E*1..1]-(b) RETURN b.i ORDER BY b.i"
+        )
+        assert res.values("b.i") == [1, 2]  # successor and predecessor
+
+
+class TestWhereEdgeCases:
+    def test_float_literals(self, ring):
+        res = run_query(ring, "MATCH (a {i: 0}) RETURN 1.5 AS x")
+        assert res.single()["x"] == 1.5
+
+    def test_cmp_incomparable_types_false(self, ring):
+        res = run_query(ring, "MATCH (a:N) WHERE a.i > 'str' RETURN count(*) AS n")
+        assert res.single()["n"] == 0
+
+    def test_null_literal_equality(self, ring):
+        res = run_query(ring, "MATCH (a:N) WHERE a.missing = null RETURN count(*) AS n")
+        assert res.single()["n"] == 3
+
+    def test_contains_on_non_string_false(self, ring):
+        res = run_query(ring, "MATCH (a:N) WHERE a.i CONTAINS '0' RETURN count(*) AS n")
+        assert res.single()["n"] == 0
+
+    def test_empty_in_list(self, ring):
+        res = run_query(ring, "MATCH (a:N) WHERE a.i IN [] RETURN count(*) AS n")
+        assert res.single()["n"] == 0
+
+
+class TestReturnEdgeCases:
+    def test_order_by_unreturned_expression_errors(self, ring):
+        with pytest.raises(QueryExecutionError):
+            run_query(ring, "MATCH (a:N) RETURN a.i AS x ORDER BY a.missing")
+
+    def test_order_by_mixed_none_sorts_last(self, ring):
+        g = ring
+        g.create_node(["N"])  # no i property
+        res = run_query(g, "MATCH (a:N) RETURN a.i ORDER BY a.i")
+        values = res.values("a.i")
+        assert values[-1] is None and values[:3] == [0, 1, 2]
+
+    def test_count_group_by_rel_property(self, ring):
+        for rel in ring.relationships():
+            ring.set_relationship_property(rel, "kind", "x")
+        res = run_query(
+            ring, "MATCH ()-[r:E]->() RETURN r.kind AS k, count(*) AS n"
+        )
+        assert res.single() == {"k": "x", "n": 3}
+
+    def test_skip_past_end(self, ring):
+        res = run_query(ring, "MATCH (a:N) RETURN a.i ORDER BY a.i SKIP 10")
+        assert len(res) == 0
+
+    def test_limit_zero(self, ring):
+        res = run_query(ring, "MATCH (a:N) RETURN a.i LIMIT 0")
+        assert len(res) == 0
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "MATCH (a RETURN a",
+            "MATCH (a) WHERE RETURN a",
+            "MATCH (a) RETURN",
+            "MATCH (a)-[:]->(b) RETURN a",
+            "MATCH (a) RETURN a LIMIT x",
+            "MATCH (a) RETURN a ORDER a.i",
+            "MATCH (a) RETURN a; DROP",
+        ],
+    )
+    def test_malformed_queries_raise(self, query):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(query)
+
+    def test_position_reported(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            parse_query("MATCH (a) RETURN $$$")
+        assert exc.value.position > 0

@@ -1,0 +1,112 @@
+"""Unit tests for graph persistence plus hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+def sample_graph():
+    g = PropertyGraph()
+    g.indexes.create_index("Method", "NAME")
+    a = g.create_node(["Class"], {"NAME": "A"})
+    m = g.create_node(["Method"], {"NAME": "run", "PP": [0, 1]})
+    g.create_relationship("HAS", a, m, {"weight": 2})
+    return g
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        g = sample_graph()
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.node_count == g.node_count
+        assert g2.relationship_count == g.relationship_count
+        assert g2.find_node("Method", NAME="run")["PP"] == [0, 1]
+
+    def test_indexes_preserved(self):
+        g2 = graph_from_dict(graph_to_dict(sample_graph()))
+        assert g2.indexes.has_index("Method", "NAME")
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "g.json")
+        save_graph(sample_graph(), path)
+        g2 = load_graph(path)
+        assert g2.node_count == 2
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = str(tmp_path / "g.json.gz")
+        save_graph(sample_graph(), path)
+        g2 = load_graph(path)
+        assert g2.relationship_count == 1
+
+    def test_missing_file(self):
+        with pytest.raises(StorageError):
+            load_graph("/no/such/graph.json")
+
+    def test_bad_version(self):
+        with pytest.raises(StorageError):
+            graph_from_dict({"format_version": 99, "nodes": [], "relationships": []})
+
+    def test_malformed_document(self):
+        with pytest.raises(StorageError):
+            graph_from_dict({"format_version": 1, "nodes": [{"id": 0}], "relationships": []})
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            load_graph(str(path))
+
+
+_props = st.dictionaries(
+    st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True),
+    st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+        st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+    ),
+    max_size=4,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    node_specs=st.lists(
+        st.tuples(st.sampled_from(["A", "B", "C"]), _props), min_size=1, max_size=8
+    ),
+    edge_seed=st.data(),
+)
+def test_property_arbitrary_graph_round_trips(node_specs, edge_seed):
+    """Any graph built from random nodes/edges survives serialisation:
+    same node/rel counts, same labels, same property maps."""
+    g = PropertyGraph()
+    nodes = [g.create_node([label], props) for label, props in node_specs]
+    n_edges = edge_seed.draw(st.integers(min_value=0, max_value=6))
+    for _ in range(n_edges):
+        a = edge_seed.draw(st.sampled_from(nodes))
+        b = edge_seed.draw(st.sampled_from(nodes))
+        g.create_relationship("E", a, b)
+    g2 = graph_from_dict(graph_to_dict(g))
+    assert g2.node_count == g.node_count
+    assert g2.relationship_count == g.relationship_count
+    assert g2.label_counts() == g.label_counts()
+    def snapshot(graph):
+        return sorted(
+            (
+                (sorted(n.labels), sorted(n.properties.items(), key=repr))
+                for n in graph.nodes()
+            ),
+            key=repr,
+        )
+
+    assert snapshot(g) == snapshot(g2)

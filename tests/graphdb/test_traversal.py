@@ -1,0 +1,194 @@
+"""Unit tests for the expander/evaluator traversal framework."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.traversal import (
+    Direction,
+    Evaluation,
+    Path,
+    Uniqueness,
+    traverse,
+    type_expander,
+)
+
+
+def chain_graph(n=4, rel="CALL"):
+    """a0 -> a1 -> ... -> a(n-1)."""
+    g = PropertyGraph()
+    nodes = [g.create_node(["N"], {"NAME": f"a{i}"}) for i in range(n)]
+    for left, right in zip(nodes, nodes[1:]):
+        g.create_relationship(rel, left, right)
+    return g, nodes
+
+
+def include_all(graph, path, state):
+    return Evaluation.INCLUDE_AND_CONTINUE
+
+
+class TestPath:
+    def test_single(self):
+        g, nodes = chain_graph(1)
+        p = Path.single(nodes[0])
+        assert p.length == 0
+        assert p.start_node == p.end_node == nodes[0]
+
+    def test_extend(self):
+        g, nodes = chain_graph(2)
+        rel = next(g.relationships())
+        p = Path.single(nodes[0]).extend(rel, nodes[1])
+        assert p.length == 1
+        assert p.end_node == nodes[1]
+        assert p.relationships == (rel,)
+
+    def test_invalid_shape_rejected(self):
+        g, nodes = chain_graph(2)
+        rel = next(g.relationships())
+        with pytest.raises(GraphError):
+            Path(nodes, [rel, rel])
+
+    def test_contains_node(self):
+        g, nodes = chain_graph(2)
+        rel = next(g.relationships())
+        p = Path.single(nodes[0]).extend(rel, nodes[1])
+        assert p.contains_node(nodes[0]) and p.contains_node(nodes[1])
+
+
+class TestTraverse:
+    def test_visits_whole_chain(self):
+        g, nodes = chain_graph(4)
+        results = list(traverse(g, nodes[0], type_expander(["CALL"]), include_all))
+        assert len(results) == 4  # paths of length 0..3
+        assert results[-1][0].end_node == nodes[3]
+
+    def test_direction_incoming(self):
+        g, nodes = chain_graph(3)
+        expander = type_expander(["CALL"], Direction.INCOMING)
+        results = list(traverse(g, nodes[2], expander, include_all))
+        assert [p.end_node["NAME"] for p, _ in results] == ["a2", "a1", "a0"]
+
+    def test_type_filter(self):
+        g = PropertyGraph()
+        a, b, c = (g.create_node() for _ in range(3))
+        g.create_relationship("CALL", a, b)
+        g.create_relationship("ALIAS", a, c)
+        results = list(traverse(g, a, type_expander(["ALIAS"]), include_all))
+        assert {p.end_node.id for p, _ in results} == {a.id, c.id}
+
+    def test_prune_stops_expansion(self):
+        g, nodes = chain_graph(5)
+
+        def max_depth_2(graph, path, state):
+            if path.length >= 2:
+                return Evaluation.INCLUDE_AND_PRUNE
+            return Evaluation.INCLUDE_AND_CONTINUE
+
+        results = list(traverse(g, nodes[0], type_expander(["CALL"]), max_depth_2))
+        assert max(p.length for p, _ in results) == 2
+
+    def test_exclude_filters_output(self):
+        g, nodes = chain_graph(3)
+
+        def only_full(graph, path, state):
+            if path.end_node["NAME"] == "a2":
+                return Evaluation.INCLUDE_AND_PRUNE
+            return Evaluation.EXCLUDE_AND_CONTINUE
+
+        results = list(traverse(g, nodes[0], type_expander(["CALL"]), only_full))
+        assert len(results) == 1
+        assert results[0][0].end_node["NAME"] == "a2"
+
+    def test_node_path_uniqueness_breaks_cycles(self):
+        g = PropertyGraph()
+        a, b = g.create_node(), g.create_node()
+        g.create_relationship("CALL", a, b)
+        g.create_relationship("CALL", b, a)
+        results = list(traverse(g, a, type_expander(["CALL"]), include_all))
+        assert len(results) == 2  # (a), (a->b); cycle back to a is blocked
+
+    def test_node_global_uniqueness_loses_paths(self):
+        """NODE_GLOBAL models GadgetInspector's visited-set shortcut: the
+        second route into a shared node is dropped."""
+        g = PropertyGraph()
+        a, b, c, d = (g.create_node(["N"], {"NAME": x}) for x in "abcd")
+        g.create_relationship("CALL", a, b)
+        g.create_relationship("CALL", a, c)
+        g.create_relationship("CALL", b, d)
+        g.create_relationship("CALL", c, d)
+        full = list(
+            traverse(g, a, type_expander(["CALL"]), include_all, uniqueness=Uniqueness.NODE_PATH)
+        )
+        global_ = list(
+            traverse(g, a, type_expander(["CALL"]), include_all, uniqueness=Uniqueness.NODE_GLOBAL)
+        )
+        paths_to_d_full = [p for p, _ in full if p.end_node["NAME"] == "d"]
+        paths_to_d_global = [p for p, _ in global_ if p.end_node["NAME"] == "d"]
+        assert len(paths_to_d_full) == 2
+        assert len(paths_to_d_global) == 1
+
+    def test_state_propagation(self):
+        g, nodes = chain_graph(3)
+
+        def counting_expander(graph, path, state):
+            for rel, node, _ in type_expander(["CALL"])(graph, path, state):
+                yield rel, node, state + 1
+
+        results = list(
+            traverse(g, nodes[0], counting_expander, include_all, initial_state=0)
+        )
+        states = {p.length: s for p, s in results}
+        assert states == {0: 0, 1: 1, 2: 2}
+
+    def test_max_results(self):
+        g, nodes = chain_graph(10)
+        results = list(
+            traverse(g, nodes[0], type_expander(["CALL"]), include_all, max_results=3)
+        )
+        assert len(results) == 3
+
+    def test_multiple_starts(self):
+        g, nodes = chain_graph(3)
+        results = list(
+            traverse(g, [nodes[0], nodes[1]], type_expander(["CALL"]), include_all)
+        )
+        zero_len = [p for p, _ in results if p.length == 0]
+        assert len(zero_len) == 2
+
+
+class TestRelationshipPathUniqueness:
+    def test_node_revisit_allowed_edge_reuse_blocked(self):
+        """A node may repeat in a path, but each relationship at most
+        once — the ChainedTransformer interface-revisit situation."""
+        g = PropertyGraph()
+        decl = g.create_node(["N"], {"NAME": "decl"})
+        a = g.create_node(["N"], {"NAME": "a"})
+        b = g.create_node(["N"], {"NAME": "b"})
+        g.create_relationship("E", decl, a)
+        g.create_relationship("E", a, decl)
+        g.create_relationship("E", decl, b)
+        results = list(
+            traverse(
+                g, decl, type_expander(["E"]), include_all,
+                uniqueness=Uniqueness.RELATIONSHIP_PATH,
+            )
+        )
+        sequences = {
+            tuple(n["NAME"] for n in p.nodes) for p, _ in results
+        }
+        # decl -> a -> decl (node revisit) -> b is reachable
+        assert ("decl", "a", "decl", "b") in sequences
+        # but no path uses the decl->a edge twice
+        for path, _ in results:
+            ids = [r.id for r in path.relationships]
+            assert len(ids) == len(set(ids))
+
+    def test_last_relationship_accessor(self):
+        g, nodes = chain_graph(3)
+        rels = list(g.relationships())
+        p = Path.single(nodes[0])
+        assert p.last_relationship is None
+        p = p.extend(rels[0], nodes[1])
+        assert p.last_relationship is rels[0]
+        assert p.contains_relationship(rels[0])
+        assert not p.contains_relationship(rels[1])

@@ -1,0 +1,173 @@
+"""Unit tests for the builder DSL."""
+
+import pytest
+
+from repro.errors import ClassModelError, IRError
+from repro.jvm import ir
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+
+def build_single(body_fn, params=(), returns="void", static=False):
+    pb = ProgramBuilder()
+    with pb.cls("t.C") as c:
+        with c.method("m", params=params, returns=returns, static=static) as m:
+            body_fn(m)
+    (cls,) = pb.build()
+    return cls.method(
+        f"{'void' if returns == 'void' else returns} m"
+        f"({','.join(p for p in params)})"
+    ) or cls.find_method("m")
+
+
+class TestMethodBuilder:
+    def test_identity_statements_emitted(self):
+        method = build_single(lambda m: m.ret(), params=["int", "int"])
+        kinds = [type(s).__name__ for s in method.body[:3]]
+        assert kinds == ["IdentityStmt", "IdentityStmt", "IdentityStmt"]
+
+    def test_static_method_has_no_this(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.C") as c:
+            with c.method("m", static=True) as m:
+                assert m.this is None
+                m.ret()
+        pb.build()
+
+    def test_param_access_bounds(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.C") as c:
+            with c.method("m", params=["int"]) as m:
+                m.param(1)
+                with pytest.raises(IRError):
+                    m.param(2)
+                m.ret()
+        pb.build()
+
+    def test_implicit_void_return(self):
+        method = build_single(lambda m: None)
+        assert isinstance(method.body[-1], ir.ReturnStmt)
+        assert method.body[-1].value is None
+
+    def test_implicit_null_return_for_reference(self):
+        method = build_single(lambda m: None, returns="java.lang.Object")
+        assert isinstance(method.body[-1], ir.ReturnStmt)
+        assert isinstance(method.body[-1].value, ir.NullConst)
+
+    def test_expressions_are_spilled_to_temporaries(self):
+        def body(m):
+            obj = m.new("t.D")
+            m.set_field(m.this, "f", obj)
+            m.ret()
+
+        method = build_single(body)
+        stores = [
+            s
+            for s in method.body
+            if isinstance(s, ir.AssignStmt)
+            and isinstance(s.target, ir.InstanceFieldRef)
+        ]
+        assert len(stores) == 1
+        assert isinstance(stores[0].rhs, ir.Local)
+
+    def test_python_literals_coerced(self):
+        def body(m):
+            m.invoke_static("t.D", "f", args=[1, "s", None, True])
+            m.ret()
+
+        method = build_single(body)
+        call = ir.iter_invoke_exprs(method.body)[0]
+        assert isinstance(call.args[0], ir.IntConst)
+        assert isinstance(call.args[1], ir.StringConst)
+        assert isinstance(call.args[2], ir.NullConst)
+        assert isinstance(call.args[3], ir.IntConst)
+
+    def test_invoke_returns_temporary(self):
+        def body(m):
+            out = m.invoke_static("t.D", "f", returns="java.lang.Object")
+            assert isinstance(out, ir.Local)
+            m.ret()
+
+        build_single(body)
+
+    def test_construct_emits_new_and_init(self):
+        method = build_single(lambda m: (m.construct("t.D", [1]), m.ret()))
+        news = [
+            s
+            for s in method.body
+            if isinstance(s, ir.AssignStmt) and isinstance(s.rhs, ir.NewExpr)
+        ]
+        inits = [
+            e for e in ir.iter_invoke_exprs(method.body) if e.method_name == "<init>"
+        ]
+        assert len(news) == 1 and len(inits) == 1
+        assert inits[0].kind == ir.InvokeKind.SPECIAL
+
+    def test_label_attaches_to_next_statement(self):
+        def body(m):
+            m.goto("end")
+            m.label("end")
+            m.ret()
+
+        method = build_single(body)
+        labelled = [s for s in method.body if s.label == "end"]
+        assert len(labelled) == 1
+        assert isinstance(labelled[0], ir.ReturnStmt)
+
+    def test_trailing_label_gets_nop(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.C") as c:
+            with c.method("m") as m:
+                m.label("tail")
+        (cls,) = pb.build()
+        method = cls.find_method("m")
+        assert any(s.label == "tail" for s in method.body)
+
+    def test_dynamic_invoke_marks_unresolved(self):
+        def body(m):
+            m.invoke_dynamic(m.this, "anything")
+            m.ret()
+
+        method = build_single(body)
+        call = ir.iter_invoke_exprs(method.body)[0]
+        assert call.kind == ir.InvokeKind.DYNAMIC
+        assert call.class_name == "<unresolved>"
+
+
+class TestClassBuilder:
+    def test_interface_methods_are_abstract(self):
+        pb = ProgramBuilder()
+        cb = pb.interface("t.I")
+        cb.abstract_method("run", returns="java.lang.Object")
+        cb.finish()
+        (cls,) = pb.build()
+        assert cls.is_interface
+        method = cls.find_method("run")
+        assert method.is_abstract and not method.has_body
+
+    def test_field_flags(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.C") as c:
+            f = c.field("cache", "java.lang.Object", static=True, transient=True)
+        pb.build()
+        assert f.is_static and f.is_transient
+
+
+class TestProgramBuilder:
+    def test_duplicate_class_rejected(self):
+        pb = ProgramBuilder()
+        pb.cls("t.C").finish()
+        with pytest.raises(ClassModelError):
+            pb.cls("t.C")
+
+    def test_jar_name_propagates(self):
+        pb = ProgramBuilder(jar="x.jar")
+        pb.cls("t.C").finish()
+        (cls,) = pb.build()
+        assert cls.jar_name == "x.jar"
+
+    def test_serializable_marker(self):
+        pb = ProgramBuilder()
+        pb.cls("t.C", implements=[SERIALIZABLE]).finish()
+        (cls,) = pb.build()
+        assert cls.declares_serializable

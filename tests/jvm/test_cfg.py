@@ -1,0 +1,159 @@
+"""Unit tests for control-flow graph construction."""
+
+import pytest
+
+from repro.errors import CFGError
+from repro.jvm import ir
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.cfg import build_cfg
+
+
+def method_with(body_fn, params=("int",)):
+    pb = ProgramBuilder()
+    with pb.cls("t.C") as c:
+        with c.method("m", params=list(params)) as m:
+            body_fn(m)
+    (cls,) = pb.build()
+    return cls.find_method("m")
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        method = method_with(lambda m: m.ret())
+        cfg = build_cfg(method)
+        assert len(cfg.blocks) == 1
+        assert cfg.entry.successors == []
+
+    def test_statements_preserved_in_order(self):
+        method = method_with(lambda m: m.ret())
+        cfg = build_cfg(method)
+        assert list(cfg.statements()) == method.body
+
+    def test_empty_body_empty_graph(self):
+        pb = ProgramBuilder()
+        cb = pb.cls("t.C")
+        cb.abstract_method("m")
+        cb.finish()
+        (cls,) = pb.build()
+        cfg = build_cfg(cls.find_method("m"))
+        assert cfg.blocks == [] and cfg.entry is None
+
+
+class TestBranching:
+    def _diamond(self, m):
+        cond = m.binop("==", m.param(1), 0)
+        m.iff(cond, "then")
+        m.invoke_static("t.C", "onFalse")
+        m.goto("join")
+        m.label("then")
+        m.invoke_static("t.C", "onTrue")
+        m.label("join")
+        m.ret()
+
+    def test_diamond_block_count(self):
+        cfg = build_cfg(method_with(self._diamond))
+        # entry (cond), false arm, true arm, join
+        assert len(cfg.blocks) == 4
+
+    def test_diamond_edges(self):
+        cfg = build_cfg(method_with(self._diamond))
+        entry = cfg.entry
+        assert len(entry.successors) == 2
+        join = [b for b in cfg.blocks if isinstance(b.last, ir.ReturnStmt)][0]
+        assert len(join.predecessors) == 2
+
+    def test_loop_back_edge(self):
+        def body(m):
+            m.label("head")
+            cond = m.binop("==", m.param(1), 0)
+            m.iff(cond, "exit")
+            m.invoke_static("t.C", "work")
+            m.goto("head")
+            m.label("exit")
+            m.ret()
+
+        cfg = build_cfg(method_with(body))
+        head = next(b for b in cfg.blocks if b.first.label == "head")
+        assert any(head in b.successors for b in cfg.blocks)
+
+    def test_switch_successors(self):
+        def body(m):
+            m.switch(m.param(1), [(1, "a"), (2, "b")], "d")
+            m.label("a")
+            m.ret()
+            m.label("b")
+            m.ret()
+            m.label("d")
+            m.ret()
+
+        cfg = build_cfg(method_with(body))
+        entry = cfg.entry
+        assert len(entry.successors) == 3
+
+    def test_undefined_label_rejected(self):
+        def body(m):
+            m.goto("nowhere")
+
+        with pytest.raises(CFGError):
+            build_cfg(method_with(body))
+
+    def test_duplicate_label_rejected(self):
+        def body(m):
+            m.label("x")
+            m.nop()
+            m.label("x")
+            m.ret()
+
+        with pytest.raises(CFGError):
+            build_cfg(method_with(body))
+
+
+class TestOrders:
+    def _diamond(self, m):
+        cond = m.binop("==", m.param(1), 0)
+        m.iff(cond, "then")
+        m.invoke_static("t.C", "onFalse")
+        m.goto("join")
+        m.label("then")
+        m.invoke_static("t.C", "onTrue")
+        m.label("join")
+        m.ret()
+
+    def test_rpo_starts_at_entry(self):
+        cfg = build_cfg(method_with(self._diamond))
+        order = cfg.reverse_post_order()
+        assert order[0] is cfg.entry
+        assert len(order) == len(cfg.blocks)
+
+    def test_rpo_join_after_both_arms(self):
+        cfg = build_cfg(method_with(self._diamond))
+        order = cfg.reverse_post_order()
+        join_pos = max(
+            i for i, b in enumerate(order) if isinstance(b.last, ir.ReturnStmt)
+        )
+        assert join_pos == len(order) - 1
+
+    def test_linearized_contains_all_statements(self):
+        method = method_with(self._diamond)
+        cfg = build_cfg(method)
+        linear = cfg.linearized_statements()
+        assert sorted(map(id, linear)) == sorted(map(id, method.body))
+
+    def test_unreachable_code_still_linearized(self):
+        def body(m):
+            m.ret()
+            m.label("dead")
+            m.invoke_static("t.C", "never")
+            m.ret()
+
+        method = method_with(body)
+        cfg = build_cfg(method)
+        assert len(cfg.linearized_statements()) == len(method.body)
+
+    def test_branch_count(self):
+        cfg = build_cfg(method_with(self._diamond))
+        assert cfg.branch_count() == 1
+
+    def test_exit_blocks(self):
+        cfg = build_cfg(method_with(self._diamond))
+        assert len(cfg.exit_blocks) == 1

@@ -1,0 +1,172 @@
+"""Unit tests for class-hierarchy analysis."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import SERIALIZABLE
+
+
+def sample_hierarchy():
+    """Object <- Animal (Comparable) <- Dog; interface Comparable;
+    Cat extends Animal; Dog overrides speak/compareTo."""
+    pb = ProgramBuilder()
+    obj = pb.cls("java.lang.Object")
+    with obj:
+        with obj.method("hashCode", returns="int") as m:
+            m.ret(0)
+        with obj.method("toString", returns="java.lang.String") as m:
+            m.ret("obj")
+    iface = pb.interface("t.Comparable")
+    iface.abstract_method("compareTo", params=["java.lang.Object"], returns="int")
+    iface.finish()
+    with pb.cls("t.Animal", implements=["t.Comparable"]) as c:
+        with c.method("speak", returns="java.lang.String") as m:
+            m.ret("...")
+        with c.method("compareTo", params=["java.lang.Object"], returns="int") as m:
+            m.ret(0)
+    with pb.cls("t.Dog", extends="t.Animal", implements=[SERIALIZABLE]) as c:
+        with c.method("speak", returns="java.lang.String") as m:
+            m.ret("woof")
+        with c.method("compareTo", params=["java.lang.Object"], returns="int") as m:
+            m.ret(1)
+    pb.cls("t.Cat", extends="t.Animal").finish()
+    return ClassHierarchy(pb.build())
+
+
+class TestSupertypes:
+    def test_transitive_supertypes(self):
+        h = sample_hierarchy()
+        supers = h.supertypes("t.Dog")
+        assert "t.Animal" in supers
+        assert "java.lang.Object" in supers
+        assert "t.Comparable" in supers
+        assert SERIALIZABLE in supers  # phantom interface
+
+    def test_is_subtype_of(self):
+        h = sample_hierarchy()
+        assert h.is_subtype_of("t.Dog", "t.Animal")
+        assert h.is_subtype_of("t.Dog", "t.Comparable")
+        assert h.is_subtype_of("t.Dog", "t.Dog")
+        assert h.is_subtype_of("t.Dog", "java.lang.Object")
+        assert not h.is_subtype_of("t.Animal", "t.Dog")
+
+    def test_subtypes(self):
+        h = sample_hierarchy()
+        assert set(h.subtypes("t.Animal")) == {"t.Dog", "t.Cat"}
+        assert set(h.subtypes("t.Comparable")) == {"t.Animal", "t.Dog", "t.Cat"}
+
+    def test_phantom_classes_tracked(self):
+        h = sample_hierarchy()
+        assert SERIALIZABLE in h.phantom_names
+        assert "t.Animal" not in h.phantom_names
+
+    def test_duplicate_class_rejected(self):
+        pb = ProgramBuilder()
+        pb.cls("t.A").finish()
+        classes = pb.build()
+        with pytest.raises(HierarchyError):
+            ClassHierarchy(classes + classes)
+
+
+class TestSerializability:
+    def test_direct(self):
+        h = sample_hierarchy()
+        assert h.is_serializable("t.Dog")
+
+    def test_not_serializable(self):
+        h = sample_hierarchy()
+        assert not h.is_serializable("t.Animal")
+        assert not h.is_serializable("t.Cat")
+
+    def test_inherited_through_superclass(self):
+        pb = ProgramBuilder()
+        pb.cls("t.Base", implements=[SERIALIZABLE]).finish()
+        pb.cls("t.Derived", extends="t.Base").finish()
+        h = ClassHierarchy(pb.build())
+        assert h.is_serializable("t.Derived")
+
+    def test_unknown_class_not_serializable(self):
+        h = sample_hierarchy()
+        assert not h.is_serializable("no.such.Class")
+
+
+class TestResolution:
+    def test_resolve_in_class(self):
+        h = sample_hierarchy()
+        m = h.resolve_method("t.Dog", "speak", 0)
+        assert m.owner.name == "t.Dog"
+
+    def test_resolve_up_the_chain(self):
+        h = sample_hierarchy()
+        m = h.resolve_method("t.Cat", "speak", 0)
+        assert m.owner.name == "t.Animal"
+        m2 = h.resolve_method("t.Cat", "hashCode", 0)
+        assert m2.owner.name == "java.lang.Object"
+
+    def test_resolve_missing(self):
+        h = sample_hierarchy()
+        assert h.resolve_method("t.Dog", "fly", 0) is None
+
+    def test_dispatch_targets_include_overrides(self):
+        h = sample_hierarchy()
+        targets = h.dispatch_targets("t.Animal", "speak", 0)
+        owners = {m.owner.name for m in targets}
+        assert owners == {"t.Animal", "t.Dog"}
+
+    def test_dispatch_on_interface(self):
+        h = sample_hierarchy()
+        targets = h.dispatch_targets("t.Comparable", "compareTo", 1)
+        owners = {m.owner.name for m in targets}
+        assert {"t.Animal", "t.Dog"} <= owners
+
+
+class TestAliasEdges:
+    def test_alias_parents_follow_formula_1(self):
+        h = sample_hierarchy()
+        dog_speak = h.require("t.Dog").find_method("speak")
+        parents = h.alias_parents(dog_speak)
+        assert [m.owner.name for m in parents] == ["t.Animal"]
+
+    def test_alias_parent_through_interface(self):
+        h = sample_hierarchy()
+        animal_cmp = h.require("t.Animal").find_method("compareTo")
+        parents = h.alias_parents(animal_cmp)
+        assert "t.Comparable" in [m.owner.name for m in parents]
+
+    def test_alias_requires_same_arity(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Base") as c:
+            with c.method("f", params=["int", "int"]) as m:
+                m.ret()
+        with pb.cls("t.Sub", extends="t.Base") as c:
+            with c.method("f", params=["int"]) as m:
+                m.ret()
+        h = ClassHierarchy(pb.build())
+        sub_f = h.require("t.Sub").find_method("f")
+        assert h.alias_parents(sub_f) == []
+
+    def test_overriding_methods_inverse(self):
+        h = sample_hierarchy()
+        animal_speak = h.require("t.Animal").find_method("speak")
+        overrides = h.overriding_methods(animal_speak)
+        assert [m.owner.name for m in overrides] == ["t.Dog"]
+
+    def test_object_hashcode_aliases_everywhere(self):
+        """Every class is a subclass of Object, so an override of
+        hashCode in any class alias-links to Object.hashCode (the URLDNS
+        scenario)."""
+        pb = ProgramBuilder()
+        obj = pb.cls("java.lang.Object")
+        with obj:
+            with obj.method("hashCode", returns="int") as m:
+                m.ret(0)
+        with pb.cls("u.URL") as c:
+            with c.method("hashCode", returns="int") as m:
+                m.ret(1)
+        h = ClassHierarchy(pb.build())
+        url_hash = h.require("u.URL").find_method("hashCode")
+        assert [m.owner.name for m in h.alias_parents(url_hash)] == [
+            "java.lang.Object"
+        ]

@@ -1,0 +1,125 @@
+"""Unit tests for the IR value/statement layer."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.jvm import ir
+from repro.jvm import types as jt
+
+
+class TestValues:
+    def test_local_equality(self):
+        assert ir.Local("a") == ir.Local("a")
+        assert ir.Local("a") != ir.Local("b")
+        assert hash(ir.Local("a")) == hash(ir.Local("a"))
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(IRError):
+            ir.Local("")
+
+    def test_param_ref_one_based(self):
+        assert str(ir.ParamRef(1)) == "@param-1"
+        with pytest.raises(IRError):
+            ir.ParamRef(0)
+
+    def test_string_const_escaping(self):
+        s = ir.StringConst('he said "hi"')
+        assert '\\"' in str(s)
+
+    def test_field_ref_requires_local_base(self):
+        with pytest.raises(IRError):
+            ir.InstanceFieldRef(ir.IntConst(1), "f")  # type: ignore[arg-type]
+
+    def test_array_ref_index_kinds(self):
+        ir.ArrayRef(ir.Local("a"), ir.IntConst(0))
+        ir.ArrayRef(ir.Local("a"), ir.Local("i"))
+        with pytest.raises(IRError):
+            ir.ArrayRef(ir.Local("a"), ir.StringConst("x"))
+
+    def test_locals_used_composition(self):
+        ref = ir.ArrayRef(ir.Local("a"), ir.Local("i"))
+        assert set(ref.locals_used()) == {ir.Local("a"), ir.Local("i")}
+
+
+class TestInvokeExpr:
+    def test_static_rejects_base(self):
+        with pytest.raises(IRError):
+            ir.InvokeExpr(ir.InvokeKind.STATIC, ir.Local("x"), "C", "m")
+
+    def test_virtual_requires_local_base(self):
+        with pytest.raises(IRError):
+            ir.InvokeExpr(ir.InvokeKind.VIRTUAL, None, "C", "m")
+
+    def test_args_must_be_simple(self):
+        with pytest.raises(IRError):
+            ir.InvokeExpr(
+                ir.InvokeKind.STATIC, None, "C", "m", [ir.NewExpr("D")]
+            )
+
+    def test_arity(self):
+        e = ir.InvokeExpr(
+            ir.InvokeKind.STATIC, None, "C", "m", [ir.IntConst(1), ir.NullConst()]
+        )
+        assert e.arity == 2
+
+    def test_locals_used_includes_base_and_args(self):
+        e = ir.InvokeExpr(
+            ir.InvokeKind.VIRTUAL, ir.Local("b"), "C", "m", [ir.Local("x")]
+        )
+        assert set(e.locals_used()) == {ir.Local("b"), ir.Local("x")}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(IRError):
+            ir.InvokeExpr("super", ir.Local("b"), "C", "m")
+
+
+class TestStatements:
+    def test_identity_requires_at_ref(self):
+        with pytest.raises(IRError):
+            ir.IdentityStmt(ir.Local("a"), ir.Local("b"))
+
+    def test_assign_target_kinds(self):
+        ir.AssignStmt(ir.Local("a"), ir.IntConst(1))
+        ir.AssignStmt(ir.InstanceFieldRef(ir.Local("a"), "f"), ir.Local("b"))
+        with pytest.raises(IRError):
+            ir.AssignStmt(ir.IntConst(1), ir.Local("a"))
+
+    def test_field_store_requires_simple_rhs(self):
+        target = ir.InstanceFieldRef(ir.Local("a"), "f")
+        with pytest.raises(IRError):
+            ir.AssignStmt(target, ir.NewExpr("C"))
+
+    def test_return_falls_through_false(self):
+        assert not ir.ReturnStmt(None).falls_through
+        assert not ir.GotoStmt("L").falls_through
+        assert not ir.ThrowStmt(ir.Local("e")).falls_through
+
+    def test_if_falls_through_true(self):
+        stmt = ir.IfStmt(ir.Local("c"), "L")
+        assert stmt.falls_through
+        assert stmt.branch_targets() == ("L",)
+
+    def test_switch_targets_include_default(self):
+        stmt = ir.SwitchStmt(ir.Local("k"), [(1, "A"), (2, "B")], "D")
+        assert stmt.branch_targets() == ("A", "B", "D")
+        assert not stmt.falls_through
+
+    def test_invoke_expr_accessor(self):
+        call = ir.InvokeExpr(ir.InvokeKind.STATIC, None, "C", "m")
+        assert ir.InvokeStmt(call).invoke_expr() is call
+        assert ir.AssignStmt(ir.Local("a"), call).invoke_expr() is call
+        assert ir.AssignStmt(ir.Local("a"), ir.IntConst(1)).invoke_expr() is None
+
+    def test_iter_invoke_exprs_order(self):
+        c1 = ir.InvokeExpr(ir.InvokeKind.STATIC, None, "C", "m1")
+        c2 = ir.InvokeExpr(ir.InvokeKind.STATIC, None, "C", "m2")
+        stmts = [
+            ir.InvokeStmt(c1),
+            ir.ReturnStmt(None),
+            ir.AssignStmt(ir.Local("a"), c2),
+        ]
+        assert ir.iter_invoke_exprs(stmts) == [c1, c2]
+
+    def test_label_prefix_in_str(self):
+        stmt = ir.NopStmt(label="join")
+        assert str(stmt) == "join: nop"

@@ -1,0 +1,97 @@
+"""Unit tests for jar archives."""
+
+import os
+
+import pytest
+
+from repro.errors import JarError
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.jar import JarArchive, load_classpath, read_jar, write_jar
+
+
+def make_classes(prefix="a", count=3):
+    pb = ProgramBuilder()
+    for i in range(count):
+        with pb.cls(f"{prefix}.C{i}") as c:
+            with c.method("run") as m:
+                m.ret()
+    return pb.build()
+
+
+class TestJarArchive:
+    def test_add_and_lookup(self):
+        jar = JarArchive("x", make_classes())
+        assert len(jar) == 3
+        assert "a.C0" in jar
+        assert jar.get("a.C1") is not None
+        assert jar.get("a.Missing") is None
+
+    def test_duplicate_class_rejected(self):
+        classes = make_classes()
+        jar = JarArchive("x", classes)
+        with pytest.raises(JarError):
+            jar.add(classes[0])
+
+    def test_jar_name_stamped_on_classes(self):
+        jar = JarArchive("stamped", make_classes())
+        assert all(c.jar_name == "stamped" for c in jar.classes)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(JarError):
+            JarArchive("")
+
+    def test_code_size_positive(self):
+        jar = JarArchive("x", make_classes())
+        assert jar.code_size_bytes() > 0
+
+
+class TestDiskRoundTrip:
+    def test_write_read(self, tmp_path):
+        jar = JarArchive("mylib", make_classes(count=5))
+        path = str(tmp_path / "mylib.jar")
+        write_jar(jar, path)
+        back = read_jar(path)
+        assert back.name == "mylib"
+        assert sorted(back.class_names) == sorted(jar.class_names)
+
+    def test_method_bodies_survive(self, tmp_path):
+        jar = JarArchive("lib", make_classes())
+        path = str(tmp_path / "lib.jar")
+        write_jar(jar, path)
+        back = read_jar(path)
+        method = back.get("a.C0").find_method("run")
+        assert method.has_body
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(JarError):
+            read_jar(str(tmp_path / "nope.jar"))
+
+    def test_read_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.jar"
+        path.write_bytes(b"not a zip")
+        with pytest.raises(JarError):
+            read_jar(str(path))
+
+
+class TestClasspath:
+    def test_directory_of_jars(self, tmp_path):
+        for name in ("one", "two"):
+            write_jar(
+                JarArchive(name, make_classes(prefix=name)),
+                str(tmp_path / f"{name}.jar"),
+            )
+        archives = load_classpath([str(tmp_path)])
+        assert sorted(a.name for a in archives) == ["one", "two"]
+
+    def test_mixed_files_and_dirs(self, tmp_path):
+        sub = tmp_path / "deps"
+        sub.mkdir()
+        write_jar(JarArchive("dep", make_classes(prefix="d")), str(sub / "dep.jar"))
+        top = str(tmp_path / "app.jar")
+        write_jar(JarArchive("app", make_classes(prefix="app")), top)
+        archives = load_classpath([top, str(sub)])
+        assert len(archives) == 2
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(JarError):
+            load_classpath(["/no/such/path"])

@@ -1,0 +1,80 @@
+"""Property-based round-trip tests for the jasm format, driven by
+hypothesis over randomly composed IR programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jvm import jasm
+from repro.jvm.builder import ProgramBuilder
+
+_ident = st.from_regex(r"[a-z][a-zA-Z0-9]{0,6}", fullmatch=True)
+_class_name = st.builds(lambda a, b: f"pkg{a}.C{b}", _ident, _ident)
+
+
+@st.composite
+def _program(draw):
+    pb = ProgramBuilder(jar="fuzz.jar")
+    n_classes = draw(st.integers(1, 3))
+    made = []
+    for ci in range(n_classes):
+        name = f"fuzz.pkg.C{ci}"
+        with pb.cls(name, implements=(["java.io.Serializable"] if draw(st.booleans()) else [])) as c:
+            if draw(st.booleans()):
+                c.field(draw(_ident), "java.lang.Object")
+            n_methods = draw(st.integers(1, 3))
+            for mi in range(n_methods):
+                params = ["java.lang.Object"] * draw(st.integers(0, 2))
+                with c.method(f"m{mi}", params=params, returns="java.lang.Object") as m:
+                    pool = [m.param(i) for i in range(1, len(params) + 1)]
+                    for si in range(draw(st.integers(0, 6))):
+                        kind = draw(st.integers(0, 7))
+                        if kind == 0:
+                            pool.append(m.new(draw(_class_name)))
+                        elif kind == 1 and pool:
+                            pool.append(m.get_field(draw(st.sampled_from(pool)), draw(_ident)))
+                        elif kind == 2 and pool:
+                            m.set_field(m.this, draw(_ident), draw(st.sampled_from(pool)))
+                        elif kind == 3 and pool:
+                            out = m.invoke(
+                                draw(st.sampled_from(pool)), draw(_class_name),
+                                draw(_ident), [], returns="java.lang.Object",
+                            )
+                            pool.append(out)
+                        elif kind == 4:
+                            pool.append(m.binop("+", draw(st.integers(-9, 9)), 1))
+                        elif kind == 5 and pool:
+                            label = f"L{ci}{mi}{si}"
+                            m.if_eq(draw(st.sampled_from(pool)), 0, label)
+                            m.nop()
+                            m.label(label)
+                        elif kind == 6:
+                            pool.append(m.cast(draw(st.text(alphabet="abc", min_size=1, max_size=4)), "java.lang.String"))
+                        else:
+                            arr = m.new_array("java.lang.Object", draw(st.integers(0, 4)))
+                            m.array_set(arr, 0, draw(st.sampled_from(pool)) if pool else 1)
+                            pool.append(m.array_get(arr, 0))
+                    m.ret(draw(st.sampled_from(pool)) if pool else None)
+        made.append(name)
+    return pb.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_program())
+def test_property_jasm_round_trip_is_fixed_point(classes):
+    """dump -> parse -> dump is a fixed point for any built program."""
+    once = jasm.dumps(classes)
+    twice = jasm.dumps(jasm.loads(once))
+    assert once == twice
+
+
+@settings(max_examples=20, deadline=None)
+@given(_program())
+def test_property_parsed_program_analyses_cleanly(classes):
+    """Parsed programs behave identically under the full analysis."""
+    from repro.core import Tabby
+
+    reparsed = jasm.loads(jasm.dumps(classes))
+    a = Tabby().add_classes(classes).build_cpg()
+    b = Tabby().add_classes(reparsed).build_cpg()
+    assert a.statistics.method_node_count == b.statistics.method_node_count
+    assert a.statistics.relationship_edge_count == b.statistics.relationship_edge_count

@@ -1,0 +1,159 @@
+"""Unit tests for the Java type model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeModelError
+from repro.jvm import types as jt
+
+
+class TestPrimitives:
+    def test_all_eight_primitives_exist(self):
+        for name in ("boolean", "byte", "char", "short", "int", "long", "float", "double"):
+            t = jt.primitive(name)
+            assert t.name == name
+            assert t.is_primitive
+            assert not t.is_reference
+
+    def test_primitives_are_interned(self):
+        assert jt.primitive("int") is jt.INT
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(TypeModelError):
+            jt.PrimitiveType("string")
+
+    def test_void_is_not_reference(self):
+        assert jt.VOID.is_void
+        assert not jt.VOID.is_reference
+
+
+class TestClassTypes:
+    def test_name_and_descriptor(self):
+        t = jt.class_type("java.util.HashMap")
+        assert t.name == "java.util.HashMap"
+        assert t.descriptor == "Ljava/util/HashMap;"
+
+    def test_package_and_simple_name(self):
+        t = jt.class_type("java.util.HashMap")
+        assert t.package == "java.util"
+        assert t.simple_name == "HashMap"
+
+    def test_default_package(self):
+        t = jt.class_type("Standalone")
+        assert t.package == ""
+        assert t.simple_name == "Standalone"
+
+    def test_interning(self):
+        assert jt.class_type("a.B") is jt.class_type("a.B")
+
+    def test_rejects_descriptor_like_names(self):
+        with pytest.raises(TypeModelError):
+            jt.ClassType("java/util/Map")
+        with pytest.raises(TypeModelError):
+            jt.ClassType("")
+
+
+class TestArrayTypes:
+    def test_single_dimension(self):
+        t = jt.array_of(jt.INT)
+        assert t.name == "int[]"
+        assert t.descriptor == "[I"
+        assert t.dimensions == 1
+        assert t.element is jt.INT
+
+    def test_multi_dimension(self):
+        t = jt.array_of(jt.OBJECT, 3)
+        assert t.name == "java.lang.Object[][][]"
+        assert t.dimensions == 3
+        assert t.base_element is jt.OBJECT
+
+    def test_void_array_rejected(self):
+        with pytest.raises(TypeModelError):
+            jt.array_of(jt.VOID)
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(TypeModelError):
+            jt.array_of(jt.INT, 0)
+
+
+class TestDescriptorParsing:
+    @pytest.mark.parametrize(
+        "desc,name",
+        [
+            ("I", "int"),
+            ("Z", "boolean"),
+            ("Ljava/lang/String;", "java.lang.String"),
+            ("[I", "int[]"),
+            ("[[Ljava/util/Map;", "java.util.Map[][]"),
+            ("V", "void"),
+        ],
+    )
+    def test_parse(self, desc, name):
+        assert jt.parse_descriptor(desc).name == name
+
+    @pytest.mark.parametrize("desc", ["", "X", "L", "Lfoo", "II", "[;"])
+    def test_malformed_rejected(self, desc):
+        with pytest.raises(TypeModelError):
+            jt.parse_descriptor(desc)
+
+    def test_method_descriptor(self):
+        params, ret = jt.parse_method_descriptor("(ILjava/lang/String;)V")
+        assert [p.name for p in params] == ["int", "java.lang.String"]
+        assert ret is jt.VOID
+
+    def test_method_descriptor_no_params(self):
+        params, ret = jt.parse_method_descriptor("()Ljava/lang/Object;")
+        assert params == ()
+        assert ret.name == "java.lang.Object"
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(TypeModelError):
+            jt.parse_method_descriptor("(V)V")
+
+    def test_descriptor_round_trip(self):
+        for desc in ("I", "[J", "Ljava/lang/Object;", "[[Z"):
+            assert jt.parse_descriptor(desc).descriptor == desc
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name,expected_desc",
+        [
+            ("int", "I"),
+            ("void", "V"),
+            ("java.lang.String", "Ljava/lang/String;"),
+            ("int[]", "[I"),
+            ("java.util.Map[][]", "[[Ljava/util/Map;"),
+        ],
+    )
+    def test_parse(self, name, expected_desc):
+        assert jt.type_from_name(name).descriptor == expected_desc
+
+    def test_empty_rejected(self):
+        with pytest.raises(TypeModelError):
+            jt.type_from_name("  ")
+
+
+class TestErasedMatch:
+    def test_references_always_match(self):
+        assert jt.erased_match(jt.OBJECT, jt.STRING)
+        assert jt.erased_match(jt.array_of(jt.INT), jt.OBJECT)
+
+    def test_primitives_exact(self):
+        assert jt.erased_match(jt.INT, jt.INT)
+        assert not jt.erased_match(jt.INT, jt.LONG)
+        assert not jt.erased_match(jt.INT, jt.OBJECT)
+
+
+_IDENT = st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,8}", fullmatch=True)
+
+
+@given(st.lists(_IDENT, min_size=1, max_size=4), st.integers(min_value=0, max_value=3))
+def test_property_name_descriptor_round_trip(segments, dims):
+    """Any dotted class name (optionally arrayed) survives
+    name -> type -> descriptor -> type -> name."""
+    name = ".".join(segments) + "[]" * dims
+    t = jt.type_from_name(name)
+    assert jt.parse_descriptor(t.descriptor) == t
+    assert t.name == name

@@ -1,0 +1,173 @@
+"""Tests for the program validator."""
+
+import pytest
+
+from repro.jvm import ir
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import JavaClass, JavaMethod, Modifier
+from repro.jvm.validate import validate_classes
+from repro.jvm import types as jt
+
+
+def errors(issues):
+    return [i for i in issues if i.severity == "error"]
+
+
+def warnings(issues):
+    return [i for i in issues if i.severity == "warning"]
+
+
+class TestCleanPrograms:
+    def test_builder_output_is_clean(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.C") as c:
+            c.field("f", "java.lang.Object")
+            with c.method("m", params=["java.lang.Object"], returns="java.lang.Object") as m:
+                v = m.get_field(m.this, "f")
+                m.ret(v)
+        assert validate_classes(pb.build()) == []
+
+    def test_whole_corpus_component_is_clean_of_errors(self):
+        from repro.corpus import build_component, build_lang_base
+
+        spec = build_component("commons-collections(3.2.1)")
+        issues = validate_classes(build_lang_base() + spec.classes)
+        assert errors(issues) == []
+
+
+class TestHierarchyChecks:
+    def test_inheritance_cycle_detected(self):
+        a = JavaClass("t.A", super_name="t.B")
+        b = JavaClass("t.B", super_name="t.A")
+        issues = validate_classes([a, b])
+        assert any("cycle" in i.message for i in errors(issues))
+
+    def test_extending_an_interface_detected(self):
+        pb = ProgramBuilder()
+        pb.interface("t.I").finish()
+        pb.cls("t.C", extends="t.I").finish()
+        issues = validate_classes(pb.build())
+        assert any("must use implements" in i.message for i in errors(issues))
+
+    def test_implementing_a_class_detected(self):
+        pb = ProgramBuilder()
+        pb.cls("t.NotAnInterface").finish()
+        pb.cls("t.C", implements=["t.NotAnInterface"]).finish()
+        issues = validate_classes(pb.build())
+        assert any("not an interface" in i.message for i in errors(issues))
+
+
+class TestBodyChecks:
+    def _method(self, body, params=(), static=False, returns=jt.VOID):
+        cls = JavaClass("t.C")
+        method = JavaMethod(
+            "m", list(params), returns,
+            Modifier.PUBLIC | (Modifier.STATIC if static else Modifier(0)),
+        )
+        cls.add_method(method)
+        method.body = body
+        return cls
+
+    def test_branch_to_missing_label(self):
+        cls = self._method([
+            ir.IdentityStmt(ir.Local("this"), ir.ThisRef()),
+            ir.GotoStmt("nowhere"),
+        ])
+        issues = validate_classes([cls])
+        assert any("undefined label" in i.message for i in errors(issues))
+
+    def test_duplicate_label(self):
+        cls = self._method([
+            ir.IdentityStmt(ir.Local("this"), ir.ThisRef()),
+            ir.NopStmt(label="x"),
+            ir.NopStmt(label="x"),
+            ir.ReturnStmt(None),
+        ])
+        issues = validate_classes([cls])
+        assert any("duplicate label" in i.message for i in errors(issues))
+
+    def test_fall_off_the_end(self):
+        cls = self._method([
+            ir.IdentityStmt(ir.Local("this"), ir.ThisRef()),
+            ir.NopStmt(),
+        ])
+        issues = validate_classes([cls])
+        assert any("fall off the end" in i.message for i in errors(issues))
+
+    def test_this_in_static_method(self):
+        cls = self._method(
+            [ir.IdentityStmt(ir.Local("this"), ir.ThisRef()), ir.ReturnStmt(None)],
+            static=True,
+        )
+        issues = validate_classes([cls])
+        assert any("@this in a static" in i.message for i in errors(issues))
+
+    def test_identity_outside_prologue(self):
+        cls = self._method([
+            ir.IdentityStmt(ir.Local("this"), ir.ThisRef()),
+            ir.NopStmt(),
+            ir.IdentityStmt(ir.Local("p"), ir.ParamRef(1)),
+            ir.ReturnStmt(None),
+        ], params=[jt.INT])
+        issues = validate_classes([cls])
+        assert any("outside the prologue" in i.message for i in errors(issues))
+
+    def test_param_index_out_of_range(self):
+        cls = self._method([
+            ir.IdentityStmt(ir.Local("this"), ir.ThisRef()),
+            ir.IdentityStmt(ir.Local("p"), ir.ParamRef(3)),
+            ir.ReturnStmt(None),
+        ], params=[jt.INT])
+        issues = validate_classes([cls])
+        assert any("exceeds arity" in i.message for i in errors(issues))
+
+    def test_unbound_parameter_warns(self):
+        cls = self._method([
+            ir.IdentityStmt(ir.Local("this"), ir.ThisRef()),
+            ir.ReturnStmt(None),
+        ], params=[jt.INT])
+        issues = validate_classes([cls])
+        assert any("never bound" in i.message for i in warnings(issues))
+
+
+class TestLinkageChecks:
+    def test_arity_mismatch_on_defined_class(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Callee") as c:
+            with c.method("f", params=["int", "int"]) as m:
+                m.ret()
+        with pb.cls("t.Caller") as c:
+            with c.method("m") as m:
+                obj = m.new("t.Callee")
+                m.invoke(obj, "t.Callee", "f", [1])  # wrong arity
+        issues = validate_classes(pb.build())
+        assert any("does not match any" in i.message for i in errors(issues))
+
+    def test_unknown_method_on_defined_class_warns(self):
+        pb = ProgramBuilder()
+        pb.cls("t.Callee").finish()
+        with pb.cls("t.Caller") as c:
+            with c.method("m") as m:
+                obj = m.new("t.Callee")
+                m.invoke(obj, "t.Callee", "ghost")
+        issues = validate_classes(pb.build())
+        assert any("not found in the defined hierarchy" in i.message
+                   for i in warnings(issues))
+
+    def test_phantom_classes_exempt(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Caller") as c:
+            with c.method("m") as m:
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime",
+                                     returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", ["x"])
+        assert validate_classes(pb.build()) == []
+
+    def test_undeclared_static_field_warns(self):
+        pb = ProgramBuilder()
+        pb.cls("t.Config").finish()
+        with pb.cls("t.C") as c:
+            with c.method("m") as m:
+                m.get_static("t.Config", "GHOST")
+        issues = validate_classes(pb.build())
+        assert any("not declared" in i.message for i in warnings(issues))

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def jar_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("jars"))
+    code = main(["corpus", "export", directory, "--component", "CommonsBeanutils1"])
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestCorpus:
+    def test_list(self, capsys):
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "CommonsBeanutils1" in out
+        assert "Apache Dubbo" in out
+
+    def test_export_writes_jars(self, jar_dir):
+        names = sorted(os.listdir(jar_dir))
+        assert "rt-base.jar" in names
+        assert any("CommonsBeanutils1" in n for n in names)
+
+
+class TestAnalyze:
+    def test_analyze_and_query(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "out.cpg.json.gz")
+        assert main(["analyze", jar_dir, "-o", cpg]) == 0
+        assert os.path.exists(cpg)
+        capsys.readouterr()
+        assert main([
+            "query", cpg,
+            "MATCH (m:Method {IS_SINK: true}) RETURN m.NAME AS n",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invoke" in out
+
+    def test_query_json_output(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "out.cpg.json.gz")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main([
+            "query", cpg, "--json",
+            "MATCH (m:Method {IS_SINK: true}) RETURN m.NAME AS n",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [{"n": "invoke"}]
+
+    def test_missing_classpath_errors(self, capsys):
+        assert main(["analyze", "/no/such/dir"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChains:
+    def test_text_output_with_verify(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "1 gadget chain(s) found" in out
+        assert "EFFECTIVE" in out
+        assert "(source)java.util.PriorityQueue.readObject()" in out
+
+    def test_json_output(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--json", "--verify"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["effective"] is True
+        assert payload[0]["sink_category"] == "CODE"
+
+    def test_source_filter(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--source-filter", "com.nonexistent"]) == 0
+        assert "0 gadget chain(s)" in capsys.readouterr().out
+
+    def test_native_sources_profile(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--sources", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "1 gadget chain(s) found" in out
+
+
+class TestBenchCommand:
+    def test_table9_subset(self, capsys):
+        assert main(["bench", "table9", "--components", "Myface"]) == 0
+        out = capsys.readouterr().out
+        assert "Myface" in out and "FPR%" in out
+
+
+class TestSinksCommand:
+    def test_full_catalog(self, capsys):
+        assert main(["sinks"]) == 0
+        out = capsys.readouterr().out
+        assert "(38 sink method(s))" in out
+        assert "java.lang.Runtime.exec()" in out
+
+    def test_category_filter(self, capsys):
+        assert main(["sinks", "--category", "exec"]) == 0
+        out = capsys.readouterr().out
+        assert "EXEC" in out and "JNDI" not in out
+
+
+class TestPayloadFlag:
+    def test_chains_payload_text(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--payload"]) == 0
+        out = capsys.readouterr().out
+        assert "exploit recipe for" in out
+        assert "${attacker-controlled}" in out
+
+    def test_chains_payload_json(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--payload", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["payload"]["object_graph"]["class"] == "java.util.PriorityQueue"
+
+
+class TestValidateFlag:
+    def test_analyze_with_validation(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "v.cpg.json.gz")
+        assert main(["analyze", jar_dir, "-o", cpg, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "validation:" in out
+
+
+class TestBenchTables:
+    def test_table10(self, capsys):
+        assert main(["bench", "table10"]) == 0
+        out = capsys.readouterr().out
+        assert "Apache Dubbo" in out
+
+    def test_table11(self, capsys):
+        assert main(["bench", "table11"]) == 0
+        out = capsys.readouterr().out
+        assert "LazyInitTargetSource" in out

@@ -1,0 +1,144 @@
+"""Tests for payload synthesis (§V-C future work)."""
+
+import json
+
+import pytest
+
+from repro.core import Tabby
+from repro.corpus import (
+    build_component,
+    build_jdk8_extras,
+    build_lang_base,
+    build_scene,
+)
+from repro.errors import VerificationError
+from repro.verify import ChainVerifier, PayloadSynthesizer
+from repro.verify.payload import ATTACKER_VALUE
+
+
+def find_chain(classes, predicate):
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    return next(c for c in chains if predicate(c)), chains
+
+
+class TestURLDNSPayload:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        classes = build_lang_base() + build_jdk8_extras()
+        chain, _ = find_chain(
+            classes, lambda c: c.source.class_name == "java.util.HashMap"
+        )
+        return PayloadSynthesizer(classes).synthesize(chain)
+
+    def test_root_is_hashmap(self, spec):
+        assert spec.root.class_name == "java.util.HashMap"
+
+    def test_key_field_holds_url(self, spec):
+        url = spec.root.fields["key"]
+        assert url.class_name == "java.net.URL"
+
+    def test_attacker_value_in_host(self, spec):
+        url = spec.root.fields["key"]
+        assert url.fields["host"] == ATTACKER_VALUE
+
+    def test_trigger_mentions_native_deserialization(self, spec):
+        assert "deserialization" in spec.trigger
+
+    def test_json_round_trips(self, spec):
+        data = json.loads(spec.to_json())
+        assert data["object_graph"]["class"] == "java.util.HashMap"
+        assert data["sink"] == "java.net.InetAddress.getByName()"
+
+    def test_render_is_recipe_shaped(self, spec):
+        text = spec.render()
+        assert "new java.util.HashMap" in text
+        assert ATTACKER_VALUE in text
+
+
+class TestNestedPayloads:
+    def test_chained_transformer_array_nesting(self):
+        component = build_component("commons-collections(3.2.1)")
+        classes = build_lang_base() + component.classes
+        chain, _ = find_chain(
+            classes,
+            lambda c: c.source.class_name.endswith("TransformedMap")
+            and any("ChainedTransformer" in s.class_name for s in c.steps),
+        )
+        spec = PayloadSynthesizer(classes).synthesize(chain)
+        chained = spec.root.fields["keyTransformer"]
+        assert chained.class_name.endswith("ChainedTransformer")
+        array = chained.fields["iTransformers"]
+        invoker = array.fields["[]"]
+        assert invoker.class_name.endswith("InvokerTransformer")
+        assert invoker.fields["iMethodName"] == ATTACKER_VALUE
+
+    def test_inherited_method_dispatch_stays_on_same_object(self):
+        scene = build_scene("Spring")
+        chain, _ = find_chain(
+            scene.classes,
+            lambda c: any("LazyInit" in s.class_name for s in c.steps),
+        )
+        spec = PayloadSynthesizer(scene.classes).synthesize(chain)
+        target_source = spec.root.fields["targetSource"]
+        factory = target_source.fields["beanFactory"]
+        # getBean -> lookup is inherited dispatch: ONE factory object
+        assert factory.class_name.endswith("SimpleJndiBeanFactory")
+        assert target_source.fields["targetBeanName"] == ATTACKER_VALUE
+
+
+class TestStaticHop:
+    def test_static_hop_threads_through_argument(self):
+        classes = build_lang_base() + build_jdk8_extras()
+        chain, _ = find_chain(
+            classes, lambda c: c.source.class_name == "java.util.HashMap"
+        )
+        spec = PayloadSynthesizer(classes).synthesize(chain)
+        # HashMap.readObject -> static hash(key) -> key.hashCode():
+        # the URL gadget must land in HashMap.key, not a pseudo-field
+        assert "key" in spec.root.fields
+        assert not any(k.startswith("<hash") for k in spec.root.fields)
+
+
+class TestErrors:
+    def test_bodyless_source_rejected(self):
+        from repro.core.chains import ChainStep, GadgetChain
+
+        classes = build_lang_base()
+        chain = GadgetChain(
+            [ChainStep("no.Such", "readObject", 1), ChainStep("x.Y", "z", 0)]
+        )
+        with pytest.raises(VerificationError):
+            PayloadSynthesizer(classes).synthesize(chain)
+
+    def test_disconnected_chain_rejected(self):
+        from repro.core.chains import ChainStep, GadgetChain
+
+        classes = build_lang_base()
+        chain = GadgetChain(
+            [
+                ChainStep("java.util.HashMap", "readObject", 1),
+                ChainStep("completely.Unrelated", "nothing", 0),
+                ChainStep("java.lang.Runtime", "exec", 1),
+            ]
+        )
+        with pytest.raises(VerificationError):
+            PayloadSynthesizer(classes).synthesize(chain)
+
+
+class TestEveryEffectiveChainSynthesises:
+    @pytest.mark.parametrize(
+        "scene_name", ["Spring", "JDK8", "Tomcat", "Jetty", "Apache Dubbo"]
+    )
+    def test_scene_payloads(self, scene_name):
+        """Every oracle-effective chain in every scene yields a payload
+        whose root is the chain source and which plants attacker data."""
+        scene = build_scene(scene_name)
+        chains = Tabby().add_classes(scene.classes).find_gadget_chains()
+        verifier = ChainVerifier(scene.classes)
+        synthesizer = PayloadSynthesizer(scene.classes)
+        effective = [c for c in chains if verifier.verify(c).effective]
+        assert effective
+        for chain in effective:
+            spec = synthesizer.synthesize(chain)
+            assert spec.root.class_name == chain.source.class_name
+            assert ATTACKER_VALUE in spec.render()

@@ -1,0 +1,269 @@
+"""Tests for the PoC verification oracle."""
+
+import pytest
+
+from repro.core import SourceCatalog
+from repro.core.chains import ChainStep, GadgetChain
+from repro.corpus.jdk import build_lang_base
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+from repro.verify import ChainVerifier
+from repro.verify.values import AInt, ANull, AObject, AString, ATop
+
+
+def chain(*steps):
+    return GadgetChain([ChainStep(c, m, a) for c, m, a in steps])
+
+
+def direct_exec_program(guarded=False, guard_value=None):
+    pb = ProgramBuilder()
+    with pb.cls("t.Config") as c:
+        c.field("ENABLED", "int", static=True)
+    with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+        c.field("cmd", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            if guard_value is not None:
+                m.set_static("t.Config", "ENABLED", guard_value)
+            v = m.get_field(m.this, "cmd")
+            if guarded:
+                flag = m.get_static("t.Config", "ENABLED")
+                m.if_ne(flag, 0, "fire")
+                m.goto("end")
+                m.label("fire")
+            rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+            m.invoke(rt, "java.lang.Runtime", "exec", [v])
+            if guarded:
+                m.label("end")
+            m.ret()
+    return build_lang_base() + pb.build()
+
+
+EXEC_CHAIN = chain(("t.Src", "readObject", 1), ("java.lang.Runtime", "exec", 1))
+
+
+class TestBasicVerdicts:
+    def test_direct_chain_effective(self):
+        v = ChainVerifier(direct_exec_program())
+        assert v.verify(EXEC_CHAIN).effective
+
+    def test_impossible_guard_rejected(self):
+        v = ChainVerifier(direct_exec_program(guarded=True))
+        report = v.verify(EXEC_CHAIN)
+        assert not report.effective
+        assert "no feasible execution" in report.reason
+
+    def test_satisfiable_guard_accepted(self):
+        """The guard reads a static the method itself set to nonzero."""
+        v = ChainVerifier(direct_exec_program(guarded=True, guard_value=1))
+        assert v.verify(EXEC_CHAIN).effective
+
+    def test_source_must_have_body(self):
+        v = ChainVerifier(direct_exec_program())
+        report = v.verify(chain(("t.Missing", "readObject", 1), ("x", "y", 0)))
+        assert not report.effective
+        assert "no body" in report.reason
+
+    def test_source_must_be_entry_point(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.NotSerializable") as c:
+            c.field("cmd", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                v = m.get_field(m.this, "cmd")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+        verifier = ChainVerifier(build_lang_base() + pb.build())
+        report = verifier.verify(
+            chain(("t.NotSerializable", "readObject", 1), ("java.lang.Runtime", "exec", 1))
+        )
+        assert not report.effective
+        assert "entry point" in report.reason
+
+
+class TestTriggerConditions:
+    def test_constant_sink_arg_rejected(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", ["fixed"])
+        v = ChainVerifier(build_lang_base() + pb.build())
+        assert not v.verify(EXEC_CHAIN).effective
+
+    def test_receiver_position_checked(self):
+        """File.delete has TC [0]: a fresh File() is not attacker data."""
+        pb = ProgramBuilder()
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                f = m.new("java.io.File")
+                m.invoke(f, "java.io.File", "delete")
+        v = ChainVerifier(build_lang_base() + pb.build())
+        assert not v.verify(
+            chain(("t.Src", "readObject", 1), ("java.io.File", "delete", 0))
+        ).effective
+
+
+class TestDispatchBinding:
+    def test_attacker_field_binds_serializable_impl(self):
+        pb = ProgramBuilder()
+        ib = pb.interface("t.I")
+        ib.abstract_method("go", params=["java.lang.Object"])
+        ib.finish()
+        with pb.cls("t.Impl", implements=["t.I", SERIALIZABLE]) as c:
+            c.field("cmd", "java.lang.Object")
+            with c.method("go", params=["java.lang.Object"]) as m:
+                v = m.get_field(m.this, "cmd")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("d", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                d = m.get_field(m.this, "d")
+                m.invoke_interface(d, "t.I", "go", [d])
+        classes = build_lang_base() + pb.build()
+        good = chain(
+            ("t.Src", "readObject", 1), ("t.I", "go", 1), ("t.Impl", "go", 1),
+            ("java.lang.Runtime", "exec", 1),
+        )
+        assert ChainVerifier(classes).verify(good).effective
+
+    def test_non_serializable_impl_not_bindable(self):
+        pb = ProgramBuilder()
+        ib = pb.interface("t.I")
+        ib.abstract_method("go", params=["java.lang.Object"])
+        ib.finish()
+        with pb.cls("t.Impl", implements=["t.I"]) as c:  # NOT serializable
+            c.field("cmd", "java.lang.Object")
+            with c.method("go", params=["java.lang.Object"]) as m:
+                v = m.get_field(m.this, "cmd")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("d", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                d = m.get_field(m.this, "d")
+                m.invoke_interface(d, "t.I", "go", [d])
+        classes = build_lang_base() + pb.build()
+        bad = chain(
+            ("t.Src", "readObject", 1), ("t.I", "go", 1), ("t.Impl", "go", 1),
+            ("java.lang.Runtime", "exec", 1),
+        )
+        assert not ChainVerifier(classes).verify(bad).effective
+
+    def test_concrete_allocation_fixes_the_class(self):
+        """new X() cannot be re-bound to a different chain class."""
+        pb = ProgramBuilder()
+        with pb.cls("t.Benign") as c:
+            with c.method("toString", returns="java.lang.String") as m:
+                m.ret("ok")
+        with pb.cls("t.Evil", implements=[SERIALIZABLE]) as c:
+            c.field("cmd", "java.lang.Object")
+            with c.method("toString", returns="java.lang.String") as m:
+                v = m.get_field(m.this, "cmd")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+                m.ret("boom")
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                b = m.construct("t.Benign")
+                m.invoke(b, "java.lang.Object", "toString", returns="java.lang.String")
+        classes = build_lang_base() + pb.build()
+        fake = chain(
+            ("t.Src", "readObject", 1), ("java.lang.Object", "toString", 0),
+            ("t.Evil", "toString", 0), ("java.lang.Runtime", "exec", 1),
+        )
+        assert not ChainVerifier(classes).verify(fake).effective
+
+    def test_dynamic_proxy_binds_anything_tainted(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Handler", implements=[SERIALIZABLE]) as c:
+            c.field("cmd", "java.lang.Object")
+            with c.method("invokeIt", params=["java.lang.Object"]) as m:
+                v = m.get_field(m.this, "cmd")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("h", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                h = m.get_field(m.this, "h")
+                m.invoke_dynamic(h, "whatever", [h])
+        classes = build_lang_base() + pb.build()
+        proxy_chain = chain(
+            ("t.Src", "readObject", 1), ("t.Handler", "invokeIt", 1),
+            ("java.lang.Runtime", "exec", 1),
+        )
+        assert ChainVerifier(classes).verify(proxy_chain).effective
+
+
+class TestSwitchAndLoops:
+    def test_concrete_switch_prunes_unreachable_arm(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("cmd", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                v = m.get_field(m.this, "cmd")
+                zero = m.binop("+", 0, 0)
+                m.switch(zero, [(7, "fire")], "end")
+                m.label("fire")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+                m.label("end")
+                m.ret()
+        v = ChainVerifier(build_lang_base() + pb.build())
+        assert not v.verify(EXEC_CHAIN).effective
+
+    def test_tainted_switch_explores_arms(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("cmd", "java.lang.Object")
+            c.field("mode", "int")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                v = m.get_field(m.this, "cmd")
+                mode = m.get_field(m.this, "mode")
+                m.switch(mode, [(7, "fire")], "end")
+                m.label("fire")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+                m.label("end")
+                m.ret()
+        v = ChainVerifier(build_lang_base() + pb.build())
+        assert v.verify(EXEC_CHAIN).effective
+
+    def test_loop_terminates_within_budget(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Src", implements=[SERIALIZABLE]) as c:
+            c.field("cmd", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                v = m.get_field(m.this, "cmd")
+                m.label("head")
+                count = m.get_field(m.this, "cmd")
+                cmp = m.binop("==", count, 0)
+                m.iff(cmp, "head")
+                rt = m.invoke_static("java.lang.Runtime", "getRuntime", returns="java.lang.Runtime")
+                m.invoke(rt, "java.lang.Runtime", "exec", [v])
+        v = ChainVerifier(build_lang_base() + pb.build())
+        report = v.verify(EXEC_CHAIN)
+        assert report.effective
+        assert report.steps_used < v.max_steps
+
+
+class TestValuesDomain:
+    def test_null_compares_as_zero(self):
+        assert ANull().concrete_int == 0
+
+    def test_attacker_object_fields_tainted(self):
+        o = AObject("t.X", attacker=True)
+        assert o.get_field("anything").tainted
+
+    def test_concrete_object_fields_null(self):
+        o = AObject("t.X", attacker=False)
+        assert isinstance(o.get_field("anything"), ANull)
+
+    def test_field_write_read_round_trip(self):
+        o = AObject("t.X")
+        o.set_field("f", AInt(3))
+        assert o.get_field("f").concrete_int == 3
+
+    def test_top_and_string(self):
+        assert not ATop().tainted
+        assert ATop(tainted=True).tainted
+        assert AString("x").value == "x"

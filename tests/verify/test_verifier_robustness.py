@@ -1,0 +1,52 @@
+"""Robustness properties: the oracle and synthesizer never crash on
+tool output over arbitrary generated corpora."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GadgetInspector, Serianalyzer
+from repro.core import Tabby
+from repro.corpus.generator import generate_corpus
+from repro.errors import VerificationError
+from repro.verify import ChainVerifier, PayloadSynthesizer
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_property_verifier_total_on_tabby_output(seed):
+    classes = [c for j in generate_corpus(12, seed=seed) for c in j.classes]
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    verifier = ChainVerifier(classes)
+    for chain in chains:
+        report = verifier.verify(chain)  # must not raise
+        assert isinstance(report.effective, bool)
+        assert report.reason
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_property_verifier_total_on_baseline_output(seed):
+    classes = [c for j in generate_corpus(10, seed=seed) for c in j.classes]
+    verifier = ChainVerifier(classes)
+    for tool in (GadgetInspector(classes), Serianalyzer(classes, step_budget=20_000)):
+        result = tool.run()
+        for chain in result.chains[:50]:
+            verifier.verify(chain)  # must not raise
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_property_synthesizer_total_on_effective_chains(seed):
+    classes = [c for j in generate_corpus(12, seed=seed) for c in j.classes]
+    chains = Tabby().add_classes(classes).find_gadget_chains()
+    verifier = ChainVerifier(classes)
+    synthesizer = PayloadSynthesizer(classes)
+    for chain in chains:
+        if not verifier.verify(chain).effective:
+            continue
+        try:
+            spec = synthesizer.synthesize(chain)
+        except VerificationError:
+            continue  # declared failure is acceptable; crashing is not
+        assert spec.root.class_name == chain.source.class_name
