@@ -135,14 +135,26 @@ class ComponentResult:
 def run_table_ix_component(
     name: str,
     sl_step_budget: int = SL_STEP_BUDGET,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ComponentResult:
-    """Run all three tools on one Table IX component."""
+    """Run all three tools on one Table IX component.
+
+    ``workers``/``cache_dir`` tune Tabby's CPG build only (the baselines
+    stay serial, as in the paper).  A shared ``cache_dir`` pays off
+    across components: every component includes the same language base
+    classes, whose summaries are re-used after the first build.
+    """
     spec = build_component(name)
     classes = build_lang_base() + spec.classes
     verifier = ChainVerifier(classes)
 
     started = time.perf_counter()
-    chains = Tabby().add_classes(classes).find_gadget_chains()
+    chains = (
+        Tabby(workers=workers, cache_dir=cache_dir)
+        .add_classes(classes)
+        .find_gadget_chains()
+    )
     tabby_score = classify_chains(
         "tabby", spec, chains, verifier, elapsed_seconds=time.perf_counter() - started
     )
@@ -172,9 +184,16 @@ def run_table_ix_component(
 def run_table_ix(
     components: Optional[Sequence[str]] = None,
     sl_step_budget: int = SL_STEP_BUDGET,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[ComponentResult]:
     names = list(components) if components is not None else list(COMPONENT_NAMES)
-    return [run_table_ix_component(name, sl_step_budget) for name in names]
+    return [
+        run_table_ix_component(
+            name, sl_step_budget, workers=workers, cache_dir=cache_dir
+        )
+        for name in names
+    ]
 
 
 def table_ix_totals(results: Sequence[ComponentResult]) -> Dict[str, float]:

@@ -42,10 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--sources", choices=("native", "extended"), default="extended")
     analyze.add_argument("--validate", action="store_true",
                          help="run Soot-style body/linkage validation first")
+    _add_build_flags(analyze)
 
     chains = sub.add_parser("chains", help="find gadget chains")
     chains.add_argument("classpath", nargs="+")
     chains.add_argument("--sources", choices=("native", "extended"), default="extended")
+    _add_build_flags(chains)
     chains.add_argument("--max-depth", type=int, default=12)
     chains.add_argument("--source-filter", default=None, metavar="PACKAGE_PREFIX")
     chains.add_argument("--verify", action="store_true", help="run the PoC oracle")
@@ -64,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--components", nargs="*", default=None,
                        help="restrict table9 to these components")
+    bench.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for table9 CPG builds")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared summary cache for table9 CPG builds")
 
     sinks = sub.add_parser("sinks", help="print the 38-entry sink catalog (Table VII)")
     sinks.add_argument("--category", default=None, help="filter by category")
@@ -78,12 +84,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_build_flags(parser: argparse.ArgumentParser) -> None:
+    """CPG-build tuning shared by ``analyze`` and ``chains``."""
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the summary phase across N worker processes "
+        "(0 = one per CPU, 1 = in-process serial); results are "
+        "bit-identical to serial",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent per-class summary cache; entries are keyed by "
+        "content hash, so stale results are impossible",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase timings and cache/worker counters",
+    )
+
+
 def _sources(name: str) -> SourceCatalog:
     return SourceCatalog.native() if name == "native" else SourceCatalog.extended()
 
 
+def _build_tabby(args: argparse.Namespace) -> Tabby:
+    return Tabby(
+        sources=_sources(args.sources),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    ).load_classpath(args.classpath)
+
+
+def _print_profile(args: argparse.Namespace, tabby: Tabby) -> None:
+    # stderr so --profile composes with --json pipelines
+    if args.profile:
+        for line in tabby.build_cpg().statistics.profile_lines():
+            print(line, file=sys.stderr)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    tabby = Tabby(sources=_sources(args.sources)).load_classpath(args.classpath)
+    tabby = _build_tabby(args)
     if args.validate:
         from repro.jvm.validate import validate_classes
 
@@ -104,15 +144,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"({stats.pruned_call_sites} uncontrollable call sites pruned) "
         f"in {stats.build_seconds:.2f}s"
     )
+    _print_profile(args, tabby)
     print(f"CPG written to {args.output}")
     return 0
 
 
 def _cmd_chains(args: argparse.Namespace) -> int:
-    tabby = Tabby(sources=_sources(args.sources)).load_classpath(args.classpath)
+    tabby = _build_tabby(args)
     chains = tabby.find_gadget_chains(
         max_depth=args.max_depth, source_filter=args.source_filter
     )
+    _print_profile(args, tabby)
     verifier = None
     synthesizer = None
     classes = list(tabby._classes)
@@ -194,7 +236,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.table == "table8":
         print(bench.format_table_viii(bench.run_table_viii(repetitions=4)))
     elif args.table == "table9":
-        print(bench.format_table_ix(bench.run_table_ix(components=args.components)))
+        print(bench.format_table_ix(bench.run_table_ix(
+            components=args.components,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )))
     elif args.table == "table10":
         print(bench.format_table_x(bench.run_table_x()))
     else:

@@ -7,6 +7,8 @@
 * :mod:`repro.core.sinks` / :mod:`repro.core.sources` — catalogs
 * :mod:`repro.core.pathfinder` — Algorithms 2-3 (§III-D)
 * :mod:`repro.core.chains` — gadget-chain model
+* :mod:`repro.core.parallel` — sharded summary construction
+* :mod:`repro.core.summary_cache` — persistent per-class summary cache
 * :mod:`repro.core.api` — the :class:`Tabby` facade
 """
 
@@ -24,11 +26,17 @@ from repro.core.controllability import (
     MethodSummary,
 )
 from repro.core.cpg import CPG, CPGBuilder, CPGStatistics
+from repro.core.parallel import ParallelConfig, available_cpus
 from repro.core.pathfinder import GadgetChainFinder, SearchStatistics
 from repro.core.sinks import DEFAULT_SINKS, SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
+from repro.core.summary_cache import SummaryCache, catalog_token
 
 __all__ = [
+    "ParallelConfig",
+    "available_cpus",
+    "SummaryCache",
+    "catalog_token",
     "Tabby",
     "DeserializationBlacklist",
     "derive_blacklist",

@@ -178,8 +178,10 @@ class Action:
         return self.get_origin("return")
 
     def to_property(self) -> Dict[str, str]:
-        """Graph-storable form (the Action node property)."""
-        return dict(self.mapping)
+        """Graph-storable form (the Action node property).  Keys are
+        sorted so the stored form is canonical: a cache round-trip or a
+        parallel merge yields byte-identical node properties."""
+        return {key: self.mapping[key] for key in sorted(self.mapping)}
 
     @classmethod
     def identity(cls, arity: int, has_this: bool) -> "Action":

@@ -43,10 +43,17 @@ class Tabby:
         sinks: Optional[SinkCatalog] = None,
         sources: Optional[SourceCatalog] = None,
         prune_uncontrollable_calls: bool = True,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
     ):
         self.sinks = sinks if sinks is not None else SinkCatalog()
         self.sources = sources if sources is not None else SourceCatalog.extended()
         self.prune_uncontrollable_calls = prune_uncontrollable_calls
+        #: >1 shards the summary phase across a process pool; 0 = one
+        #: worker per available CPU (see repro.core.parallel)
+        self.workers = workers
+        #: persistent summary cache directory (see repro.core.summary_cache)
+        self.cache_dir = cache_dir
         self._classes: List[JavaClass] = []
         self._cpg: Optional[CPG] = None
 
@@ -90,6 +97,8 @@ class Tabby:
             sinks=self.sinks,
             sources=self.sources,
             prune_uncontrollable_calls=self.prune_uncontrollable_calls,
+            parallel=self.workers,
+            cache=self.cache_dir,
         )
         self._cpg = builder.build()
         return self._cpg

@@ -17,12 +17,41 @@ Table IV) and, at method-call statements, the interprocedural step:
 Call sites whose PP is all-``∞`` are *pruned* — they can never carry
 attacker data, so the Precise Call Graph drops them (this is the MCG →
 PCG step of §III-B2 and the path-explosion mitigation of §III-C).
+
+Determinism contract
+--------------------
+
+Every memoised summary is a *root-final* value: the result of analysing
+its method with a fresh recursion chain, which makes it a pure function
+of (method body, class hierarchy) alone.  Summaries whose computation
+had to break a recursion cycle (or hit the depth guard) while *nested*
+under another root are provisional — they are kept only for the
+duration of the current root analysis (so dense recursion clusters stay
+polynomial instead of exponential) and the method is re-analysed as its
+own root later.  Two rules keep root values order-independent:
+
+* consuming a provisional value taints every frame on the active chain,
+  so nothing downstream of a cycle break is ever memoised as clean;
+* a *nested* lookup never returns a cycle-tainted final — the callee is
+  re-analysed provisionally instead.  A root's value therefore never
+  depends on whether a cycle partner happened to be finalised first,
+  which is exactly the property that lets the parallel shard workers of
+  :mod:`repro.core.parallel` and the seeded summaries of
+  :mod:`repro.core.summary_cache` reproduce the serial pipeline bit for
+  bit.
+
+Methods whose root-final summary depended on cycle breaking are
+recorded in :attr:`ControllabilityAnalysis.cycle_tainted`; the on-disk
+cache refuses to persist them.  The depth guard
+(``max_recursion_depth``) is a backstop against pathologically deep
+*acyclic* chains; if it ever fires on one, order-independence degrades
+to best-effort for the affected methods (cycles are always exact).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AnalysisError
 from repro.core.actions import (
@@ -148,40 +177,113 @@ class ControllabilityAnalysis:
         self.hierarchy = hierarchy
         self.max_recursion_depth = max_recursion_depth
         self._summaries: Dict[str, MethodSummary] = {}
-        self._in_progress: Set[str] = set()
+        #: the active doMethodAnalysis chain, outermost root first
+        self._in_progress: List[str] = []
+        self._in_progress_set: Set[str] = set()
+        #: keys of the current chain that consumed a provisional
+        #: (cycle-breaking) summary; cleared when the root completes
+        self._tainted: Set[str] = set()
+        #: per-root memo of tainted nested results — consulted so one
+        #: root analysis never re-analyses the same cycle member twice;
+        #: cleared when the root completes (never survives across roots)
+        self._provisional: Dict[str, MethodSummary] = {}
         #: methods whose analysis hit the recursion guard (diagnostics)
         self.recursive_methods: Set[str] = set()
+        #: methods whose *memoised* summary depended on cycle breaking;
+        #: these are root-final but not safe to persist across builds
+        self.cycle_tainted: Set[str] = set()
 
     # -- public API -------------------------------------------------------
 
+    @staticmethod
+    def method_order(methods: Iterable[JavaMethod]) -> List[JavaMethod]:
+        """The canonical analysis order: sorted by full signature."""
+        return sorted(methods, key=lambda m: m.signature.signature)
+
     def analyze_all(self) -> Dict[str, MethodSummary]:
         """Analyse every method with a body; returns summaries keyed by
-        full signature string."""
-        for method in self.hierarchy.all_methods():
+        full signature string, in sorted key order."""
+        return self.analyze_methods(self.hierarchy.all_methods())
+
+    def analyze_methods(
+        self, methods: Iterable[JavaMethod]
+    ) -> Dict[str, MethodSummary]:
+        """Analyse the given methods (plus anything they transitively
+        require) in canonical order; returns *all* memoised summaries in
+        sorted key order."""
+        for method in self.method_order(methods):
             if method.has_body:
                 self.summary_for(method)
-        return dict(self._summaries)
+        return {key: self._summaries[key] for key in sorted(self._summaries)}
+
+    def seed_summaries(self, summaries: Iterable[MethodSummary]) -> None:
+        """Install externally computed root-final summaries (from the
+        on-disk cache or a parallel worker) into the memo table.  Seeded
+        values must be root-final — i.e. produced by this class — or the
+        determinism contract breaks."""
+        for summary in summaries:
+            self._summaries[summary.method.signature.signature] = summary
 
     def summary_for(self, method: JavaMethod) -> MethodSummary:
         """doMethodAnalysis with memoisation (the Action cache)."""
         key = method.signature.signature
+        nested = bool(self._in_progress)
         cached = self._summaries.get(key)
-        if cached is not None:
+        if cached is not None and not (nested and key in self.cycle_tainted):
+            # Clean finals are pure values, safe to return anywhere; a
+            # cycle-tainted final is only returned at root level — a
+            # nested caller must re-derive the cycle member under *its*
+            # root's chain, or the root's value would depend on whether
+            # the partner happened to be finalised first.
             return cached
-        if key in self._in_progress or len(self._in_progress) > self.max_recursion_depth:
-            # recursion cycle: conservative identity summary
+        if nested:
+            provisional = self._provisional.get(key)
+            if provisional is not None:
+                # chain-dependent value: everything on the chain becomes
+                # provisional too
+                self._tainted.update(self._in_progress)
+                return provisional
+        if (
+            key in self._in_progress_set
+            or len(self._in_progress) > self.max_recursion_depth
+        ):
+            # recursion cycle (or pathological depth): conservative
+            # identity summary.  Everything currently on the chain now
+            # depends on a provisional value, so none of those frames
+            # may be memoised except the root itself.
             self.recursive_methods.add(key)
+            self._tainted.update(self._in_progress)
+            self._tainted.add(key)
             return MethodSummary(
                 method, Action.identity(method.arity, not method.is_static)
             )
         if not method.has_body:
             return MethodSummary(method, self._phantom_action(method))
-        self._in_progress.add(key)
+        is_root = not nested
+        self._in_progress.append(key)
+        self._in_progress_set.add(key)
         try:
             summary = self._do_method_analysis(method)
         finally:
-            self._in_progress.discard(key)
-        self._summaries[key] = summary
+            self._in_progress.pop()
+            self._in_progress_set.discard(key)
+        if key not in self._tainted:
+            # clean: equal to the root analysis of this method, safe to
+            # memoise regardless of where in the chain it was computed
+            self._summaries[key] = summary
+        elif is_root:
+            # the root analysis *defines* the final value for a method
+            # in a recursion cycle; memoise it but flag it non-persistable
+            self._summaries[key] = summary
+            self.cycle_tainted.add(key)
+        else:
+            # provisional nested result: reusable for the rest of this
+            # root analysis, then discarded — the method is re-analysed
+            # when visited as its own root
+            self._provisional[key] = summary
+        if is_root:
+            self._tainted.clear()
+            self._provisional.clear()
         return summary
 
     # -- phantom / body-less methods ----------------------------------------

@@ -20,11 +20,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.controllability import ControllabilityAnalysis, MethodSummary
+from repro.core.parallel import ParallelConfig, parallel_summary_records
 from repro.core.sinks import SinkCatalog
 from repro.core.sources import SourceCatalog
+from repro.core.summary_cache import (
+    SummaryCache,
+    catalog_token,
+    decode_summary,
+    dependency_closures,
+    encode_summary,
+)
 from repro.graphdb.graph import Node, PropertyGraph
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.model import JavaClass, JavaMethod
@@ -45,7 +53,8 @@ ALIAS = "ALIAS"
 
 @dataclass
 class CPGStatistics:
-    """The counters Table VIII reports per corpus."""
+    """The counters Table VIII reports per corpus, plus per-phase
+    timings and cache/parallel counters for the scaling pipeline."""
 
     jar_count: int = 0
     class_node_count: int = 0
@@ -53,6 +62,16 @@ class CPGStatistics:
     relationship_edge_count: int = 0
     pruned_call_sites: int = 0
     build_seconds: float = 0.0
+    #: wall-clock per build phase: summaries / org / pcg / mag
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: worker processes used for the summary phase (0 = serial)
+    parallel_workers: int = 0
+    #: methods analysed by Algorithm 1 this build
+    analyzed_method_count: int = 0
+    #: methods whose summaries came from the on-disk cache
+    cached_method_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def as_row(self) -> Dict[str, float]:
         return {
@@ -63,6 +82,28 @@ class CPGStatistics:
             "pruned_call_sites": self.pruned_call_sites,
             "build_seconds": round(self.build_seconds, 3),
         }
+
+    def profile_lines(self) -> List[str]:
+        """Human-readable per-phase/cache/worker report (``--profile``)."""
+        lines = []
+        for phase in ("summaries", "org", "pcg", "mag"):
+            if phase in self.phase_seconds:
+                lines.append(f"phase {phase:<10} {self.phase_seconds[phase]:8.3f}s")
+        lines.append(
+            f"summary methods: {self.analyzed_method_count} analyzed, "
+            f"{self.cached_method_count} from cache"
+        )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"summary cache: {self.cache_hits} class hits, "
+                f"{self.cache_misses} misses"
+            )
+        lines.append(
+            "summary workers: "
+            + (str(self.parallel_workers) if self.parallel_workers else "serial")
+        )
+        lines.append(f"total build: {self.build_seconds:.3f}s")
+        return lines
 
 
 class CPG:
@@ -119,6 +160,9 @@ class CPGBuilder:
         sinks: Optional[SinkCatalog] = None,
         sources: Optional[SourceCatalog] = None,
         prune_uncontrollable_calls: bool = True,
+        parallel: Optional[Union[ParallelConfig, int]] = None,
+        cache: Optional[Union[SummaryCache, str]] = None,
+        max_recursion_depth: int = 64,
     ):
         self.hierarchy = hierarchy
         self.sinks = sinks if sinks is not None else SinkCatalog()
@@ -126,6 +170,18 @@ class CPGBuilder:
         #: ablation hook: keep all-∞ call edges (turns the PCG back into
         #: the raw MCG, as the paper's baselines effectively use)
         self.prune_uncontrollable_calls = prune_uncontrollable_calls
+        if isinstance(parallel, int):
+            # int shorthand: 1 = serial, N>1 = N workers, 0 = one per CPU
+            parallel = (
+                ParallelConfig(workers=parallel) if parallel != 1 else None
+            )
+        self.parallel = parallel
+        if isinstance(cache, str):
+            cache = SummaryCache(
+                cache, catalog_token(self.sinks, self.sources)
+            )
+        self.cache = cache
+        self.max_recursion_depth = max_recursion_depth
 
         self._graph = PropertyGraph()
         self._class_nodes: Dict[str, Node] = {}
@@ -143,12 +199,20 @@ class CPGBuilder:
         graph.indexes.create_index(METHOD_LABEL, "IS_SINK")
         graph.indexes.create_index(METHOD_LABEL, "IS_SOURCE")
 
-        analysis = ControllabilityAnalysis(self.hierarchy)
-        summaries = analysis.analyze_all()
+        phases: Dict[str, float] = {}
+        t0 = time.perf_counter()
+        summaries, analyzed, cached = self._compute_summaries()
+        phases["summaries"] = time.perf_counter() - t0
 
+        t0 = time.perf_counter()
         self._build_org()
+        phases["org"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         pruned = self._build_pcg(summaries)
+        phases["pcg"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         self._build_mag()
+        phases["mag"] = time.perf_counter() - t0
 
         stats = CPGStatistics(
             jar_count=len(self._jar_names),
@@ -159,8 +223,110 @@ class CPGBuilder:
             relationship_edge_count=graph.relationship_count,
             pruned_call_sites=pruned,
             build_seconds=time.perf_counter() - started,
+            phase_seconds=phases,
+            parallel_workers=(
+                self.parallel.resolved_workers() if self.parallel else 0
+            ),
+            analyzed_method_count=analyzed,
+            cached_method_count=cached,
+            cache_hits=self.cache.stats.hits if self.cache else 0,
+            cache_misses=self.cache.stats.misses if self.cache else 0,
         )
         return CPG(graph, self.hierarchy, stats, summaries)
+
+    # -- summary phase (Algorithm 1, cached and/or sharded) -----------------
+
+    def _compute_summaries(self) -> Tuple[Dict[str, MethodSummary], int, int]:
+        """Summaries for every body-carrying method, in sorted key
+        order.  Returns ``(summaries, analyzed_count, cached_count)``.
+
+        The cache is consulted per class; missed classes are analysed
+        (serially or across the worker pool) with the hits seeded into
+        the memo table, then written back.  Root-final determinism makes
+        every combination of {serial, parallel} x {cold, warm} produce
+        identical values.
+        """
+        all_classes = self.hierarchy.classes
+        seeded: Dict[str, MethodSummary] = {}
+        missed_classes: List[JavaClass] = []
+        class_keys: Dict[str, str] = {}
+
+        if self.cache is not None:
+            from repro.jvm.jasm import dump_class
+
+            class_texts = {cls.name: dump_class(cls) for cls in all_classes}
+            closures = dependency_closures(self.hierarchy)
+            for cls in all_classes:
+                key = self.cache.class_key(
+                    cls.name, class_texts, closures[cls.name]
+                )
+                class_keys[cls.name] = key
+                records = self.cache.load(key, cls.name)
+                decoded: List[MethodSummary] = []
+                if records is not None:
+                    try:
+                        decoded = [
+                            decode_summary(record, self.hierarchy)
+                            for record in records
+                        ]
+                    except (KeyError, TypeError, ValueError):
+                        records = None  # stale entry: fall back to analysis
+                if records is None:
+                    missed_classes.append(cls)
+                else:
+                    for summary in decoded:
+                        seeded[summary.method.signature.signature] = summary
+        else:
+            missed_classes = list(all_classes)
+
+        summaries: Dict[str, MethodSummary] = dict(seeded)
+        tainted: set = set()
+        missed_methods = [
+            m
+            for cls in missed_classes
+            for m in cls.methods.values()
+            if m.has_body
+        ]
+
+        if self.parallel is not None and missed_classes:
+            records, _recursive, par_tainted = parallel_summary_records(
+                all_classes,
+                [cls.name for cls in missed_classes],
+                self.parallel,
+                max_recursion_depth=self.max_recursion_depth,
+            )
+            tainted = set(par_tainted)
+            for record in records:
+                summary = decode_summary(record, self.hierarchy)
+                summaries[summary.method.signature.signature] = summary
+        elif missed_classes:
+            analysis = ControllabilityAnalysis(
+                self.hierarchy, max_recursion_depth=self.max_recursion_depth
+            )
+            analysis.seed_summaries(seeded.values())
+            analysis.analyze_methods(missed_methods)
+            tainted = set(analysis.cycle_tainted)
+            for method in missed_methods:
+                key = method.signature.signature
+                summaries[key] = analysis.summary_for(method)
+
+        if self.cache is not None:
+            for cls in missed_classes:
+                keys = [
+                    m.signature.signature
+                    for m in cls.methods.values()
+                    if m.has_body
+                ]
+                if any(key in tainted for key in keys):
+                    self.cache.stats.skipped_tainted += 1
+                    continue
+                records = [
+                    encode_summary(summaries[key]) for key in sorted(keys)
+                ]
+                self.cache.store(class_keys[cls.name], cls.name, records)
+
+        ordered = {key: summaries[key] for key in sorted(summaries)}
+        return ordered, len(missed_methods), len(seeded)
 
     # -- ORG ---------------------------------------------------------------------
 
@@ -242,8 +408,12 @@ class CPGBuilder:
         return node
 
     def _build_org(self) -> None:
-        """Class/method nodes plus EXTEND/INTERFACE/HAS edges."""
-        for cls in self.hierarchy.classes:
+        """Class/method nodes plus EXTEND/INTERFACE/HAS edges.
+
+        Classes are visited in sorted-name order so node IDs do not
+        depend on classpath order (jar listing order is filesystem
+        dependent; the CPG must not be)."""
+        for cls in sorted(self.hierarchy.classes, key=lambda c: c.name):
             class_node = self._class_node(cls.name)
             if cls.super_name:
                 self._graph.create_relationship(
@@ -260,9 +430,14 @@ class CPGBuilder:
     # -- PCG ---------------------------------------------------------------------
 
     def _build_pcg(self, summaries: Dict[str, MethodSummary]) -> int:
-        """CALL edges with POLLUTED_POSITION; returns pruned-site count."""
+        """CALL edges with POLLUTED_POSITION; returns pruned-site count.
+
+        Iterates in sorted signature order so phantom-node creation and
+        edge insertion are reproducible regardless of how the summary
+        map was assembled (serial, sharded, or cache-seeded)."""
         pruned = 0
-        for summary in summaries.values():
+        for key in sorted(summaries):
+            summary = summaries[key]
             caller_node = self._defined_method_node(summary.method)
             for site in summary.call_sites:
                 if site.pruned and self.prune_uncontrollable_calls:
@@ -291,7 +466,8 @@ class CPGBuilder:
                     },
                 )
         # store each method's Action on its node
-        for summary in summaries.values():
+        for key in sorted(summaries):
+            summary = summaries[key]
             node = self._defined_method_node(summary.method)
             self._graph.set_node_property(node, "ACTION", summary.action.to_property())
         return pruned
@@ -304,7 +480,7 @@ class CPGBuilder:
         parents, a phantom parent method node created by some call site
         is linked too (the Object.hashCode situation when the JDK class
         is not part of the corpus)."""
-        for cls in self.hierarchy.classes:
+        for cls in sorted(self.hierarchy.classes, key=lambda c: c.name):
             for method in cls.methods.values():
                 method_node = self._defined_method_node(method)
                 linked: set = set()

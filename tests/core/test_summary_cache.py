@@ -1,0 +1,207 @@
+"""Unit tests for the persistent summary cache.
+
+Covers the safety claims of ``repro.core.summary_cache``: content-hash
+keying (a change to a class *or anything in its dependency closure or
+catalogs* invalidates the entry), corruption tolerance (any broken
+entry degrades to a miss, never an error), and the cycle-taint
+persistence ban.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cpg import CPGBuilder
+from repro.core.sinks import SinkCatalog, SinkMethod
+from repro.core.summary_cache import (
+    CACHE_FORMAT_VERSION,
+    SummaryCache,
+    catalog_token,
+    decode_summary,
+    dependency_closures,
+    encode_summary,
+)
+from repro.corpus import build_component, build_lang_base
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+def make_classes(leaf_body="toString"):
+    """t.Caller calls t.Leaf.run; the leaf body is configurable so tests
+    can change a *dependency* without touching the caller."""
+    pb = ProgramBuilder()
+    with pb.cls("t.Leaf") as c:
+        with c.method("run", params=["java.lang.Object"]) as m:
+            m.invoke(m.param(1), "java.lang.Object", leaf_body,
+                     returns="java.lang.String")
+    with pb.cls("t.Caller") as c:
+        with c.method("call", params=["java.lang.Object"]) as m:
+            leaf = m.new("t.Leaf")
+            m.invoke(leaf, "t.Leaf", "run", [m.param(1)])
+    return pb.build()
+
+
+def build(classes, cache):
+    hierarchy = ClassHierarchy(classes)
+    builder = CPGBuilder(hierarchy, cache=cache)
+    return builder.build()
+
+
+class TestHitMiss:
+    def test_cold_build_misses_then_stores(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        build(make_classes(), cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert cache.stats.stored == 2
+
+    def test_warm_build_hits_every_class(self, tmp_path):
+        classes = make_classes()
+        build(classes, SummaryCache(str(tmp_path)))
+        warm = SummaryCache(str(tmp_path))
+        cpg = build(classes, warm)
+        assert warm.stats.hits == 2
+        assert warm.stats.misses == 0
+        assert cpg.statistics.cached_method_count == 2
+        assert cpg.statistics.analyzed_method_count == 0
+
+    def test_partial_cache_analyzes_only_missing_classes(self, tmp_path):
+        classes = make_classes()
+        first = SummaryCache(str(tmp_path))
+        build(classes, first)
+        # evict one entry; the next build must hit one and re-analyse one
+        entries = [p for p in os.listdir(str(tmp_path)) if p.endswith(".json")]
+        os.unlink(os.path.join(str(tmp_path), entries[0]))
+        partial = SummaryCache(str(tmp_path))
+        cpg = build(classes, partial)
+        assert partial.stats.hits == 1
+        assert partial.stats.misses == 1
+        assert cpg.statistics.analyzed_method_count == 1
+
+
+class TestInvalidation:
+    def test_changed_class_bytes_invalidate_its_entry(self, tmp_path):
+        build(make_classes(leaf_body="toString"), SummaryCache(str(tmp_path)))
+        cache = SummaryCache(str(tmp_path))
+        build(make_classes(leaf_body="hashCode"), cache)
+        # the leaf changed, and the caller's closure includes the leaf:
+        # both entries must be recomputed
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_dependency_closure_covers_callers(self):
+        hierarchy = ClassHierarchy(make_classes())
+        closures = dependency_closures(hierarchy)
+        assert "t.Leaf" in closures["t.Caller"]
+        assert closures["t.Leaf"] == ["t.Leaf"]
+
+    def test_sink_catalog_change_invalidates(self, tmp_path):
+        classes = make_classes()
+        base_sinks = SinkCatalog()
+        cache = SummaryCache(str(tmp_path), catalog_token(base_sinks))
+        build(classes, cache)
+        extended = base_sinks.with_extra(
+            [SinkMethod("t.Leaf", "run", "CUSTOM", (0,))]
+        )
+        cache2 = SummaryCache(str(tmp_path), catalog_token(extended))
+        build(classes, cache2)
+        assert cache2.stats.hits == 0
+
+    def test_catalog_token_is_stable(self):
+        assert catalog_token(SinkCatalog()) == catalog_token(SinkCatalog())
+        assert catalog_token(SinkCatalog()) != catalog_token(None)
+
+
+class TestCorruptionTolerance:
+    def entries(self, tmp_path):
+        return [
+            os.path.join(str(tmp_path), p)
+            for p in sorted(os.listdir(str(tmp_path)))
+            if p.endswith(".json")
+        ]
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda path: open(path, "w").write("{truncated"),
+            lambda path: open(path, "w").write("[]"),
+            lambda path: open(path, "w").write(
+                json.dumps({"version": -1, "class": "x", "records": []})
+            ),
+            lambda path: open(path, "w").write(
+                json.dumps({
+                    "version": CACHE_FORMAT_VERSION,
+                    "class": "something.Else",
+                    "records": [],
+                })
+            ),
+            lambda path: open(path, "w").write(
+                json.dumps({
+                    "version": CACHE_FORMAT_VERSION,
+                    "class": "t.Caller",
+                    "records": [{"nonsense": True}],
+                })
+            ),
+        ],
+        ids=["truncated-json", "wrong-shape", "old-version", "wrong-class",
+             "malformed-record"],
+    )
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, mutate):
+        classes = make_classes()
+        reference = build(classes, SummaryCache(str(tmp_path))).summaries
+        for path in self.entries(tmp_path):
+            mutate(path)
+        cache = SummaryCache(str(tmp_path))
+        cpg = build(classes, cache)
+        assert cache.stats.hits == 0
+        assert cache.stats.corrupt >= 1
+        assert set(cpg.summaries) == set(reference)
+
+    def test_stale_method_reference_degrades_to_miss(self, tmp_path):
+        """An entry whose records mention methods the hierarchy no
+        longer has must fall back to analysis, not crash."""
+        classes = make_classes()
+        build(classes, SummaryCache(str(tmp_path)))
+        for path in self.entries(tmp_path):
+            payload = json.load(open(path))
+            for record in payload["records"]:
+                record["subsig"] = "java.lang.String vanished()"
+            json.dump(payload, open(path, "w"))
+        # same key, decodable JSON, but the records cannot be rehydrated
+        cache = SummaryCache(str(tmp_path))
+        cpg = build(classes, cache)
+        assert len(cpg.summaries) == 2
+        assert cpg.statistics.analyzed_method_count == 2
+
+
+class TestCodec:
+    def test_round_trip_preserves_summary(self):
+        hierarchy = ClassHierarchy(make_classes())
+        builder = CPGBuilder(hierarchy)
+        cpg = builder.build()
+        for key, summary in cpg.summaries.items():
+            clone = decode_summary(encode_summary(summary), hierarchy)
+            assert clone.method is summary.method
+            assert clone.action.to_property() == summary.action.to_property()
+            assert len(clone.call_sites) == len(summary.call_sites)
+            for a, b in zip(clone.call_sites, summary.call_sites):
+                assert a.polluted_position == b.polluted_position
+                assert a.pruned == b.pruned
+                assert a.resolved is b.resolved
+
+
+class TestCycleTaint:
+    def test_cycle_tainted_classes_never_persisted(self, tmp_path):
+        """The bomb component's recursion clusters must be re-analysed
+        every build — persisting them could perturb cycle partners."""
+        classes = build_lang_base() + build_component("Clojure").classes
+        cold = SummaryCache(str(tmp_path))
+        build(classes, cold)
+        assert cold.stats.skipped_tainted > 0
+        warm = SummaryCache(str(tmp_path))
+        cpg = build(classes, warm)
+        assert warm.stats.hits > 0
+        # the cluster classes miss by design and are re-analysed
+        assert warm.stats.misses == cold.stats.skipped_tainted
+        assert cpg.statistics.analyzed_method_count > 0

@@ -1,5 +1,8 @@
 """Property-based round-trip tests for the jasm format, driven by
-hypothesis over randomly composed IR programs."""
+hypothesis over randomly composed IR programs, plus determinism
+regression seeds (analysis results must not depend on visit order)."""
+
+import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -78,3 +81,81 @@ def test_property_parsed_program_analyses_cleanly(classes):
     b = Tabby().add_classes(reparsed).build_cpg()
     assert a.statistics.method_node_count == b.statistics.method_node_count
     assert a.statistics.relationship_edge_count == b.statistics.relationship_edge_count
+
+
+# ---------------------------------------------------------------------------
+# Determinism regression seeds
+# ---------------------------------------------------------------------------
+
+
+def _mutual_recursion_program():
+    """A minimal A <-> B recursion cycle whose call sites stay live
+    (param-derived receivers), so the analysis must break the cycle."""
+    pb = ProgramBuilder(jar="seed.jar")
+    for name, other in (("det.A", "det.B"), ("det.B", "det.A")):
+        with pb.cls(name) as c:
+            c.field("next", "java.lang.Object")
+            with c.method("step", params=["java.lang.Object"],
+                          returns="java.lang.Object") as m:
+                out = m.invoke(m.param(1), other, "step", [m.param(1)],
+                               returns="java.lang.Object")
+                m.set_field(m.this, "next", out)
+                m.ret(out)
+    return pb.build()
+
+
+def _summary_view(summary):
+    return (
+        summary.action.to_property(),
+        [(s.callee_class, s.callee_name, tuple(s.polluted_position), s.pruned)
+         for s in summary.call_sites],
+    )
+
+
+def test_seed_mutual_recursion_is_visit_order_independent():
+    """Regression seed: under memoise-everything semantics, whichever
+    cycle member was visited first kept a summary computed against the
+    other's provisional identity — so A-first and B-first runs diverged.
+    Root-final memoisation makes both orders identical."""
+    from repro.core.controllability import ControllabilityAnalysis
+    from repro.jvm.hierarchy import ClassHierarchy
+
+    classes = _mutual_recursion_program()
+    views = []
+    for order in (("det.A", "det.B"), ("det.B", "det.A")):
+        analysis = ControllabilityAnalysis(ClassHierarchy(classes))
+        for class_name in order:
+            cls = analysis.hierarchy.get(class_name)
+            for method in cls.methods.values():
+                if method.has_body:
+                    analysis.summary_for(method)
+        summaries = analysis.analyze_all()
+        views.append({k: _summary_view(s) for k, s in summaries.items()})
+        assert analysis.cycle_tainted, "seed must actually contain a cycle"
+    assert views[0] == views[1]
+
+
+def test_seed_shuffled_class_order_builds_identical_cpg():
+    """Shuffling the classpath order must not change the built graph —
+    node IDs included (summary/edge iteration is explicitly sorted)."""
+    from repro.core.cpg import CPGBuilder
+    from repro.jvm.hierarchy import ClassHierarchy
+
+    classes = _mutual_recursion_program()
+
+    def fingerprint(ordered):
+        cpg = CPGBuilder(ClassHierarchy(ordered)).build()
+        nodes = [(n.id, tuple(sorted(n.labels)),
+                  tuple(sorted((k, repr(v)) for k, v in n.properties.items())))
+                 for n in cpg.graph.nodes()]
+        edges = [(r.type, r.start_id, r.end_id,
+                  tuple(sorted((k, repr(v)) for k, v in r.properties.items())))
+                 for r in cpg.graph.relationships()]
+        return nodes, edges
+
+    baseline = fingerprint(sorted(classes, key=lambda c: c.name))
+    rng = random.Random(7)
+    for _ in range(4):
+        shuffled = list(classes)
+        rng.shuffle(shuffled)
+        assert fingerprint(shuffled) == baseline

@@ -62,7 +62,8 @@ class TestNestedPayloads:
         chain, _ = find_chain(
             classes,
             lambda c: c.source.class_name.endswith("TransformedMap")
-            and any("ChainedTransformer" in s.class_name for s in c.steps),
+            and any("ChainedTransformer" in s.class_name for s in c.steps)
+            and any("InvokerTransformer" in s.class_name for s in c.steps),
         )
         spec = PayloadSynthesizer(classes).synthesize(chain)
         chained = spec.root.fields["keyTransformer"]
