@@ -130,6 +130,10 @@ class ComponentResult:
     tabby: ToolScore
     gadgetinspector: ToolScore
     serianalyzer: ToolScore
+    #: Tabby re-scored after guard-feasibility refinement; only set when
+    #: run with refine_guards=True (extension, never alters the baseline
+    #: ``tabby`` column)
+    tabby_refined: Optional[ToolScore] = None
 
 
 def run_table_ix_component(
@@ -137,6 +141,7 @@ def run_table_ix_component(
     sl_step_budget: int = SL_STEP_BUDGET,
     workers: int = 1,
     cache_dir: Optional[str] = None,
+    refine_guards: bool = False,
 ) -> ComponentResult:
     """Run all three tools on one Table IX component.
 
@@ -144,20 +149,35 @@ def run_table_ix_component(
     stay serial, as in the paper).  A shared ``cache_dir`` pays off
     across components: every component includes the same language base
     classes, whose summaries are re-used after the first build.
+
+    ``refine_guards=True`` adds a fourth score: Tabby's chain list
+    post-filtered by :mod:`repro.core.refine`.  The baseline columns are
+    computed from the unrefined list either way, so Table IX stays
+    bit-identical with the flag on or off.
     """
     spec = build_component(name)
     classes = build_lang_base() + spec.classes
     verifier = ChainVerifier(classes)
 
+    tabby = Tabby(workers=workers, cache_dir=cache_dir).add_classes(classes)
     started = time.perf_counter()
-    chains = (
-        Tabby(workers=workers, cache_dir=cache_dir)
-        .add_classes(classes)
-        .find_gadget_chains()
-    )
+    chains = tabby.find_gadget_chains()
     tabby_score = classify_chains(
         "tabby", spec, chains, verifier, elapsed_seconds=time.perf_counter() - started
     )
+    refined_score: Optional[ToolScore] = None
+    if refine_guards:
+        from repro.core.refine import GuardFeasibilityRefiner
+
+        started = time.perf_counter()
+        kept, _refuted = GuardFeasibilityRefiner(tabby.cpg.hierarchy).refine(chains)
+        refined_score = classify_chains(
+            "tabby+refine",
+            spec,
+            kept,
+            verifier,
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
     gi_result = GadgetInspector(classes).run()
     gi_score = classify_chains(
@@ -178,7 +198,14 @@ def run_table_ix_component(
         terminated=sl_result.terminated,
         elapsed_seconds=sl_result.elapsed_seconds,
     )
-    return ComponentResult(spec.name, spec.known_count, tabby_score, gi_score, sl_score)
+    return ComponentResult(
+        spec.name,
+        spec.known_count,
+        tabby_score,
+        gi_score,
+        sl_score,
+        tabby_refined=refined_score,
+    )
 
 
 def run_table_ix(
@@ -186,11 +213,16 @@ def run_table_ix(
     sl_step_budget: int = SL_STEP_BUDGET,
     workers: int = 1,
     cache_dir: Optional[str] = None,
+    refine_guards: bool = False,
 ) -> List[ComponentResult]:
     names = list(components) if components is not None else list(COMPONENT_NAMES)
     return [
         run_table_ix_component(
-            name, sl_step_budget, workers=workers, cache_dir=cache_dir
+            name,
+            sl_step_budget,
+            workers=workers,
+            cache_dir=cache_dir,
+            refine_guards=refine_guards,
         )
         for name in names
     ]
@@ -257,6 +289,28 @@ def format_table_ix(results: Sequence[ComponentResult]) -> str:
         f"FNR%  GI={totals['gadgetinspector_fnr']:.1f} TB={totals['tabby_fnr']:.1f} "
         f"SL={totals['serianalyzer_fnr']:.1f}   (paper: 86.8 / 31.6 / 81.6)"
     )
+    refined = [r.tabby_refined for r in results if r.tabby_refined is not None]
+    if refined:
+        result = sum(s.result_count for s in refined)
+        fake = sum(s.fake_count for s in refined)
+        known_found = sum(s.known_found for s in refined)
+        known_ds = sum(s.known_in_dataset for s in refined)
+        refined_fpr = 100.0 * fake / result if result else 0.0
+        refined_fnr = (
+            100.0 * (known_ds - known_found) / known_ds if known_ds else 0.0
+        )
+        refuted = sum(
+            r.tabby.result_count - r.tabby_refined.result_count
+            for r in results
+            if r.tabby_refined is not None
+        )
+        lines.append(
+            f"with --refine-guards: TB FPR={refined_fpr:.1f} "
+            f"(Δ{refined_fpr - totals['tabby_fpr']:+.1f}) "
+            f"FNR={refined_fnr:.1f} "
+            f"(Δ{refined_fnr - totals['tabby_fnr']:+.1f})   "
+            f"{refuted} chain(s) refuted (extension, baseline unchanged)"
+        )
     return "\n".join(lines)
 
 

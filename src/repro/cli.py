@@ -4,6 +4,7 @@ Subcommands::
 
     tabby analyze PATH [PATH...]     build a CPG from jars, save it
     tabby chains PATH [PATH...]      find (and optionally verify) chains
+    tabby lint [PATH...] [--corpus]  dataflow-based IR lint (repro.lint)
     tabby query CPG "MATCH ..."      run a Cypher-subset query on a CPG
     tabby bench {table8,table9,table10,table11}
                                      regenerate an evaluation table
@@ -42,6 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--sources", choices=("native", "extended"), default="extended")
     analyze.add_argument("--validate", action="store_true",
                          help="run Soot-style body/linkage validation first")
+    analyze.add_argument("--check-cpg", action="store_true",
+                         help="verify CPG structural invariants after the build")
     _add_build_flags(analyze)
 
     chains = sub.add_parser("chains", help="find gadget chains")
@@ -53,7 +56,22 @@ def build_parser() -> argparse.ArgumentParser:
     chains.add_argument("--verify", action="store_true", help="run the PoC oracle")
     chains.add_argument("--payload", action="store_true",
                         help="synthesise exploit recipes (§V-C)")
+    chains.add_argument("--check-cpg", action="store_true",
+                        help="verify CPG structural invariants after the build")
+    chains.add_argument("--refine-guards", action="store_true",
+                        help="drop chains behind constant-false guards "
+                        "(extension, off by default)")
     chains.add_argument("--json", action="store_true", help="machine-readable output")
+
+    lint = sub.add_parser(
+        "lint", help="dataflow-based lint over jasm classes or the corpus"
+    )
+    lint.add_argument("classpath", nargs="*", help="jar files or directories")
+    lint.add_argument("--corpus", action="store_true",
+                      help="lint the built-in synthetic corpus instead")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument("--fail-on-error", action="store_true",
+                      help="exit 1 if any unsuppressed error-severity issue")
 
     query = sub.add_parser("query", help="query a persisted CPG")
     query.add_argument("cpg", help="a CPG file written by 'tabby analyze'")
@@ -70,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for table9 CPG builds")
     bench.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="shared summary cache for table9 CPG builds")
+    bench.add_argument("--refine-guards", action="store_true",
+                       help="table9: also report FPR with guard-feasibility "
+                       "refinement on (baseline columns unchanged)")
 
     sinks = sub.add_parser("sinks", help="print the 38-entry sink catalog (Table VII)")
     sinks.add_argument("--category", default=None, help="filter by category")
@@ -122,6 +143,21 @@ def _print_profile(args: argparse.Namespace, tabby: Tabby) -> None:
             print(line, file=sys.stderr)
 
 
+def _check_cpg(tabby: Tabby) -> int:
+    """Run the structural verifier; returns the number of violations."""
+    issues = tabby.check_cpg()
+    for issue in issues:
+        print(issue, file=sys.stderr)
+    if issues:
+        print(
+            f"error: CPG verification failed ({len(issues)} issue(s))",
+            file=sys.stderr,
+        )
+    else:
+        print("CPG verification: all invariants hold", file=sys.stderr)
+    return len(issues)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     tabby = _build_tabby(args)
     if args.validate:
@@ -135,6 +171,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return 1
         print(f"validation: {len(issues)} warning(s), no errors")
     cpg = tabby.build_cpg()
+    if args.check_cpg and _check_cpg(tabby):
+        return 1
     tabby.save_cpg(args.output)
     stats = cpg.statistics
     print(
@@ -151,9 +189,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_chains(args: argparse.Namespace) -> int:
     tabby = _build_tabby(args)
+    if args.check_cpg and _check_cpg(tabby):
+        return 1
     chains = tabby.find_gadget_chains(
-        max_depth=args.max_depth, source_filter=args.source_filter
+        max_depth=args.max_depth,
+        source_filter=args.source_filter,
+        refine_guards=args.refine_guards,
     )
+    if args.refine_guards:
+        # stderr so the refinement note composes with --json pipelines
+        print(
+            f"guard refinement: {len(tabby.last_refuted)} chain(s) refuted",
+            file=sys.stderr,
+        )
     _print_profile(args, tabby)
     verifier = None
     synthesizer = None
@@ -200,6 +248,50 @@ def _cmd_chains(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_classes
+
+    if not args.corpus and not args.classpath:
+        print("error: provide jar paths or --corpus", file=sys.stderr)
+        return 2
+    issues = []
+    if args.corpus:
+        from repro.corpus import COMPONENT_NAMES, build_component, build_lang_base
+
+        base = build_lang_base()
+        issues.extend(lint_classes(base))
+        for name in COMPONENT_NAMES:
+            spec = build_component(name)
+            # components resolve against the shared lang base, but only
+            # the component's own classes are reported (the base is
+            # linted once, above)
+            only = {cls.name for cls in spec.classes}
+            issues.extend(lint_classes(base + spec.classes, only_classes=only))
+    if args.classpath:
+        from repro.jvm.jar import load_classpath
+
+        classes = []
+        for archive in load_classpath(args.classpath):
+            classes.extend(archive.classes)
+        issues.extend(lint_classes(classes))
+
+    errors = sum(1 for i in issues if i.severity == "error" and not i.suppressed)
+    warnings = sum(1 for i in issues if i.severity == "warning" and not i.suppressed)
+    suppressed = sum(1 for i in issues if i.suppressed)
+    if args.json:
+        print(json.dumps([i.to_dict() for i in issues], indent=2))
+    else:
+        for issue in issues:
+            print(issue)
+        print(
+            f"lint: {errors} error(s), {warnings} warning(s), "
+            f"{suppressed} suppressed"
+        )
+    if args.fail_on_error and errors:
+        return 1
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.graphdb.query import run_query
     from repro.graphdb.storage import load_graph
@@ -240,6 +332,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             components=args.components,
             workers=args.workers,
             cache_dir=args.cache_dir,
+            refine_guards=args.refine_guards,
         )))
     elif args.table == "table10":
         print(bench.format_table_x(bench.run_table_x()))
@@ -306,6 +399,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "analyze": _cmd_analyze,
         "chains": _cmd_chains,
+        "lint": _cmd_lint,
         "query": _cmd_query,
         "bench": _cmd_bench,
         "sinks": _cmd_sinks,

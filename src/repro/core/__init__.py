@@ -9,6 +9,8 @@
 * :mod:`repro.core.chains` — gadget-chain model
 * :mod:`repro.core.parallel` — sharded summary construction
 * :mod:`repro.core.summary_cache` — persistent per-class summary cache
+* :mod:`repro.core.cpg_check` — structural CPG verification
+* :mod:`repro.core.refine` — opt-in guard-feasibility chain refinement
 * :mod:`repro.core.api` — the :class:`Tabby` facade
 """
 
@@ -26,7 +28,9 @@ from repro.core.controllability import (
     MethodSummary,
 )
 from repro.core.cpg import CPG, CPGBuilder, CPGStatistics
+from repro.core.cpg_check import CPGCheckIssue, verify_cpg
 from repro.core.parallel import ParallelConfig, available_cpus
+from repro.core.refine import GuardFeasibilityRefiner, refine_chains
 from repro.core.pathfinder import GadgetChainFinder, SearchStatistics
 from repro.core.sinks import DEFAULT_SINKS, SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
@@ -51,6 +55,10 @@ __all__ = [
     "CPG",
     "CPGBuilder",
     "CPGStatistics",
+    "CPGCheckIssue",
+    "verify_cpg",
+    "GuardFeasibilityRefiner",
+    "refine_chains",
     "GadgetChainFinder",
     "SearchStatistics",
     "GadgetChain",

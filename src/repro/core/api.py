@@ -21,7 +21,9 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.core.chains import GadgetChain
 from repro.core.cpg import CPG, CPGBuilder
+from repro.core.cpg_check import CPGCheckIssue, verify_cpg
 from repro.core.pathfinder import GadgetChainFinder
+from repro.core.refine import GuardFeasibilityRefiner
 from repro.core.sinks import SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
 from repro.errors import AnalysisError
@@ -114,16 +116,34 @@ class Tabby:
         follow_alias: bool = True,
         max_results_per_sink: Optional[int] = 200,
         uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
+        refine_guards: bool = False,
     ) -> List[GadgetChain]:
-        """Run the tabby-path-finder search over the CPG."""
+        """Run the tabby-path-finder search over the CPG.
+
+        ``refine_guards=True`` additionally drops chains whose
+        connecting call sites sit behind constant-false guards (see
+        :mod:`repro.core.refine`).  Off by default: the refinement is
+        an extension beyond the paper pipeline.  Refuted chains from
+        the last refined run are kept in :attr:`last_refuted`.
+        """
+        cpg = self.build_cpg()
         finder = GadgetChainFinder(
-            self.build_cpg(),
+            cpg,
             max_depth=max_depth,
             follow_alias=follow_alias,
             max_results_per_sink=max_results_per_sink,
             uniqueness=uniqueness,
         )
-        return finder.find_chains(source_filter=source_filter)
+        chains = finder.find_chains(source_filter=source_filter)
+        self.last_refuted = []
+        if refine_guards:
+            refiner = GuardFeasibilityRefiner(cpg.hierarchy)
+            chains, self.last_refuted = refiner.refine(chains)
+        return chains
+
+    def check_cpg(self) -> List[CPGCheckIssue]:
+        """Verify the structural invariants of the built CPG."""
+        return verify_cpg(self.build_cpg())
 
     # -- persistence & custom queries ---------------------------------------------
 

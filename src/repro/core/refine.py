@@ -1,0 +1,122 @@
+"""Opt-in guard-feasibility refinement of gadget chains.
+
+Tabby's dominant false-positive class (~33%, paper §IV-E) is the chain
+that is structurally sound but dynamically dead: a hop sits behind a
+guard like ``if (Config.ENABLED) fire()`` where the guard can never
+pass.  The :mod:`repro.jvm.dataflow` constant-propagation analysis can
+refute exactly the statically-decidable subset of these: guards that
+compare only constants — including loads of static fields provably
+stuck at their default value (never stored anywhere in the analyzed
+program, no ``<clinit>``).
+
+:class:`GuardFeasibilityRefiner` post-filters a chain list.  A chain is
+*refuted* only under a deliberately conservative rule:
+
+* for a hop ``A --CALL--> B``, find the call sites in A's body whose
+  callee name and arity match B;
+* if at least one matching site exists and **every** one lies in a
+  block that conditional constant propagation proves infeasible, the
+  hop (and the chain) is dead;
+* ALIAS hops, hops whose caller has no body, and hops with no matching
+  site are never refuted.
+
+True chains pass a payload through attacker-controlled *instance*
+fields, which the analysis treats as non-constant, so their guards stay
+feasible — the refinement can only remove chains whose guards compare
+constants (zero false-negative cost on the shipped corpus, asserted by
+tests).  This is an **extension beyond the paper**: it is off by
+default everywhere (``--refine-guards`` on the CLI,
+``refine_guards=`` in :meth:`repro.core.api.Tabby.find_gadget_chains`)
+so Table IX output stays bit-identical to the paper pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.chains import GadgetChain
+from repro.jvm import dataflow as df
+from repro.jvm import ir
+from repro.jvm.cfg import build_cfg
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaMethod
+
+__all__ = ["GuardFeasibilityRefiner", "refine_chains"]
+
+
+class GuardFeasibilityRefiner:
+    """Refutes chains whose connecting call sites are statically dead."""
+
+    def __init__(self, hierarchy: ClassHierarchy):
+        self.hierarchy = hierarchy
+        self.static_oracle = df.constant_static_fields(hierarchy.classes)
+        # method id -> (feasible block indexes, site map); memoised per
+        # method since many chains share prefixes.
+        self._feasible_cache: Dict[int, FrozenSet[int]] = {}
+        self._site_cache: Dict[int, List[Tuple[int, ir.InvokeExpr]]] = {}
+
+    # -- per-method analysis -------------------------------------------------
+
+    def _analyze(self, method: JavaMethod) -> None:
+        if id(method) in self._feasible_cache:
+            return
+        cfg = build_cfg(method)
+        analysis = df.ConstantPropagation(static_oracle=self.static_oracle)
+        result = df.run_analysis(cfg, analysis)
+        self._feasible_cache[id(method)] = result.reached
+        sites: List[Tuple[int, ir.InvokeExpr]] = []
+        for block in cfg.blocks:
+            for stmt in block.statements:
+                invoke = stmt.invoke_expr()
+                if invoke is not None:
+                    sites.append((block.index, invoke))
+        self._site_cache[id(method)] = sites
+
+    def _hop_is_dead(
+        self, caller: JavaMethod, callee_name: str, callee_arity: int
+    ) -> bool:
+        """True iff every matching call site in ``caller`` is infeasible."""
+        self._analyze(caller)
+        feasible = self._feasible_cache[id(caller)]
+        matching = [
+            block_index
+            for block_index, invoke in self._site_cache[id(caller)]
+            if invoke.method_name == callee_name and invoke.arity == callee_arity
+        ]
+        if not matching:
+            return False  # conservative: cannot see the hop, keep it
+        return all(block_index not in feasible for block_index in matching)
+
+    # -- chain refinement -----------------------------------------------------
+
+    def chain_is_refuted(self, chain: GadgetChain) -> bool:
+        """True iff some CALL hop of ``chain`` is provably dead."""
+        for step, next_step in zip(chain.steps, chain.steps[1:]):
+            if step.edge_to_next != "CALL":
+                continue  # ALIAS hops have no call site to judge
+            caller_cls = self.hierarchy.get(step.class_name)
+            if caller_cls is None:
+                continue
+            caller = caller_cls.find_method(step.method_name, step.arity)
+            if caller is None or not caller.has_body:
+                continue
+            if self._hop_is_dead(caller, next_step.method_name, next_step.arity):
+                return True
+        return False
+
+    def refine(
+        self, chains: Sequence[GadgetChain]
+    ) -> Tuple[List[GadgetChain], List[GadgetChain]]:
+        """Partition ``chains`` into (kept, refuted), preserving order."""
+        kept: List[GadgetChain] = []
+        refuted: List[GadgetChain] = []
+        for chain in chains:
+            (refuted if self.chain_is_refuted(chain) else kept).append(chain)
+        return kept, refuted
+
+
+def refine_chains(
+    chains: Sequence[GadgetChain], hierarchy: ClassHierarchy
+) -> Tuple[List[GadgetChain], List[GadgetChain]]:
+    """Convenience wrapper: one-shot (kept, refuted) partition."""
+    return GuardFeasibilityRefiner(hierarchy).refine(chains)

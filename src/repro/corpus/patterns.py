@@ -249,6 +249,9 @@ def plant_guard_decoy(
             c.field("ENABLED", "int", static=True)
 
     def guarded_sink(m: MethodBuilder, payload) -> None:
+        # The constant-false guard is the whole point of the decoy:
+        # suppress the lint rule that (correctly) calls it dead.
+        m.lint_ignore("guard-always-false")
         flag = m.get_static(config, "ENABLED")
         m.if_ne(flag, 0, "fire")
         m.goto("done")

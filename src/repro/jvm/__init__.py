@@ -7,6 +7,7 @@ Public surface:
 * :mod:`repro.jvm.ir` — Jimple-like three-address IR
 * :mod:`repro.jvm.builder` — fluent authoring DSL
 * :mod:`repro.jvm.cfg` — per-method control-flow graphs
+* :mod:`repro.jvm.dataflow` — lattice-based worklist dataflow engine
 * :mod:`repro.jvm.hierarchy` — class-hierarchy analysis
 * :mod:`repro.jvm.jasm` — textual IR (parser/printer)
 * :mod:`repro.jvm.jar` — jar archives of jasm classes
@@ -15,6 +16,16 @@ Public surface:
 
 from repro.jvm.builder import ClassBuilder, MethodBuilder, ProgramBuilder
 from repro.jvm.cfg import ControlFlowGraph, build_cfg
+from repro.jvm.dataflow import (
+    ConstantPropagation,
+    DataflowAnalysis,
+    DataflowResult,
+    Liveness,
+    Nullness,
+    ReachingDefinitions,
+    constant_static_fields,
+    run_analysis,
+)
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.jar import JarArchive, load_classpath, read_jar, write_jar
 from repro.jvm.validate import ValidationIssue, validate_classes
@@ -34,6 +45,14 @@ __all__ = [
     "MethodBuilder",
     "ControlFlowGraph",
     "build_cfg",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "run_analysis",
+    "ReachingDefinitions",
+    "Liveness",
+    "Nullness",
+    "ConstantPropagation",
+    "constant_static_fields",
     "ClassHierarchy",
     "JarArchive",
     "read_jar",

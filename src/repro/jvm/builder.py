@@ -117,6 +117,17 @@ class MethodBuilder:
             )
         return self._params[index - 1]
 
+    def lint_ignore(self, *rules: str) -> "MethodBuilder":
+        """Suppress the given lint rules for this method.
+
+        Corpus decoys that *intend* a weird shape (e.g. a
+        constant-false guard) use this instead of polluting the lint
+        report; the jasm round-trip preserves it as a
+        ``# lint: ignore[rule]`` pragma.
+        """
+        self._method.lint_suppressions.update(rules)
+        return self
+
     # -- statement emitters ------------------------------------------------------
 
     def local(self, name: str) -> ir.Local:
@@ -383,6 +394,11 @@ class ClassBuilder:
     @property
     def name(self) -> str:
         return self._cls.name
+
+    def lint_ignore(self, *rules: str) -> "ClassBuilder":
+        """Suppress the given lint rules for every method of the class."""
+        self._cls.lint_suppressions.update(rules)
+        return self
 
     def field(
         self,

@@ -55,6 +55,17 @@ class ControlFlowGraph:
 
     @property
     def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks with no successors.
+
+        Beware the backward-analysis blind spot: a method that ends in
+        an infinite ``goto`` loop has *no* such block — every block has
+        a successor — so a backward dataflow seeded only from exit
+        blocks would never visit the method.  :mod:`repro.jvm.dataflow`
+        therefore seeds backward worklists with every block (a "virtual
+        exit" convention); any client that iterates from
+        ``exit_blocks`` directly must handle the empty case the same
+        way.
+        """
         return [b for b in self.blocks if not b.successors]
 
     def statements(self) -> Iterator[ir.Statement]:

@@ -103,6 +103,10 @@ class Token:
         return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
 
 
+# ``# lint: ignore[rule, ...]`` comments survive the lexer as pragma
+# tokens; every other comment is discarded.
+_LINT_PRAGMA_RE = re.compile(r"^(?://|\#)\s*lint:\s*ignore\[([^\]]*)\]\s*$")
+
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>[ \t\r]+)
@@ -143,7 +147,12 @@ class Lexer:
             if kind == "nl":
                 line += 1
                 col = 1
-            elif kind in ("ws", "comment"):
+            elif kind == "comment":
+                pragma = _LINT_PRAGMA_RE.match(text)
+                if pragma is not None:
+                    out.append(Token("pragma", pragma.group(1), line, col))
+                col += len(text)
+            elif kind == "ws":
                 col += len(text)
             else:
                 tkind = kind
@@ -159,6 +168,11 @@ class Lexer:
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
+
+
+def _pragma_rules(text: str) -> List[str]:
+    """Rule names from the bracket payload of a lint pragma."""
+    return [rule.strip() for rule in text.split(",") if rule.strip()]
 
 
 class Parser:
@@ -234,7 +248,9 @@ class Parser:
         self._expect("op", "{")
         while not self._accept("op", "}"):
             kw = self._peek()
-            if kw.kind == "kw" and kw.text == "field":
+            if kw.kind == "pragma":
+                cls.lint_suppressions.update(_pragma_rules(self._next().text))
+            elif kw.kind == "kw" and kw.text == "field":
                 self._parse_field(cls)
             elif kw.kind == "kw" and kw.text == "method":
                 self._parse_method(cls, is_interface)
@@ -323,6 +339,9 @@ class Parser:
         self._expect("op", "{")
         body: List[ir.Statement] = []
         while not self._accept("op", "}"):
+            if self._peek().kind == "pragma":
+                method.lint_suppressions.update(_pragma_rules(self._next().text))
+                continue
             body.append(self._parse_statement())
         method.body = body
 
@@ -607,6 +626,8 @@ def dump_class(cls: JavaClass) -> str:
     if cls.interface_names:
         header += " implements " + ", ".join(cls.interface_names)
     lines.append(header + " {")
+    if cls.lint_suppressions:
+        lines.append(f"  # lint: ignore[{', '.join(sorted(cls.lint_suppressions))}]")
     for field in cls.fields.values():
         mods = " ".join(
             n
@@ -630,6 +651,10 @@ def dump_class(cls: JavaClass) -> str:
             lines.append(sig + ";")
             continue
         lines.append(sig + " {")
+        if method.lint_suppressions:
+            lines.append(
+                f"    # lint: ignore[{', '.join(sorted(method.lint_suppressions))}]"
+            )
         for stmt in method.body:
             lines.append(f"    {_fmt_statement(stmt)};")
         lines.append("  }")

@@ -11,7 +11,7 @@ signature, modifiers, and a body of IR statements (see
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.errors import ClassModelError
 from repro.jvm import types as jt
@@ -179,6 +179,10 @@ class JavaMethod:
         self.param_names = tuple(param_names)
         self.body: List["Statement"] = []
         self.owner: Optional["JavaClass"] = None
+        #: lint rule names suppressed for this method (``repro.lint``);
+        #: authored via the builder DSL or a ``# lint: ignore[...]``
+        #: pragma in jasm source.
+        self.lint_suppressions: Set[str] = set()
 
     # -- identity ---------------------------------------------------------
 
@@ -256,6 +260,8 @@ class JavaClass:
         self.methods: Dict[str, JavaMethod] = {}  # keyed by sub_signature
         #: name of the jar archive this class came from, if any
         self.jar_name: Optional[str] = None
+        #: lint rule names suppressed for every method of this class
+        self.lint_suppressions: Set[str] = set()
 
     # -- construction -------------------------------------------------------
 

@@ -1,0 +1,330 @@
+"""IR/corpus linter built on the generic dataflow framework.
+
+``repro.lint`` goes beyond :mod:`repro.jvm.validate` (which checks
+structural well-formedness the way Soot validates Jimple): it runs the
+:mod:`repro.jvm.dataflow` analyses over every method body and reports
+*semantic* authoring defects — unreachable blocks, use of locals that
+may be uninitialised, dead stores, branch guards that constant-fold,
+call-arity and static-field mismatches, and duplicate switch cases.
+
+The linter is the first dataflow client: corpus components are authored
+by hand (via the builder DSL or jasm text) and defects here historically
+surfaced only as mysterious Table IX diffs.  ``tabby lint`` runs it over
+jars or the entire shipped corpus; CI runs it with ``--fail-on-error``.
+
+Suppressions
+------------
+
+A decoy that *intends* a weird shape (e.g. the constant-false guards of
+``plant_guard_decoy``) carries rule names in
+``JavaMethod.lint_suppressions`` / ``JavaClass.lint_suppressions``,
+authored with ``MethodBuilder.lint_ignore(...)`` or an inline
+``# lint: ignore[rule, ...]`` pragma in jasm source.  Suppressed issues
+are still produced (marked ``suppressed=True``) so the CLI can count
+them; only unsuppressed errors fail a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.jvm import dataflow as df
+from repro.jvm import ir
+from repro.jvm.cfg import ControlFlowGraph, build_cfg
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import JavaClass, JavaMethod
+
+__all__ = ["LintIssue", "LINT_RULES", "Linter", "lint_classes"]
+
+
+#: rule name -> (severity, one-line description)
+LINT_RULES: Dict[str, Tuple[str, str]] = {
+    "unreachable-code": (
+        "error",
+        "basic block can never be reached from the method entry",
+    ),
+    "use-before-init": (
+        "error",
+        "local may be read before any assignment on some path",
+    ),
+    "dead-store": (
+        "warning",
+        "assigned local is never read afterwards (side-effect-free rhs)",
+    ),
+    "guard-always-false": (
+        "warning",
+        "branch condition constant-folds to false (guarded code is dead)",
+    ),
+    "guard-always-true": (
+        "warning",
+        "branch condition constant-folds to true (fall-through is dead)",
+    ),
+    "arity-mismatch": (
+        "error",
+        "call does not match any overload of a defined method",
+    ),
+    "bad-static-field-ref": (
+        "error",
+        "static field reference into a defined class that lacks the field",
+    ),
+    "duplicate-switch-case": (
+        "error",
+        "switch statement repeats a case value",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One linter finding."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    class_name: str
+    method_name: str
+    message: str
+    suppressed: bool = False
+
+    def __str__(self) -> str:
+        where = self.class_name
+        if self.method_name:
+            where += f".{self.method_name}"
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"[{self.severity}] {self.rule} {where}: {self.message}{tag}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "class": self.class_name,
+            "method": self.method_name,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+class Linter:
+    """Lints a class set as one program.
+
+    The constant-propagation rules use a whole-program static-field
+    oracle (:func:`repro.jvm.dataflow.constant_static_fields`), so the
+    class set should include every class whose writes matter — for
+    corpus components, the component plus the lang base.
+    """
+
+    def __init__(self, classes: Sequence[JavaClass]):
+        self.classes = list(classes)
+        self.hierarchy = ClassHierarchy(self.classes)
+        self.static_oracle = df.constant_static_fields(self.classes)
+
+    def run(self, only_classes: Optional[Set[str]] = None) -> List[LintIssue]:
+        """Lint every method body; returns all issues, suppressed ones
+        marked.  ``only_classes`` restricts *reporting* (not analysis)
+        to the named classes — used to lint a component against the
+        shared runtime without re-reporting runtime issues."""
+        issues: List[LintIssue] = []
+        for cls in self.classes:
+            if only_classes is not None and cls.name not in only_classes:
+                continue
+            for method in cls.methods.values():
+                if method.has_body:
+                    issues.extend(self._lint_method(cls, method))
+        return issues
+
+    # -- per-method ---------------------------------------------------------
+
+    def _lint_method(self, cls: JavaClass, method: JavaMethod) -> List[LintIssue]:
+        raw: List[Tuple[str, str]] = []  # (rule, message)
+
+        cfg = build_cfg(method)
+        if not cfg.blocks:
+            return []
+
+        reachable = self._cfg_reachable(cfg)
+        raw.extend(self._check_unreachable(cfg, reachable))
+        raw.extend(self._check_use_before_init(cfg, reachable))
+        raw.extend(self._check_dead_stores(cfg, reachable))
+        raw.extend(self._check_guards(cfg))
+        raw.extend(self._check_statements(method))
+
+        suppressions = method.lint_suppressions | cls.lint_suppressions
+        issues = []
+        for rule, message in raw:
+            severity = LINT_RULES[rule][0]
+            issues.append(
+                LintIssue(
+                    rule,
+                    severity,
+                    cls.name,
+                    method.name,
+                    message,
+                    suppressed=rule in suppressions,
+                )
+            )
+        return issues
+
+    @staticmethod
+    def _cfg_reachable(cfg: ControlFlowGraph) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [cfg.blocks[0]]
+        while stack:
+            block = stack.pop()
+            if block.index in seen:
+                continue
+            seen.add(block.index)
+            stack.extend(block.successors)
+        return seen
+
+    def _check_unreachable(self, cfg, reachable) -> List[Tuple[str, str]]:
+        out = []
+        for block in cfg.blocks:
+            if block.index not in reachable:
+                out.append(
+                    (
+                        "unreachable-code",
+                        f"block {block.index} starting at `{block.first}` is "
+                        "unreachable",
+                    )
+                )
+        return out
+
+    def _check_use_before_init(self, cfg, reachable) -> List[Tuple[str, str]]:
+        result = df.run_analysis(cfg, df.Nullness())
+        out = []
+        flagged: Set[str] = set()
+        for block in cfg.blocks:
+            if block.index not in reachable:
+                continue
+            for stmt, before, _after in result.statement_states(block):
+                for name in df.statement_uses(stmt):
+                    if name in flagged:
+                        continue
+                    fact = before.get(name)
+                    if fact is None:
+                        flagged.add(name)
+                        out.append(
+                            (
+                                "use-before-init",
+                                f"local `{name}` read in `{stmt}` but never "
+                                "assigned on any path",
+                            )
+                        )
+                    elif not fact.definite:
+                        flagged.add(name)
+                        out.append(
+                            (
+                                "use-before-init",
+                                f"local `{name}` read in `{stmt}` may be "
+                                "uninitialised on some path",
+                            )
+                        )
+        return out
+
+    def _check_dead_stores(self, cfg, reachable) -> List[Tuple[str, str]]:
+        result = df.run_analysis(cfg, df.Liveness())
+        out = []
+        for block in cfg.blocks:
+            if block.index not in reachable:
+                continue
+            for stmt, _before, after in result.statement_states(block):
+                if not isinstance(stmt, ir.AssignStmt):
+                    continue
+                if not isinstance(stmt.target, ir.Local):
+                    continue
+                if isinstance(stmt.rhs, ir.InvokeExpr):
+                    continue  # the call's side effect keeps the store
+                if stmt.target.name not in after:
+                    out.append(
+                        (
+                            "dead-store",
+                            f"`{stmt}` assigns a local that is never read",
+                        )
+                    )
+        return out
+
+    def _check_guards(self, cfg) -> List[Tuple[str, str]]:
+        analysis = df.ConstantPropagation(static_oracle=self.static_oracle)
+        df.run_analysis(cfg, analysis)
+        out = []
+        for block_index in sorted(analysis.branch_verdicts):
+            verdict = analysis.branch_verdicts[block_index]
+            stmt = cfg.blocks[block_index].last
+            out.append(
+                (
+                    f"guard-{verdict}",
+                    f"`{stmt}` is {verdict.replace('-', ' ')} "
+                    "(condition folds to a constant)",
+                )
+            )
+        return out
+
+    def _check_statements(self, method: JavaMethod) -> List[Tuple[str, str]]:
+        out = []
+        for stmt in method.body:
+            invoke = stmt.invoke_expr()
+            if invoke is not None and invoke.kind != ir.InvokeKind.DYNAMIC:
+                if self.hierarchy.get(invoke.class_name) is not None:
+                    resolved = self.hierarchy.resolve_method(
+                        invoke.class_name, invoke.method_name, invoke.arity
+                    )
+                    if resolved is None and self._any_arity(
+                        invoke.class_name, invoke.method_name
+                    ):
+                        out.append(
+                            (
+                                "arity-mismatch",
+                                f"call to {invoke.class_name}."
+                                f"{invoke.method_name} with {invoke.arity} "
+                                "argument(s) matches no overload",
+                            )
+                        )
+            if isinstance(stmt, ir.AssignStmt):
+                for value in (stmt.target, stmt.rhs):
+                    if isinstance(value, ir.StaticFieldRef):
+                        if (
+                            self.hierarchy.get(value.class_name) is not None
+                            and not self._field_exists(
+                                value.class_name, value.field_name
+                            )
+                        ):
+                            out.append(
+                                (
+                                    "bad-static-field-ref",
+                                    f"static field {value.class_name}."
+                                    f"{value.field_name} is not declared",
+                                )
+                            )
+            if isinstance(stmt, ir.SwitchStmt):
+                seen: Set[int] = set()
+                for value, _label in stmt.cases:
+                    if value in seen:
+                        out.append(
+                            (
+                                "duplicate-switch-case",
+                                f"`{stmt}` repeats case value {value}",
+                            )
+                        )
+                    seen.add(value)
+        return out
+
+    def _any_arity(self, class_name: str, method_name: str) -> bool:
+        for name in (class_name,) + self.hierarchy.supertypes(class_name):
+            cls = self.hierarchy.get(name)
+            if cls is not None and cls.find_method(method_name) is not None:
+                return True
+        return False
+
+    def _field_exists(self, class_name: str, field_name: str) -> bool:
+        for name in (class_name,) + self.hierarchy.supertypes(class_name):
+            cls = self.hierarchy.get(name)
+            if cls is not None and cls.field(field_name) is not None:
+                return True
+        return False
+
+
+def lint_classes(
+    classes: Sequence[JavaClass], only_classes: Optional[Set[str]] = None
+) -> List[LintIssue]:
+    """Convenience wrapper: lint ``classes`` as one program."""
+    return Linter(classes).run(only_classes=only_classes)

@@ -1,0 +1,108 @@
+"""Tests for the CPG structural verifier (repro.core.cpg_check)."""
+
+import pytest
+
+from repro.core import Tabby, verify_cpg
+from repro.core.cpg import ALIAS, CALL, HAS, METHOD_LABEL
+from repro.corpus import COMPONENT_NAMES, build_component, build_lang_base
+
+
+def _component_cpg(name="BeanShell1"):
+    spec = build_component(name)
+    tabby = Tabby().add_classes(build_lang_base() + spec.classes)
+    return tabby, tabby.build_cpg()
+
+
+@pytest.fixture()
+def cpg():
+    return _component_cpg()[1]
+
+
+class TestCleanGraphs:
+    def test_component_cpg_verifies(self):
+        tabby, _ = _component_cpg()
+        assert tabby.check_cpg() == []
+
+    def test_all_components_verify(self):
+        for name in COMPONENT_NAMES:
+            _, cpg = _component_cpg(name)
+            issues = verify_cpg(cpg)
+            assert issues == [], f"{name}: {[str(i) for i in issues]}"
+
+
+class TestCorruptions:
+    def _checks(self, cpg):
+        return {issue.check for issue in verify_cpg(cpg)}
+
+    def test_wrong_pp_length_is_caught(self, cpg):
+        rel = next(iter(cpg.graph.relationships(CALL)))
+        pp = list(rel.get("POLLUTED_POSITION"))
+        cpg.graph.set_relationship_property(rel, "POLLUTED_POSITION", pp + [0])
+        assert "call-pp-arity" in self._checks(cpg)
+
+    def test_missing_pp_is_caught(self, cpg):
+        rel = next(iter(cpg.graph.relationships(CALL)))
+        del rel.properties["POLLUTED_POSITION"]
+        assert "call-pp-arity" in self._checks(cpg)
+
+    def test_bogus_alias_edge_is_caught(self, cpg):
+        # wire an ALIAS edge between two methods with different names —
+        # not an override pair
+        methods = list(cpg.graph.nodes(METHOD_LABEL))
+        a = next(m for m in methods if m.get("NAME") == "readObject")
+        b = next(m for m in methods if m.get("NAME") != "readObject")
+        cpg.graph.create_relationship(ALIAS, a, b)
+        assert "alias-override" in self._checks(cpg)
+
+    def test_alias_between_unrelated_classes_is_caught(self, cpg):
+        # same name and arity but the target class is not a supertype
+        methods = [
+            m for m in cpg.graph.nodes(METHOD_LABEL)
+            if m.get("NAME") == "readObject" and m.get("ARITY") == 1
+        ]
+        a, b = None, None
+        for x in methods:
+            for y in methods:
+                if x.get("CLASSNAME") != y.get("CLASSNAME"):
+                    hierarchy = cpg.hierarchy
+                    if y.get("CLASSNAME") not in hierarchy.supertypes(
+                        x.get("CLASSNAME")
+                    ):
+                        a, b = x, y
+                        break
+            if a is not None:
+                break
+        assert a is not None, "component has two unrelated readObject methods"
+        cpg.graph.create_relationship(ALIAS, a, b)
+        assert "alias-override" in self._checks(cpg)
+
+    def test_stripped_trigger_condition_is_caught(self, cpg):
+        sink = cpg.sink_nodes()[0]
+        cpg.graph.set_node_property(sink, "TRIGGER_CONDITION", [])
+        assert "sink-metadata" in self._checks(cpg)
+
+    def test_orphaned_method_is_caught(self, cpg):
+        method = next(
+            m for m in cpg.graph.nodes(METHOD_LABEL) if not m.get("IS_PHANTOM")
+        )
+        for rel in list(cpg.graph.in_relationships(method, HAS)):
+            cpg.graph.delete_relationship(rel)
+        assert "method-ownership" in self._checks(cpg)
+
+    def test_dangling_relationship_is_caught(self, cpg):
+        rel = next(iter(cpg.graph.relationships(CALL)))
+        # surgically drop the end node from the store, leaving the edge
+        end = cpg.graph.node(rel.end_id)
+        for attached in list(cpg.graph.relationships_of(end)):
+            if attached.id != rel.id:
+                cpg.graph.delete_relationship(attached)
+        cpg.graph.indexes.unindex_node(end)
+        del cpg.graph._nodes[end.id]
+        assert "dangling-ref" in self._checks(cpg)
+
+    def test_issue_rendering(self, cpg):
+        rel = next(iter(cpg.graph.relationships(CALL)))
+        del rel.properties["POLLUTED_POSITION"]
+        issue = verify_cpg(cpg)[0]
+        assert str(issue).startswith("[call-pp-arity]")
+        assert issue.to_dict()["check"] == "call-pp-arity"

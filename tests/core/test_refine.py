@@ -1,0 +1,142 @@
+"""Tests for the opt-in guard-feasibility chain refinement.
+
+The acceptance property: with refinement OFF the chain list is
+bit-identical to the baseline pipeline; with it ON, planted
+constant-guard decoys are refuted (FPR strictly drops) while every true
+chain — known or unknown-but-effective — survives (FNR unchanged).
+"""
+
+from repro.bench.tables import run_table_ix_component
+from repro.core import Tabby
+from repro.core.chains import ChainStep, GadgetChain
+from repro.core.refine import GuardFeasibilityRefiner, refine_chains
+from repro.corpus import build_component, build_lang_base
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+
+
+def _guarded_program():
+    """A.m calls B.hit behind `if (Config.ENABLED != 0)`, which the
+    static-field oracle pins to false; A.open calls B.hit behind a
+    parameter-dependent guard."""
+    pb = ProgramBuilder()
+    with pb.cls("t.Config") as c:
+        c.field("ENABLED", "int", static=True)
+    with pb.cls("t.B") as c:
+        with c.method("hit") as m:
+            m.ret()
+    with pb.cls("t.A") as c:
+        with c.method("m") as m:
+            g = m.get_static("t.Config", "ENABLED")
+            cmp = m.binop("!=", g, 0)
+            m.iff(cmp, "fire")
+            m.goto("end")
+            m.label("fire")
+            b = m.new("t.B")
+            m.invoke(b, "t.B", "hit")
+            m.label("end")
+            m.ret()
+        with c.method("open", params=["int"], param_names=["p"]) as m:
+            m.if_ne(m.param(1), 0, "fire")
+            m.goto("end")
+            m.label("fire")
+            b = m.new("t.B")
+            m.invoke(b, "t.B", "hit")
+            m.label("end")
+            m.ret()
+    return pb.build()
+
+
+def _chain(caller_method):
+    return GadgetChain(
+        [
+            ChainStep("t.A", caller_method, 1 if caller_method == "open" else 0,
+                      "CALL"),
+            ChainStep("t.B", "hit", 0, ""),
+        ],
+        sink_category="CODE",
+    )
+
+
+class TestRefinerUnit:
+    def test_constant_guard_hop_is_refuted(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        assert refiner.chain_is_refuted(_chain("m"))
+
+    def test_param_guard_hop_is_kept(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        assert not refiner.chain_is_refuted(_chain("open"))
+
+    def test_alias_hop_is_never_refuted(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        chain = GadgetChain(
+            [ChainStep("t.A", "m", 0, "ALIAS"), ChainStep("t.B", "hit", 0, "")],
+        )
+        assert not refiner.chain_is_refuted(chain)
+
+    def test_missing_caller_is_kept(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        chain = GadgetChain(
+            [ChainStep("x.Nope", "m", 0, "CALL"), ChainStep("t.B", "hit", 0, "")],
+        )
+        assert not refiner.chain_is_refuted(chain)
+
+    def test_no_matching_site_is_kept(self):
+        # hop names a callee A's body never invokes — conservatively kept
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        chain = GadgetChain(
+            [ChainStep("t.A", "m", 0, "CALL"),
+             ChainStep("t.B", "other", 0, "")],
+        )
+        assert not refiner.chain_is_refuted(chain)
+
+    def test_refine_partition_preserves_order(self):
+        classes = _guarded_program()
+        chains = [_chain("open"), _chain("m"), _chain("open")]
+        kept, refuted = refine_chains(chains, ClassHierarchy(classes))
+        assert kept == [chains[0], chains[2]]
+        assert refuted == [chains[1]]
+
+
+class TestComponentRefinement:
+    COMPONENT = "commons-collections(3.2.1)"
+
+    def test_off_is_bit_identical(self):
+        spec = build_component(self.COMPONENT)
+        classes = build_lang_base() + spec.classes
+        baseline = Tabby().add_classes(classes).find_gadget_chains()
+        again = Tabby().add_classes(classes).find_gadget_chains(
+            refine_guards=False
+        )
+        assert [c.key for c in baseline] == [c.key for c in again]
+
+    def test_on_refutes_decoys_and_loses_no_true_chain(self):
+        spec = build_component(self.COMPONENT)
+        classes = build_lang_base() + spec.classes
+        tabby = Tabby().add_classes(classes)
+        baseline = tabby.find_gadget_chains()
+        refined = tabby.find_gadget_chains(refine_guards=True)
+        refuted = tabby.last_refuted
+        assert len(refuted) >= 1
+        assert len(refined) + len(refuted) == len(baseline)
+        # every known (true) chain survives refinement
+        known_base = {spec.match_known(c) for c in baseline} - {None}
+        known_refined = {spec.match_known(c) for c in refined} - {None}
+        assert known_base == known_refined
+
+    def test_table_ix_fpr_drops_fnr_unchanged(self):
+        result = run_table_ix_component(self.COMPONENT, refine_guards=True)
+        base, refined = result.tabby, result.tabby_refined
+        assert refined is not None
+        assert refined.fake_count < base.fake_count       # FPR strictly drops
+        assert refined.known_found == base.known_found    # FNR unchanged
+        assert refined.unknown_count == base.unknown_count  # no effective lost
+        assert refined.result_count < base.result_count
+
+    def test_table_ix_baseline_columns_unchanged(self):
+        plain = run_table_ix_component(self.COMPONENT)
+        with_flag = run_table_ix_component(self.COMPONENT, refine_guards=True)
+        assert plain.tabby_refined is None
+        for attr in ("result_count", "fake_count", "known_found",
+                     "unknown_count"):
+            assert getattr(plain.tabby, attr) == getattr(with_flag.tabby, attr)

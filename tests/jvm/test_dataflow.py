@@ -1,0 +1,343 @@
+"""Tests for the generic dataflow engine and its four analyses.
+
+Every fixpoint asserted here was computed by hand on the corresponding
+small CFG; see each test's comment for the derivation.
+"""
+
+import pytest
+
+from repro.jvm import dataflow as df
+from repro.jvm import ir
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.cfg import build_cfg
+
+
+def _method(name, build, params=(), returns="void", static=True, param_names=None):
+    pb = ProgramBuilder()
+    with pb.cls("t.T") as c:
+        with c.method(
+            name, params=params, returns=returns, static=static,
+            param_names=param_names,
+        ) as m:
+            build(m)
+    cls = pb.build()[0]
+    return cls.find_method(name)
+
+
+def _block(cfg, label):
+    """The basic block whose leader carries ``label``."""
+    for block in cfg.blocks:
+        if block.statements and block.statements[0].label == label:
+            return block
+    raise AssertionError(f"no block labelled {label}")
+
+
+class TestUseDefHelpers:
+    def test_statement_def(self):
+        assert df.statement_def(ir.AssignStmt(ir.Local("x"), ir.IntConst(1))) == "x"
+        assert df.statement_def(ir.IdentityStmt(ir.Local("p"), ir.ParamRef(1))) == "p"
+        # a field store defines no local
+        ref = ir.InstanceFieldRef(ir.Local("o"), "f")
+        assert df.statement_def(ir.AssignStmt(ref, ir.Local("x"))) is None
+
+    def test_statement_uses(self):
+        ref = ir.InstanceFieldRef(ir.Local("o"), "f")
+        stmt = ir.AssignStmt(ref, ir.Local("x"))
+        assert df.statement_uses(stmt) == ("o", "x")
+        assert df.statement_uses(ir.ReturnStmt(ir.Local("r"))) == ("r",)
+        assert df.statement_uses(ir.GotoStmt("l")) == ()
+
+
+class TestReachingDefinitions:
+    def test_branch_join_merges_both_definitions(self):
+        # x = 1; if (p != 0) x = 2; return x
+        # At the join block both definitions of x reach.
+        def build(m):
+            m.assign(m.local("x"), 1)
+            m.if_ne(m.param(1), 0, "redef")
+            m.goto("end")
+            m.label("redef")
+            m.assign(m.local("x"), 2)
+            m.label("end")
+            m.ret(m.local("x"))
+
+        method = _method("f", build, params=["int"], returns="int",
+                         param_names=["p"])
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.ReachingDefinitions())
+        end = _block(cfg, "end")
+        x_defs = {d for d in result.block_in[end.index] if d[0] == "x"}
+        assert len(x_defs) == 2
+
+    def test_redefinition_kills(self):
+        # straight-line x = 1; x = 2; return x — only the second def
+        # reaches the return.
+        def build(m):
+            m.assign(m.local("x"), 1)
+            m.assign(m.local("x"), 2)
+            m.ret(m.local("x"))
+
+        method = _method("f", build, returns="int")
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.ReachingDefinitions())
+        (block,) = cfg.blocks
+        triples = result.statement_states(block)
+        ret_stmt, before, _ = triples[-1]
+        assert isinstance(ret_stmt, ir.ReturnStmt)
+        x_defs = {d for d in before if d[0] == "x"}
+        assert len(x_defs) == 1
+
+
+class TestLiveness:
+    def test_loop_fixpoint(self):
+        # s = 0; while (n > 0) { s = s + n; n = n - 1 } return s
+        # At the loop head both s and n are live (s flows to the return,
+        # n to the condition and the body).
+        def build(m):
+            m.assign(m.local("s"), 0)
+            m.label("head")
+            c = m.binop(">", m.param(1), 0)
+            m.iff(c, "body")
+            m.goto("end")
+            m.label("body")
+            m.assign(m.local("s"), ir.BinOpExpr("+", m.local("s"), m.param(1)))
+            m.assign(m.param(1), ir.BinOpExpr("-", m.param(1), ir.IntConst(1)))
+            m.goto("head")
+            m.label("end")
+            m.ret(m.local("s"))
+
+        method = _method("f", build, params=["int"], returns="int",
+                         param_names=["n"])
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.Liveness())
+        head = _block(cfg, "head")
+        assert {"s", "n"} <= result.block_in[head.index]
+        end = _block(cfg, "end")
+        assert result.block_in[end.index] == frozenset({"s"})
+
+    def test_infinite_goto_loop_regression(self):
+        # spin: y = x + 1; goto spin — the CFG has *no* exit blocks, the
+        # historical blind spot of exit-seeded backward analyses.  The
+        # virtual-exit convention still visits every block: x is live at
+        # the loop head (read each iteration), y is not (never read).
+        def build(m):
+            m.label("spin")
+            m.assign(m.local("y"), ir.BinOpExpr("+", m.param(1), ir.IntConst(1)))
+            m.goto("spin")
+
+        method = _method("f", build, params=["int"], param_names=["x"])
+        cfg = build_cfg(method)
+        assert cfg.exit_blocks == []  # the blind spot exists
+        result = df.run_analysis(cfg, df.Liveness())
+        spin = _block(cfg, "spin")
+        assert "x" in result.block_in[spin.index]
+        assert "y" not in result.block_in[spin.index]
+
+
+class TestNullness:
+    def test_partial_assignment_at_join(self):
+        # v assigned only on the taken branch: at the join it is present
+        # but not definite.  w assigned before the branch stays definite.
+        def build(m):
+            m.assign(m.local("w"), 7)
+            m.if_ne(m.param(1), 0, "set")
+            m.goto("end")
+            m.label("set")
+            m.assign(m.local("v"), 42)
+            m.label("end")
+            m.ret()
+
+        method = _method("f", build, params=["int"], param_names=["p"])
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.Nullness())
+        end = _block(cfg, "end")
+        state = result.block_in[end.index]
+        assert state["w"].definite
+        assert not state["v"].definite
+
+    def test_nullness_tags(self):
+        # a = null (null), b = new (nonnull), c = a (copies null),
+        # joined with c = b on the other branch -> maybe.
+        def build(m):
+            m.assign(m.local("a"), ir.NullConst())
+            b = m.new("java.lang.Object")
+            m.if_ne(m.param(1), 0, "other")
+            m.assign(m.local("c"), m.local("a"))
+            m.goto("end")
+            m.label("other")
+            m.assign(m.local("c"), b)
+            m.label("end")
+            m.ret()
+
+        method = _method("f", build, params=["int"], param_names=["p"])
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.Nullness())
+        end = _block(cfg, "end")
+        state = result.block_in[end.index]
+        assert state["a"].nullness == df.NullnessFact.NULL
+        assert state["c"].nullness == df.NullnessFact.MAYBE
+        assert state["c"].definite  # assigned on both paths
+
+
+class TestConstantPropagation:
+    def test_fold_binop(self):
+        one, zero = df.const_int(1), df.const_int(0)
+        assert df._fold_binop("+", df.const_int(2), df.const_int(3)) == df.const_int(5)
+        # Java division truncates toward zero
+        assert df._fold_binop("/", df.const_int(-7), df.const_int(2)) == df.const_int(-3)
+        assert df._fold_binop("/", one, zero) is df.NONCONST
+        assert df._fold_binop("==", df.const_str("a"), df.const_str("a")) == one
+        assert df._fold_binop("!=", df.const_null(), df.const_str("a")) == one
+        # UNDEF propagates unless the other side is NONCONST
+        assert df._fold_binop("+", None, one) is None
+        assert df._fold_binop("+", None, df.NONCONST) is df.NONCONST
+
+    def test_switch_constant_key_prunes_arms(self):
+        # k = 2 -> only the case-2 arm is feasible; r is exactly 2 at
+        # the join since the other arms contribute nothing.
+        def build(m):
+            m.assign(m.local("k"), 2)
+            m.switch(m.local("k"), [(1, "one"), (2, "two")], "dft")
+            m.label("one")
+            m.assign(m.local("r"), 1)
+            m.goto("end")
+            m.label("two")
+            m.assign(m.local("r"), 2)
+            m.goto("end")
+            m.label("dft")
+            m.assign(m.local("r"), 0)
+            m.label("end")
+            m.ret(m.local("r"))
+
+        method = _method("f", build, returns="int")
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.ConstantPropagation())
+        assert _block(cfg, "one").index not in result.reached
+        assert _block(cfg, "dft").index not in result.reached
+        end = _block(cfg, "end")
+        assert result.block_in[end.index]["r"] == df.const_int(2)
+
+    def test_guard_always_false_with_static_oracle(self):
+        # Config.ENABLED is never written and Config has no <clinit>, so
+        # the oracle pins it to 0 and `if (ENABLED != 0)` folds false:
+        # the guarded block is unreached.
+        pb = ProgramBuilder()
+        with pb.cls("t.Config") as c:
+            c.field("ENABLED", "int", static=True)
+        with pb.cls("t.T") as c:
+            with c.method("m") as m:
+                g = m.get_static("t.Config", "ENABLED")
+                cmp = m.binop("!=", g, 0)
+                m.iff(cmp, "fire")
+                m.goto("end")
+                m.label("fire")
+                m.assign(m.local("x"), 1)
+                m.label("end")
+                m.ret()
+        classes = pb.build()
+        oracle = df.constant_static_fields(classes)
+        assert oracle[("t.Config", "ENABLED")] == df.const_int(0)
+        method = next(c for c in classes if c.name == "t.T").find_method("m")
+        cfg = build_cfg(method)
+        analysis = df.ConstantPropagation(static_oracle=oracle)
+        result = df.run_analysis(cfg, analysis)
+        assert "always-false" in analysis.branch_verdicts.values()
+        assert _block(cfg, "fire").index not in result.reached
+
+    def test_guard_always_true(self):
+        def build(m):
+            c = m.binop("==", 1, 1)
+            m.iff(c, "yes")
+            m.assign(m.local("dead"), 0)
+            m.label("yes")
+            m.ret()
+
+        method = _method("f", build)
+        cfg = build_cfg(method)
+        analysis = df.ConstantPropagation()
+        result = df.run_analysis(cfg, analysis)
+        assert "always-true" in analysis.branch_verdicts.values()
+        # the fall-through block holding the dead store is unreached
+        dead = next(
+            b for b in cfg.blocks
+            if any(df.statement_def(s) == "dead" for s in b.statements)
+        )
+        assert dead.index not in result.reached
+
+    def test_oracle_excludes_written_and_clinit_fields(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.Written") as c:
+            c.field("F", "int", static=True)
+            with c.method("w", static=True) as m:
+                m.set_static("t.Written", "F", 5)
+        with pb.cls("t.Clinit") as c:
+            c.field("G", "int", static=True)
+            with c.method("<clinit>", static=True) as m:
+                m.ret()
+        classes = pb.build()
+        oracle = df.constant_static_fields(classes)
+        assert ("t.Written", "F") not in oracle
+        assert ("t.Clinit", "G") not in oracle
+
+
+class TestDeterminism:
+    def _loop_method(self):
+        def build(m):
+            m.assign(m.local("s"), 0)
+            m.label("head")
+            c = m.binop(">", m.param(1), 0)
+            m.iff(c, "body")
+            m.goto("end")
+            m.label("body")
+            m.assign(m.local("s"), ir.BinOpExpr("+", m.local("s"), m.param(1)))
+            m.assign(m.param(1), ir.BinOpExpr("-", m.param(1), ir.IntConst(1)))
+            m.goto("head")
+            m.label("end")
+            m.ret(m.local("s"))
+
+        return _method("f", build, params=["int"], returns="int",
+                       param_names=["n"])
+
+    @pytest.mark.parametrize(
+        "make", [df.ReachingDefinitions, df.Liveness, df.Nullness,
+                 df.ConstantPropagation],
+        ids=["rd", "live", "null", "const"],
+    )
+    def test_two_runs_identical(self, make):
+        method = self._loop_method()
+        cfg = build_cfg(method)
+        r1 = df.run_analysis(cfg, make())
+        r2 = df.run_analysis(cfg, make())
+        assert r1.block_in == r2.block_in
+        assert r1.block_out == r2.block_out
+        assert r1.reached == r2.reached
+
+
+class TestEngineEdgeCases:
+    def test_empty_body_method(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.I", interface=True) as c:
+            c.abstract_method("m")
+        cls = pb.build()[0]
+        method = cls.find_method("m")
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.Liveness())
+        assert result.reached == frozenset()
+
+    def test_statement_states_backward_program_order(self):
+        def build(m):
+            m.assign(m.local("a"), 1)
+            m.ret(m.local("a"))
+
+        method = _method("f", build, returns="int")
+        cfg = build_cfg(method)
+        result = df.run_analysis(cfg, df.Liveness())
+        (block,) = cfg.blocks
+        triples = result.statement_states(block)
+        assert [type(s).__name__ for s, _, _ in triples] == [
+            "AssignStmt", "ReturnStmt",
+        ]
+        assign_stmt, before, after = triples[0]
+        # a is live *after* the assignment (the return reads it), not
+        # before it.
+        assert "a" in after and "a" not in before

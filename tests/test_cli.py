@@ -133,6 +133,78 @@ class TestValidateFlag:
         assert "validation:" in out
 
 
+class TestCheckCpgFlag:
+    def test_analyze_check_cpg(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "c.cpg.json.gz")
+        assert main(["analyze", jar_dir, "-o", cpg, "--check-cpg"]) == 0
+        assert "all invariants hold" in capsys.readouterr().err
+
+    def test_chains_check_cpg(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--check-cpg"]) == 0
+        captured = capsys.readouterr()
+        assert "all invariants hold" in captured.err
+        assert "gadget chain(s) found" in captured.out
+
+
+class TestRefineGuardsFlag:
+    def test_chains_refine_guards(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--refine-guards"]) == 0
+        captured = capsys.readouterr()
+        assert "chain(s) refuted" in captured.err
+        assert "gadget chain(s) found" in captured.out
+
+    def test_bench_table9_refine_guards(self, capsys):
+        assert main([
+            "bench", "table9", "--components", "BeanShell1", "--refine-guards",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "with --refine-guards:" in out
+        assert "chain(s) refuted" in out
+
+    def test_bench_table9_without_flag_has_no_refined_row(self, capsys):
+        assert main(["bench", "table9", "--components", "BeanShell1"]) == 0
+        assert "with --refine-guards:" not in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_lint_jars(self, jar_dir, capsys):
+        assert main(["lint", jar_dir]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" in out and "error(s)" in out
+
+    def test_lint_corpus_has_no_unsuppressed_errors(self, capsys):
+        assert main(["lint", "--corpus", "--fail-on-error"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines()[-1].startswith("lint: 0 error(s)")
+
+    def test_lint_json(self, jar_dir, capsys):
+        assert main(["lint", jar_dir, "--json"]) == 0
+        issues = json.loads(capsys.readouterr().out)
+        for issue in issues:
+            assert {"rule", "severity", "class", "method", "message",
+                    "suppressed"} <= set(issue)
+
+    def test_lint_fail_on_error_exit_code(self, tmp_path, capsys):
+        # author a defective class, write it as a jar, expect exit 1
+        from repro.jvm.builder import ProgramBuilder
+        from repro.jvm.jar import JarArchive, write_jar
+
+        pb = ProgramBuilder()
+        with pb.cls("bad.T") as c:
+            with c.method("m") as m:
+                m.assign(m.local("u"), m.local("ghost"))
+        jar = str(tmp_path / "bad.jar")
+        write_jar(JarArchive("bad", pb.build()), jar)
+        assert main(["lint", jar, "--fail-on-error"]) == 1
+        assert main(["lint", jar]) == 0  # without the flag: report only
+        out = capsys.readouterr().out
+        assert "use-before-init" in out
+
+    def test_lint_requires_input(self, capsys):
+        assert main(["lint"]) == 2
+        assert "provide jar paths or --corpus" in capsys.readouterr().err
+
+
 class TestBenchTables:
     def test_table10(self, capsys):
         assert main(["bench", "table10"]) == 0

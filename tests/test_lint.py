@@ -1,0 +1,263 @@
+"""Tests for the dataflow-based linter (repro.lint)."""
+
+from repro.corpus import COMPONENT_NAMES, build_component, build_lang_base
+from repro.jvm import jasm
+from repro.jvm.builder import ProgramBuilder
+from repro.lint import LINT_RULES, lint_classes
+
+
+def _rules(issues, suppressed=None):
+    out = []
+    for i in issues:
+        if suppressed is None or i.suppressed == suppressed:
+            out.append(i.rule)
+    return out
+
+
+def _single_method(build):
+    pb = ProgramBuilder()
+    with pb.cls("t.T") as c:
+        with c.method("m") as m:
+            build(m)
+    return pb.build()
+
+
+class TestRules:
+    def test_unreachable_code(self):
+        def build(m):
+            m.goto("end")
+            m.assign(m.local("x"), 1)
+            m.label("end")
+            m.ret()
+
+        issues = lint_classes(_single_method(build))
+        assert "unreachable-code" in _rules(issues)
+
+    def test_use_before_init_partial(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.T") as c:
+            with c.method("m", params=["int"], param_names=["p"]) as m:
+                m.if_ne(m.param(1), 0, "set")
+                m.goto("end")
+                m.label("set")
+                m.assign(m.local("v"), 1)
+                m.label("end")
+                m.assign(m.local("u"), m.local("v"))
+        issues = lint_classes(pb.build())
+        msgs = [i.message for i in issues if i.rule == "use-before-init"]
+        assert any("`v`" in msg and "some path" in msg for msg in msgs)
+
+    def test_use_before_init_never_assigned(self):
+        def build(m):
+            m.assign(m.local("u"), m.local("ghost"))
+
+        issues = lint_classes(_single_method(build))
+        msgs = [i.message for i in issues if i.rule == "use-before-init"]
+        assert any("`ghost`" in msg and "any path" in msg for msg in msgs)
+
+    def test_dead_store(self):
+        def build(m):
+            m.assign(m.local("d"), 5)
+            m.ret()
+
+        issues = lint_classes(_single_method(build))
+        assert "dead-store" in _rules(issues)
+
+    def test_call_rhs_is_not_a_dead_store(self):
+        # the invoke's side effect keeps the store alive
+        def build(m):
+            m.invoke_static("t.T", "m", returns="int")
+            m.ret()
+
+        issues = lint_classes(_single_method(build))
+        assert "dead-store" not in _rules(issues)
+
+    def test_guard_always_false(self):
+        def build(m):
+            c = m.binop("!=", 0, 0)
+            m.iff(c, "fire")
+            m.goto("end")
+            m.label("fire")
+            m.nop()
+            m.label("end")
+            m.ret()
+
+        issues = lint_classes(_single_method(build))
+        assert "guard-always-false" in _rules(issues)
+
+    def test_guard_always_true(self):
+        def build(m):
+            c = m.binop("==", 1, 1)
+            m.iff(c, "end")
+            m.nop()
+            m.label("end")
+            m.ret()
+
+        issues = lint_classes(_single_method(build))
+        assert "guard-always-true" in _rules(issues)
+
+    def test_param_dependent_guard_is_clean(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.T") as c:
+            with c.method("m", params=["int"], param_names=["p"]) as m:
+                m.if_ne(m.param(1), 0, "end")
+                m.nop()
+                m.label("end")
+                m.ret()
+        issues = lint_classes(pb.build())
+        assert not [i for i in issues if i.rule.startswith("guard-")]
+
+    def test_arity_mismatch(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.A") as c:
+            with c.method("foo", params=["int"]) as m:
+                m.ret()
+        with pb.cls("t.T") as c:
+            with c.method("m") as m:
+                a = m.new("t.A")
+                m.invoke(a, "t.A", "foo")  # zero args, foo wants one
+        issues = lint_classes(pb.build())
+        assert "arity-mismatch" in _rules(issues)
+
+    def test_call_into_undefined_class_is_not_flagged(self):
+        def build(m):
+            o = m.new("ext.Unknown")
+            m.invoke(o, "ext.Unknown", "anything")
+
+        issues = lint_classes(_single_method(build))
+        assert "arity-mismatch" not in _rules(issues)
+
+    def test_bad_static_field_ref(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.A") as c:
+            c.field("REAL", "int", static=True)
+        with pb.cls("t.T") as c:
+            with c.method("m") as m:
+                m.get_static("t.A", "MISSING")
+                m.ret()
+        issues = lint_classes(pb.build())
+        assert "bad-static-field-ref" in _rules(issues)
+
+    def test_duplicate_switch_case(self):
+        def build(m):
+            m.assign(m.local("k"), 1)
+            m.switch(m.local("k"), [(1, "a"), (1, "b")], "d")
+            m.label("a")
+            m.goto("d")
+            m.label("b")
+            m.goto("d")
+            m.label("d")
+            m.ret()
+
+        issues = lint_classes(_single_method(build))
+        assert "duplicate-switch-case" in _rules(issues)
+
+    def test_severities_match_registry(self):
+        def build(m):
+            m.assign(m.local("d"), 5)
+            m.ret()
+
+        for issue in lint_classes(_single_method(build)):
+            assert issue.severity == LINT_RULES[issue.rule][0]
+
+
+class TestSuppression:
+    def _decoy_classes(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.T") as c:
+            with c.method("m") as m:
+                m.lint_ignore("dead-store")
+                m.assign(m.local("d"), 5)
+                m.ret()
+        return pb.build()
+
+    def test_builder_lint_ignore(self):
+        issues = lint_classes(self._decoy_classes())
+        dead = [i for i in issues if i.rule == "dead-store"]
+        assert dead and all(i.suppressed for i in dead)
+        assert "(suppressed)" in str(dead[0])
+
+    def test_class_level_suppression(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.T") as c:
+            c.lint_ignore("dead-store")
+            with c.method("m") as m:
+                m.assign(m.local("d"), 5)
+                m.ret()
+        issues = lint_classes(pb.build())
+        assert all(i.suppressed for i in issues if i.rule == "dead-store")
+
+    def test_jasm_pragma_round_trip(self):
+        # a builder-side suppression survives dump -> parse as an
+        # inline `# lint: ignore[...]` pragma
+        text = jasm.dumps(self._decoy_classes())
+        assert "# lint: ignore[dead-store]" in text
+        issues = lint_classes(jasm.loads(text))
+        dead = [i for i in issues if i.rule == "dead-store"]
+        assert dead and all(i.suppressed for i in dead)
+
+    def test_hand_written_pragma(self):
+        text = """
+class t.T {
+  # lint: ignore[guard-always-true]
+  method void m() {
+    # lint: ignore[dead-store]
+    d = 5;
+    return;
+  }
+}
+"""
+        classes = jasm.loads(text)
+        cls = classes[0]
+        assert cls.lint_suppressions == {"guard-always-true"}
+        assert cls.find_method("m").lint_suppressions == {"dead-store"}
+        issues = lint_classes(classes)
+        assert all(i.suppressed for i in issues if i.rule == "dead-store")
+
+    def test_other_rules_stay_unsuppressed(self):
+        pb = ProgramBuilder()
+        with pb.cls("t.T") as c:
+            with c.method("m") as m:
+                m.lint_ignore("dead-store")
+                m.assign(m.local("u"), m.local("ghost"))
+        issues = lint_classes(pb.build())
+        ubi = [i for i in issues if i.rule == "use-before-init"]
+        assert ubi and not any(i.suppressed for i in ubi)
+
+
+class TestCorpus:
+    def test_lang_base_is_clean(self):
+        issues = lint_classes(build_lang_base())
+        assert [str(i) for i in issues if not i.suppressed] == []
+
+    def test_component_sample_has_no_unsuppressed_errors(self):
+        base = build_lang_base()
+        for name in ("commons-collections(3.2.1)", "BeanShell1", "Spring"):
+            spec = build_component(name)
+            only = {cls.name for cls in spec.classes}
+            issues = lint_classes(base + spec.classes, only_classes=only)
+            errors = [
+                str(i) for i in issues
+                if i.severity == "error" and not i.suppressed
+            ]
+            assert errors == [], f"{name}: {errors}"
+
+    def test_guard_decoys_are_suppressed(self):
+        base = build_lang_base()
+        spec = build_component("BeanShell1")
+        only = {cls.name for cls in spec.classes}
+        issues = lint_classes(base + spec.classes, only_classes=only)
+        decoys = [i for i in issues if i.rule == "guard-always-false"]
+        assert decoys and all(i.suppressed for i in decoys)
+
+    def test_full_corpus_has_no_unsuppressed_errors(self):
+        base = build_lang_base()
+        for name in COMPONENT_NAMES:
+            spec = build_component(name)
+            only = {cls.name for cls in spec.classes}
+            issues = lint_classes(base + spec.classes, only_classes=only)
+            errors = [
+                str(i) for i in issues
+                if i.severity == "error" and not i.suppressed
+            ]
+            assert errors == [], f"{name}: {errors}"
