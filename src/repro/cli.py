@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     chains.add_argument("--refine-guards", action="store_true",
                         help="drop chains behind constant-false guards "
                         "(extension, off by default)")
+    chains.add_argument("--baseline-search", action="store_true",
+                        help="use the unoptimized search engine (no "
+                        "reachability pruning / negative caching); the "
+                        "chain set is identical either way")
     chains.add_argument("--json", action="store_true", help="machine-readable output")
 
     lint = sub.add_parser(
@@ -109,9 +113,9 @@ def _add_build_flags(parser: argparse.ArgumentParser) -> None:
     """CPG-build tuning shared by ``analyze`` and ``chains``."""
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="shard the summary phase across N worker processes "
-        "(0 = one per CPU, 1 = in-process serial); results are "
-        "bit-identical to serial",
+        help="shard the summary phase — and, for 'chains', the per-sink "
+        "search — across N worker processes (0 = one per CPU, 1 = "
+        "in-process serial); results are bit-identical to serial",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -195,6 +199,7 @@ def _cmd_chains(args: argparse.Namespace) -> int:
         max_depth=args.max_depth,
         source_filter=args.source_filter,
         refine_guards=args.refine_guards,
+        optimize=not args.baseline_search,
     )
     if args.refine_guards:
         # stderr so the refinement note composes with --json pipelines
@@ -203,6 +208,9 @@ def _cmd_chains(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     _print_profile(args, tabby)
+    if args.profile:
+        for line in tabby.last_search_stats.profile_lines():
+            print(line, file=sys.stderr)
     verifier = None
     synthesizer = None
     classes = list(tabby._classes)

@@ -22,7 +22,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.core.chains import GadgetChain
 from repro.core.cpg import CPG, CPGBuilder
 from repro.core.cpg_check import CPGCheckIssue, verify_cpg
-from repro.core.pathfinder import GadgetChainFinder
+from repro.core.pathfinder import GadgetChainFinder, SearchStatistics
 from repro.core.refine import GuardFeasibilityRefiner
 from repro.core.sinks import SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
@@ -58,6 +58,8 @@ class Tabby:
         self.cache_dir = cache_dir
         self._classes: List[JavaClass] = []
         self._cpg: Optional[CPG] = None
+        #: diagnostics from the last find_gadget_chains() run
+        self.last_search_stats = SearchStatistics()
 
     # -- input -------------------------------------------------------------
 
@@ -117,6 +119,8 @@ class Tabby:
         max_results_per_sink: Optional[int] = 200,
         uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
         refine_guards: bool = False,
+        optimize: bool = True,
+        search_workers: Optional[int] = None,
     ) -> List[GadgetChain]:
         """Run the tabby-path-finder search over the CPG.
 
@@ -125,6 +129,13 @@ class Tabby:
         :mod:`repro.core.refine`).  Off by default: the refinement is
         an extension beyond the paper pipeline.  Refuted chains from
         the last refined run are kept in :attr:`last_refuted`.
+
+        ``optimize=False`` restores the baseline search engine (no
+        reachability pruning or negative caching) — the chain set is
+        identical either way.  ``search_workers`` shards the per-sink
+        search across a process pool (``None`` reuses :attr:`workers`,
+        1 = serial, 0 = one per CPU); diagnostics for the last run are
+        kept in :attr:`last_search_stats`.
         """
         cpg = self.build_cpg()
         finder = GadgetChainFinder(
@@ -133,8 +144,11 @@ class Tabby:
             follow_alias=follow_alias,
             max_results_per_sink=max_results_per_sink,
             uniqueness=uniqueness,
+            optimize=optimize,
+            workers=self.workers if search_workers is None else search_workers,
         )
         chains = finder.find_chains(source_filter=source_filter)
+        self.last_search_stats = finder.last_search_stats
         self.last_refuted = []
         if refine_guards:
             refiner = GuardFeasibilityRefiner(cpg.hierarchy)

@@ -17,12 +17,56 @@ Trigger_Condition as per-path state:
 
 Accepted paths are reversed into :class:`GadgetChain` objects
 (source -> ... -> sink).
+
+The search runs on an optimized engine by default.  Three throughput
+layers sit on top of the plain Expander/Evaluator enumeration, each
+provably result-preserving (the differential harness in
+``tests/core/test_search_equivalence.py`` asserts bit-identical chain
+sets against the baseline engine):
+
+* **source-reachability pruning** — a one-pass forward BFS from every
+  source over CALL (caller->callee) and ALIAS (both directions) edges
+  over-approximates, TC-agnostically, the set of nodes from which the
+  backward search could ever reach a source.  The Expander refuses to
+  step into any node outside the set.  Unreachability is closed under
+  backward steps, so the refused subtrees contain no accepted path —
+  including under ``NODE_GLOBAL``, where the skipped visited-marks
+  could only ever have suppressed other unreachable visits;
+* **negative state caching** — the DFS records ``(node, TC-set,
+  remaining-depth)`` states whose expansion subtree was exhausted
+  without finding a chain *and* without being clipped by a
+  path-uniqueness check; such emptiness is prefix-independent, and a
+  recorded budget dominates every smaller one, so dominated re-visits
+  are skipped.  Only failures are cached — accepted paths are always
+  enumerated exhaustively, so the chain set (and its enumeration
+  order, hence ``max_results`` truncation) is unchanged by
+  construction.  Disabled under ``NODE_GLOBAL``, whose global visited
+  set makes subtree outcomes order-dependent;
+* **per-sink parallelism** — sinks fan out across a process pool
+  (:mod:`repro.core.search_parallel`), LPT-packed by CALL in-degree,
+  and the per-sink chain lists are merged back in sink order, which is
+  exactly the serial concatenation order, before deduplication.
+
+``optimize=False`` restores the baseline engine (the generic
+:func:`repro.graphdb.traversal.traverse` enumeration) bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.chains import ChainStep, GadgetChain, dedupe_chains
 from repro.core.cpg import ALIAS, CALL, CPG
@@ -33,6 +77,24 @@ from repro.graphdb.traversal import Evaluation, Path, Uniqueness, traverse
 
 __all__ = ["GadgetChainFinder", "SearchStatistics"]
 
+#: recursion headroom guard: beyond this depth the optimized DFS falls
+#: back to the iterative baseline engine (results are identical either
+#: way; the negative cache simply does not apply)
+_MAX_RECURSIVE_DEPTH = 400
+
+#: counter fields accumulated across parallel search workers
+_MERGE_COUNTERS = (
+    "paths_visited",
+    "call_edges_followed",
+    "call_edges_rejected",
+    "alias_hops",
+    "depth_pruned",
+    "filtered_sources",
+    "reachability_pruned",
+    "negative_cache_hits",
+    "negative_cache_entries",
+)
+
 
 @dataclass
 class SearchStatistics:
@@ -41,7 +103,9 @@ class SearchStatistics:
     The expander/evaluator split mirrors the Figure 6 annotations: edges
     the Expander rejects carry an uncontrollable Polluted_Position for
     the required Trigger_Condition; paths the Evaluator prunes exceeded
-    the depth limit.
+    the depth limit.  The remaining counters instrument the optimized
+    engine; they are diagnostics only — the chain set never depends on
+    them.
     """
 
     sinks_searched: int = 0
@@ -51,6 +115,79 @@ class SearchStatistics:
     alias_hops: int = 0
     depth_pruned: int = 0  # Evaluator exclusions (G in Fig. 6)
     chains_found: int = 0
+    #: source nodes reached but rejected by the accept filter
+    #: (``source_filter`` / ``find_between``) — these no longer consume
+    #: the ``max_results_per_sink`` budget
+    filtered_sources: int = 0
+    #: expansions refused because the target can never reach a source
+    reachability_pruned: int = 0
+    #: size of the source-reachability over-approximation (0 = pruning off)
+    reachable_nodes: int = 0
+    #: dominated re-visits skipped via recorded empty subtrees
+    negative_cache_hits: int = 0
+    #: (node, TC, remaining-depth) failure states recorded
+    negative_cache_entries: int = 0
+    #: worker processes used for the per-sink fan-out (0 = serial)
+    parallel_workers: int = 0
+    #: wall-clock per search phase: reachability / search / dedupe
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: total wall-clock of the last find_chains() call
+    search_seconds: float = 0.0
+
+    def merge_counters(self, other: "SearchStatistics") -> None:
+        """Accumulate a worker's per-shard counters into this object."""
+        for name in _MERGE_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def profile_lines(self) -> List[str]:
+        """Human-readable per-phase/prune/cache report (``--profile``)."""
+        lines = []
+        for phase in ("reachability", "search", "dedupe"):
+            if phase in self.phase_seconds:
+                lines.append(
+                    f"search phase {phase:<12} {self.phase_seconds[phase]:8.3f}s"
+                )
+        lines.append(
+            f"search: {self.chains_found} chain(s) from {self.sinks_searched} "
+            f"sink(s), {self.paths_visited} paths visited"
+        )
+        lines.append(
+            f"pruning: {self.reachability_pruned} unreachable expansions "
+            f"refused ({self.reachable_nodes} source-reachable nodes), "
+            f"{self.depth_pruned} depth-pruned"
+        )
+        lines.append(
+            f"negative cache: {self.negative_cache_hits} hits, "
+            f"{self.negative_cache_entries} states recorded"
+        )
+        lines.append(
+            "search workers: "
+            + (str(self.parallel_workers) if self.parallel_workers else "serial")
+        )
+        lines.append(f"total search: {self.search_seconds:.3f}s")
+        return lines
+
+
+#: a picklable accept-filter description: ``None`` (accept everything),
+#: ``("prefix", class_name_prefix)`` for ``source_filter``, or
+#: ``("exact", class_name, method_name)`` for ``find_between``
+AcceptSpec = Optional[Tuple[str, ...]]
+
+
+def _make_accept(spec: AcceptSpec) -> Optional[Callable[[Node], bool]]:
+    if spec is None:
+        return None
+    kind = spec[0]
+    if kind == "prefix":
+        prefix = spec[1]
+        return lambda node: str(node.get("CLASSNAME", "?")).startswith(prefix)
+    if kind == "exact":
+        class_name, method_name = spec[1], spec[2]
+        return (
+            lambda node: node.get("CLASSNAME") == class_name
+            and node.get("NAME") == method_name
+        )
+    raise PathFinderError(f"unknown accept spec kind: {kind!r}")
 
 
 class GadgetChainFinder:
@@ -63,6 +200,10 @@ class GadgetChainFinder:
         max_results_per_sink: Optional[int] = 200,
         follow_alias: bool = True,
         uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
+        optimize: bool = True,
+        prune_unreachable: Optional[bool] = None,
+        negative_cache: Optional[bool] = None,
+        workers: int = 1,
     ):
         if max_depth < 1:
             raise PathFinderError("max_depth must be >= 1")
@@ -72,8 +213,19 @@ class GadgetChainFinder:
         #: ablation hook: without alias edges polymorphic chains vanish
         self.follow_alias = follow_alias
         self.uniqueness = uniqueness
+        #: master switch for the optimized engine; ``False`` restores the
+        #: pre-optimization baseline (generic traverse, no pruning)
+        self.optimize = optimize
+        #: individual layer toggles; ``None`` follows :attr:`optimize`
+        self.prune_unreachable = optimize if prune_unreachable is None else prune_unreachable
+        self.negative_cache = optimize if negative_cache is None else negative_cache
+        #: per-sink fan-out: 1 = in-process serial, 0 = one worker per
+        #: CPU, N>1 = N worker processes; results are identical to serial
+        self.workers = workers
         #: diagnostics from the most recent find_chains() run
         self.last_search_stats = SearchStatistics()
+        self._accept: Optional[Callable[[Node], bool]] = None
+        self._reachable: Optional[Set[int]] = None
 
     # -- Algorithm 2: Expander -------------------------------------------
 
@@ -82,6 +234,7 @@ class GadgetChainFinder:
     ) -> Iterator[Tuple[Relationship, Node, List[int]]]:
         node = path.end_node
         stats = self.last_search_stats
+        reachable = self._reachable
         # incoming CALL edges: move from callee to caller, pushing the TC
         # through the edge's Polluted_Position (Formula 4)
         for rel in graph.in_relationships(node, CALL):
@@ -92,6 +245,9 @@ class GadgetChainFinder:
             if tc_next is None:
                 stats.call_edges_rejected += 1
                 continue  # ∃x ∈ TC_next, x = ∞ -> reject (Algorithm 2)
+            if reachable is not None and rel.start_id not in reachable:
+                stats.reachability_pruned += 1
+                continue
             stats.call_edges_followed += 1
             yield rel, graph.node(rel.start_id), tc_next
         if not self.follow_alias:
@@ -107,9 +263,15 @@ class GadgetChainFinder:
         if last is not None and last.type == ALIAS:
             return
         for rel in graph.out_relationships(node, ALIAS):
+            if reachable is not None and rel.end_id not in reachable:
+                stats.reachability_pruned += 1
+                continue
             stats.alias_hops += 1
             yield rel, graph.node(rel.end_id), list(tc)
         for rel in graph.in_relationships(node, ALIAS):
+            if reachable is not None and rel.start_id not in reachable:
+                stats.reachability_pruned += 1
+                continue
             stats.alias_hops += 1
             yield rel, graph.node(rel.start_id), list(tc)
 
@@ -120,16 +282,142 @@ class GadgetChainFinder:
         stats.paths_visited += 1
         end = path.end_node
         if path.length > 0 and end.get("IS_SOURCE"):
-            # gadget chain found; keep expanding — a deeper entry point
-            # (e.g. HashMap.readObject above URL.hashCode in URLDNS) may
-            # yield another chain through this one
-            if path.length < self.max_depth:
-                return Evaluation.INCLUDE_AND_CONTINUE
-            return Evaluation.INCLUDE_AND_PRUNE
+            accept = self._accept
+            if accept is None or accept(end):
+                # gadget chain found; keep expanding — a deeper entry
+                # point (e.g. HashMap.readObject above URL.hashCode in
+                # URLDNS) may yield another chain through this one
+                if path.length < self.max_depth:
+                    return Evaluation.INCLUDE_AND_CONTINUE
+                return Evaluation.INCLUDE_AND_PRUNE
+            # an unwanted source: exclude *here*, so it does not consume
+            # the max_results budget, but keep searching deeper — a
+            # wanted source may still sit above it
+            stats.filtered_sources += 1
         if path.length < self.max_depth:
             return Evaluation.EXCLUDE_AND_CONTINUE
         stats.depth_pruned += 1
         return Evaluation.EXCLUDE_AND_PRUNE
+
+    # -- source-reachability precomputation ---------------------------------
+
+    def _compute_source_reachable(self, graph: PropertyGraph) -> Set[int]:
+        """Nodes from which the *backward* search can still reach a
+        source, over-approximated TC-agnostically.
+
+        A backward step goes callee -> caller over an incoming CALL edge
+        (or across ALIAS either way), so its reversal follows CALL edges
+        forward; a BFS from every source along caller->callee CALL edges
+        plus undirected ALIAS edges therefore covers every node with
+        *any* step sequence to a source, ignoring PP rejections, depth,
+        and the consecutive-ALIAS rule.  Complement membership is
+        closed under backward steps, which makes refusing those
+        expansions sound for every Uniqueness mode.
+        """
+        seen: Set[int] = set()
+        queue: deque = deque()
+        for node in self.cpg.source_nodes():
+            if node.id not in seen:
+                seen.add(node.id)
+                queue.append(node.id)
+        follow_alias = self.follow_alias
+        while queue:
+            node_id = queue.popleft()
+            for rel in graph.out_relationships(node_id, CALL):
+                if rel.end_id not in seen:
+                    seen.add(rel.end_id)
+                    queue.append(rel.end_id)
+            if not follow_alias:
+                continue
+            for rel in graph.out_relationships(node_id, ALIAS):
+                if rel.end_id not in seen:
+                    seen.add(rel.end_id)
+                    queue.append(rel.end_id)
+            for rel in graph.in_relationships(node_id, ALIAS):
+                if rel.start_id not in seen:
+                    seen.add(rel.start_id)
+                    queue.append(rel.start_id)
+        return seen
+
+    # -- the optimized DFS engine -------------------------------------------
+
+    def _use_dfs_engine(self) -> bool:
+        return self.optimize and self.max_depth <= _MAX_RECURSIVE_DEPTH
+
+    def _search_sink(
+        self, graph: PropertyGraph, sink: Node, tc0: List[int]
+    ) -> List[Tuple[Path, List[int]]]:
+        """Preorder DFS identical to :func:`traverse` over this finder's
+        expander/evaluator, plus sound negative state caching.
+
+        A state ``(node, TC-set, remaining-depth)`` is recorded as a
+        proven failure only when its expansion subtree was explored to
+        exhaustion (never clipped by a path-uniqueness check, never cut
+        short by ``max_results``) and contained no accepted path.  Such
+        emptiness holds under *any* path prefix — a prefix can only
+        remove branches — and for any remaining budget ≤ the recorded
+        one, so dominated re-visits are skipped without losing a single
+        chain.  The TC key is the position *set*: Formula 4 acceptance
+        and the downstream TC depend only on set membership.
+        """
+        max_results = self.max_results_per_sink
+        uniqueness = self.uniqueness
+        use_cache = self.negative_cache and uniqueness is not Uniqueness.NODE_GLOBAL
+        negcache: Dict[Tuple[int, frozenset], int] = {}
+        visited_global: Set[int] = set()
+        results: List[Tuple[Path, List[int]]] = []
+        stats = self.last_search_stats
+        stop = False
+
+        def visit(path: Path, tc: List[int]) -> Tuple[bool, bool]:
+            """Returns ``(found_any, complete)`` — whether the subtree
+            contained an accepted path, and whether it was explored
+            exhaustively (a prerequisite for caching its emptiness)."""
+            nonlocal stop
+            end = path.end_node
+            if uniqueness is Uniqueness.NODE_GLOBAL:
+                if end.id in visited_global and path.length > 0:
+                    return False, False
+                visited_global.add(end.id)
+            verdict = self._evaluator(graph, path, tc)
+            found = False
+            if verdict.includes:
+                results.append((path, tc))
+                found = True
+                if max_results is not None and len(results) >= max_results:
+                    stop = True
+                    return True, False
+            if not verdict.continues:
+                # the evaluator's cut depends only on (node, depth, TC):
+                # prefix-independent, so the subtree counts as complete
+                return found, True
+            key = (end.id, frozenset(tc)) if use_cache else None
+            remaining = self.max_depth - path.length
+            if key is not None:
+                proven_budget = negcache.get(key)
+                if proven_budget is not None and proven_budget >= remaining:
+                    stats.negative_cache_hits += 1
+                    return found, True
+            complete = True
+            for rel, node, next_tc in self._expander(graph, path, tc):
+                if uniqueness is Uniqueness.NODE_PATH and path.contains_node(node):
+                    complete = False
+                    continue
+                if uniqueness is Uniqueness.RELATIONSHIP_PATH and path.contains_relationship(rel):
+                    complete = False
+                    continue
+                child_found, child_complete = visit(path.extend(rel, node), next_tc)
+                found = found or child_found
+                complete = complete and child_complete
+                if stop:
+                    return found, False
+            if key is not None and complete and not found:
+                negcache[key] = remaining
+                stats.negative_cache_entries += 1
+            return found, complete
+
+        visit(Path.single(sink), list(tc0))
+        return results
 
     # -- public API -----------------------------------------------------------
 
@@ -143,14 +431,81 @@ class GadgetChainFinder:
 
         ``source_filter`` restricts accepted chains to sources whose
         class name starts with the prefix (the per-component workflow of
-        §IV-C).
+        §IV-C).  The filter is applied *inside* the Evaluator, so
+        filtered-out chains never consume the ``max_results_per_sink``
+        budget.
         """
+        spec: AcceptSpec = ("prefix", source_filter) if source_filter else None
+        return self._find(sink_nodes, spec)
+
+    def find_between(
+        self, source_node: Node, sink_node: Node
+    ) -> List[GadgetChain]:
+        """Chains between one specific source and sink (the custom-query
+        workflow: "check for the existence of a gadget chain between any
+        source and sink", §III-D).  The source restriction runs inside
+        the Evaluator — no unrestricted search plus post-filter."""
+        spec: AcceptSpec = (
+            "exact",
+            source_node.get("CLASSNAME"),
+            source_node.get("NAME"),
+        )
+        return self._find([sink_node], spec)
+
+    # -- orchestration ------------------------------------------------------
+
+    def _resolved_workers(self) -> int:
+        if self.workers == 1:
+            return 1
+        from repro.core.parallel import available_cpus
+
+        return self.workers if self.workers > 0 else available_cpus()
+
+    def _find(
+        self, sink_nodes: Optional[Sequence[Node]], accept_spec: AcceptSpec
+    ) -> List[GadgetChain]:
         graph = self.cpg.graph
+        started = time.perf_counter()
         sinks = list(sink_nodes) if sink_nodes is not None else self.cpg.sink_nodes()
-        self.last_search_stats = SearchStatistics(sinks_searched=len(sinks))
+        stats = self.last_search_stats = SearchStatistics(sinks_searched=len(sinks))
+        self._accept = _make_accept(accept_spec)
+        self._reachable = None
+        if self.prune_unreachable:
+            t0 = time.perf_counter()
+            self._reachable = self._compute_source_reachable(graph)
+            stats.reachable_nodes = len(self._reachable)
+            stats.phase_seconds["reachability"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        workers = self._resolved_workers()
         chains: List[GadgetChain] = []
-        for sink in sinks:
-            tc = list(sink.get("TRIGGER_CONDITION") or [0])
+        if workers > 1 and len(sinks) > 1:
+            from repro.core.search_parallel import parallel_find_chains
+
+            stats.parallel_workers = workers
+            per_sink, worker_stats = parallel_find_chains(
+                self, sinks, accept_spec, workers
+            )
+            for sink_chains in per_sink:
+                chains.extend(sink_chains)
+            for shard_stats in worker_stats:
+                stats.merge_counters(shard_stats)
+        else:
+            for sink in sinks:
+                chains.extend(self._chains_for_sink(graph, sink))
+        stats.phase_seconds["search"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        deduped = dedupe_chains(chains)
+        stats.phase_seconds["dedupe"] = time.perf_counter() - t0
+        stats.chains_found = len(deduped)
+        stats.search_seconds = time.perf_counter() - started
+        return deduped
+
+    def _chains_for_sink(self, graph: PropertyGraph, sink: Node) -> List[GadgetChain]:
+        """All accepted chains of one sink, in enumeration order."""
+        tc = list(sink.get("TRIGGER_CONDITION") or [0])
+        if self._use_dfs_engine():
+            found: Any = self._search_sink(graph, sink, tc)
+        else:
             found = traverse(
                 graph,
                 sink,
@@ -160,30 +515,7 @@ class GadgetChainFinder:
                 uniqueness=self.uniqueness,
                 max_results=self.max_results_per_sink,
             )
-            for path, _state in found:
-                chain = self._path_to_chain(path, sink)
-                if source_filter and not chain.source.class_name.startswith(
-                    source_filter
-                ):
-                    continue
-                chains.append(chain)
-        deduped = dedupe_chains(chains)
-        self.last_search_stats.chains_found = len(deduped)
-        return deduped
-
-    def find_between(
-        self, source_node: Node, sink_node: Node
-    ) -> List[GadgetChain]:
-        """Chains between one specific source and sink (the custom-query
-        workflow: "check for the existence of a gadget chain between any
-        source and sink", §III-D)."""
-        chains = self.find_chains(sink_nodes=[sink_node])
-        wanted = (source_node.get("CLASSNAME"), source_node.get("NAME"))
-        return [
-            c
-            for c in chains
-            if (c.source.class_name, c.source.method_name) == wanted
-        ]
+        return [self._path_to_chain(path, sink) for path, _state in found]
 
     # -- helpers ------------------------------------------------------------------
 

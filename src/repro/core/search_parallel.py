@@ -1,0 +1,211 @@
+"""Parallel per-sink gadget-chain search.
+
+Each sink's backward search is independent of every other sink's — the
+per-sink traversal owns its path state, its ``NODE_GLOBAL`` visited set,
+and its negative cache — so the sink list of a
+:class:`~repro.core.pathfinder.GadgetChainFinder` run shards cleanly
+across a ``ProcessPoolExecutor``:
+
+1. sinks are packed into ``workers * shards_per_worker`` shards with the
+   same deterministic greedy LPT heuristic as the build pipeline
+   (:mod:`repro.core.parallel`), using the sink's CALL in-degree as the
+   cost proxy — a sink's search fans out over its incoming CALL edges,
+   so in-degree is the best single predictor of subtree size;
+2. each worker process holds one finder over the full graph (built once
+   per process by the pool initialiser, including the one-pass
+   source-reachability precomputation when pruning is enabled);
+3. workers return ``(sink_index, chains)`` pairs plus their
+   :class:`~repro.core.pathfinder.SearchStatistics` counters; the parent
+   reorders chains by original sink index — exactly the serial
+   concatenation order — then sums the counters.
+
+Because every per-sink chain list is a pure function of (graph, sink,
+finder config), the merged result is bit-identical to the serial engine
+regardless of worker count or shard layout; the differential harness in
+``tests/core/test_search_equivalence.py`` asserts exactly that.
+
+On platforms with ``fork`` (Linux) workers inherit the parent's graph
+copy-on-write; elsewhere the graph is shipped once per worker via the
+:mod:`repro.graphdb.storage` codec (which renumbers node ids densely in
+iteration order, so the parent translates sink ids before shipping).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.chains import GadgetChain
+from repro.core.cpg import CALL, CPG, CPGStatistics
+from repro.graphdb.graph import Node, PropertyGraph
+from repro.jvm.hierarchy import ClassHierarchy
+
+__all__ = ["plan_sink_shards", "parallel_find_chains"]
+
+#: shards per worker — more shards, better balance against stragglers
+_SHARDS_PER_WORKER = 4
+
+
+def _sink_cost(graph: PropertyGraph, sink: Node) -> int:
+    """Cost proxy for shard balancing: the sink's CALL fan-in (+1 for
+    fixed per-sink overhead)."""
+    return graph.in_degree(sink, CALL) + 1
+
+
+def plan_sink_shards(
+    graph: PropertyGraph, sinks: Sequence[Node], shard_count: int
+) -> List[List[int]]:
+    """Deterministic greedy LPT packing of sink *indexes* into at most
+    ``shard_count`` shards; empty shards are dropped."""
+    shard_count = max(1, shard_count)
+    ranked = sorted(
+        range(len(sinks)), key=lambda i: (-_sink_cost(graph, sinks[i]), i)
+    )
+    loads = [0] * shard_count
+    shards: List[List[int]] = [[] for _ in range(shard_count)]
+    for index in ranked:
+        target = min(range(shard_count), key=lambda s: (loads[s], s))
+        shards[target].append(index)
+        loads[target] += _sink_cost(graph, sinks[index])
+    return [shard for shard in shards if shard]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state
+# ---------------------------------------------------------------------------
+
+#: parent-side stash read by forked children (copy-on-write, zero pickling)
+_FORK_GRAPH: Optional[PropertyGraph] = None
+
+#: per-worker-process finder, set by the pool initialiser
+_WORKER_FINDER = None
+
+
+def _worker_init(graph_json: Optional[str], config: Dict[str, Any]) -> None:
+    """Build the graph, finder, and reachability set once per worker."""
+    global _WORKER_FINDER
+    if graph_json is None:
+        graph = _FORK_GRAPH
+        if graph is None:  # pragma: no cover - misconfigured pool
+            raise RuntimeError("fork worker started without inherited graph")
+    else:
+        import json
+
+        from repro.graphdb.storage import graph_from_dict
+
+        graph = graph_from_dict(json.loads(graph_json))
+    # the worker only needs the graph: sink nodes are handed over by id,
+    # and source lookup goes through CPG.source_nodes() -> find_nodes()
+    from repro.core.pathfinder import GadgetChainFinder, _make_accept
+    from repro.graphdb.traversal import Uniqueness
+
+    cpg = CPG(graph, ClassHierarchy([]), CPGStatistics(), {})
+    finder = GadgetChainFinder(
+        cpg,
+        max_depth=config["max_depth"],
+        max_results_per_sink=config["max_results_per_sink"],
+        follow_alias=config["follow_alias"],
+        uniqueness=Uniqueness(config["uniqueness"]),
+        optimize=config["optimize"],
+        prune_unreachable=config["prune_unreachable"],
+        negative_cache=config["negative_cache"],
+        workers=1,
+    )
+    finder._accept = _make_accept(config["accept_spec"])
+    if finder.prune_unreachable:
+        finder._reachable = finder._compute_source_reachable(graph)
+    _WORKER_FINDER = finder
+
+
+def _search_shard(
+    shard: Sequence[Tuple[int, int]]
+) -> Tuple[List[Tuple[int, List[GadgetChain]]], Any]:
+    """Search a shard of ``(sink_index, sink_id)`` pairs; returns the
+    per-sink chain lists plus this shard's search counters."""
+    from repro.core.pathfinder import SearchStatistics
+
+    finder = _WORKER_FINDER
+    assert finder is not None, "worker pool not initialised"
+    # fresh counters per shard so the parent can sum shard stats without
+    # double-counting work from earlier shards in the same process
+    finder.last_search_stats = SearchStatistics()
+    graph = finder.cpg.graph
+    pairs: List[Tuple[int, List[GadgetChain]]] = []
+    for sink_index, sink_id in shard:
+        pairs.append(
+            (sink_index, finder._chains_for_sink(graph, graph.node(sink_id)))
+        )
+    return pairs, finder.last_search_stats
+
+
+# ---------------------------------------------------------------------------
+# Parent-side driver
+# ---------------------------------------------------------------------------
+
+
+def parallel_find_chains(
+    finder, sinks: Sequence[Node], accept_spec, workers: int
+) -> Tuple[List[List[GadgetChain]], List[Any]]:
+    """Run ``finder``'s per-sink search across a worker pool.
+
+    Returns ``(per_sink_chains, shard_stats)`` where ``per_sink_chains``
+    is indexed like ``sinks`` — concatenating it reproduces the serial
+    engine's chain order exactly — and ``shard_stats`` carries each
+    shard's counters for the parent to merge.
+    """
+    global _FORK_GRAPH
+    from repro.graphdb.traversal import Uniqueness  # noqa: F401 (enum used below)
+
+    graph = finder.cpg.graph
+    shards = plan_sink_shards(graph, sinks, workers * _SHARDS_PER_WORKER)
+    if not shards:
+        return [[] for _ in sinks], []
+    config: Dict[str, Any] = {
+        "max_depth": finder.max_depth,
+        "max_results_per_sink": finder.max_results_per_sink,
+        "follow_alias": finder.follow_alias,
+        "uniqueness": finder.uniqueness.value,
+        "optimize": finder.optimize,
+        "prune_unreachable": finder.prune_unreachable,
+        "negative_cache": finder.negative_cache,
+        "accept_spec": accept_spec,
+    }
+    start_method = (
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    ctx = multiprocessing.get_context(start_method)
+    if start_method == "fork":
+        graph_json: Optional[str] = None
+        _FORK_GRAPH = graph
+        sink_id_of = {sink.id: sink.id for sink in sinks}
+    else:  # pragma: no cover - exercised only on non-fork platforms
+        import json
+
+        from repro.graphdb.storage import graph_to_dict
+
+        graph_json = json.dumps(graph_to_dict(graph))
+        # the storage codec renumbers node ids densely in iteration
+        # order; translate sink ids into the worker's numbering
+        remapped = {node.id: i for i, node in enumerate(graph.nodes())}
+        sink_id_of = {sink.id: remapped[sink.id] for sink in sinks}
+    tasks = [
+        [(index, sink_id_of[sinks[index].id]) for index in shard]
+        for shard in shards
+    ]
+    per_sink: List[List[GadgetChain]] = [[] for _ in sinks]
+    shard_stats: List[Any] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shards)),
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(graph_json, config),
+        ) as pool:
+            for pairs, stats in pool.map(_search_shard, tasks, chunksize=1):
+                for sink_index, chains in pairs:
+                    per_sink[sink_index] = chains
+                shard_stats.append(stats)
+    finally:
+        _FORK_GRAPH = None
+    return per_sink, shard_stats

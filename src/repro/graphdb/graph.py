@@ -145,13 +145,25 @@ class Relationship(_Entity):
 
 
 class PropertyGraph:
-    """An in-memory labelled property graph with adjacency and indexes."""
+    """An in-memory labelled property graph with adjacency and indexes.
+
+    Adjacency is kept twice: a flat per-node list (all relationships in
+    insertion order) and a per-node *type-bucketed* index, so
+    ``out_relationships(node, "CALL")`` is a dict hit instead of a
+    filtered scan — the hot operation of the gadget-chain search.
+    Relationship ids are monotonically increasing and adjacency lists
+    only ever append, so every bucket stays sorted by id (== insertion
+    order); consumers that merge buckets rely on this invariant.
+    """
 
     def __init__(self) -> None:
         self._nodes: Dict[int, Node] = {}
         self._rels: Dict[int, Relationship] = {}
         self._out: Dict[int, List[int]] = {}
         self._in: Dict[int, List[int]] = {}
+        #: node id -> rel type -> rel ids, each bucket in insertion order
+        self._out_by_type: Dict[int, Dict[str, List[int]]] = {}
+        self._in_by_type: Dict[int, Dict[str, List[int]]] = {}
         self._next_node_id = 0
         self._next_rel_id = 0
         self.indexes = IndexManager()
@@ -166,6 +178,8 @@ class PropertyGraph:
         self._nodes[node.id] = node
         self._out[node.id] = []
         self._in[node.id] = []
+        self._out_by_type[node.id] = {}
+        self._in_by_type[node.id] = {}
         self.indexes.index_node(node)
         return node
 
@@ -187,6 +201,8 @@ class PropertyGraph:
         self._rels[rel.id] = rel
         self._out[start_id].append(rel.id)
         self._in[end_id].append(rel.id)
+        self._out_by_type[start_id].setdefault(rel_type, []).append(rel.id)
+        self._in_by_type[end_id].setdefault(rel_type, []).append(rel.id)
         return rel
 
     # -- deletion -----------------------------------------------------------
@@ -198,6 +214,14 @@ class PropertyGraph:
             raise RelationshipNotFoundError(f"relationship {rel_id} does not exist")
         self._out[found.start_id].remove(rel_id)
         self._in[found.end_id].remove(rel_id)
+        out_bucket = self._out_by_type[found.start_id][found.type]
+        out_bucket.remove(rel_id)
+        if not out_bucket:
+            del self._out_by_type[found.start_id][found.type]
+        in_bucket = self._in_by_type[found.end_id][found.type]
+        in_bucket.remove(rel_id)
+        if not in_bucket:
+            del self._in_by_type[found.end_id][found.type]
 
     def delete_node(self, node: "Node | int", detach: bool = False) -> None:
         node_id = node.id if isinstance(node, Node) else node
@@ -217,6 +241,8 @@ class PropertyGraph:
         del self._nodes[node_id]
         del self._out[node_id]
         del self._in[node_id]
+        del self._out_by_type[node_id]
+        del self._in_by_type[node_id]
 
     # -- property updates ------------------------------------------------------
 
@@ -295,10 +321,10 @@ class PropertyGraph:
         node_id = node.id if isinstance(node, Node) else node
         if node_id not in self._nodes:
             raise NodeNotFoundError(f"node {node_id} does not exist")
-        rels = [self._rels[i] for i in self._out[node_id]]
-        if rel_type is not None:
-            rels = [r for r in rels if r.type == rel_type]
-        return rels
+        if rel_type is None:
+            return [self._rels[i] for i in self._out[node_id]]
+        bucket = self._out_by_type[node_id].get(rel_type)
+        return [self._rels[i] for i in bucket] if bucket else []
 
     def in_relationships(
         self, node: "Node | int", rel_type: Optional[str] = None
@@ -306,10 +332,22 @@ class PropertyGraph:
         node_id = node.id if isinstance(node, Node) else node
         if node_id not in self._nodes:
             raise NodeNotFoundError(f"node {node_id} does not exist")
-        rels = [self._rels[i] for i in self._in[node_id]]
-        if rel_type is not None:
-            rels = [r for r in rels if r.type == rel_type]
-        return rels
+        if rel_type is None:
+            return [self._rels[i] for i in self._in[node_id]]
+        bucket = self._in_by_type[node_id].get(rel_type)
+        return [self._rels[i] for i in bucket] if bucket else []
+
+    def out_degree(self, node: "Node | int", rel_type: Optional[str] = None) -> int:
+        node_id = node.id if isinstance(node, Node) else node
+        if rel_type is None:
+            return len(self._out[node_id])
+        return len(self._out_by_type[node_id].get(rel_type, ()))
+
+    def in_degree(self, node: "Node | int", rel_type: Optional[str] = None) -> int:
+        node_id = node.id if isinstance(node, Node) else node
+        if rel_type is None:
+            return len(self._in[node_id])
+        return len(self._in_by_type[node_id].get(rel_type, ()))
 
     def relationships_of(
         self, node: "Node | int", rel_type: Optional[str] = None

@@ -39,66 +39,129 @@ class Direction(enum.Enum):
 
 
 class Path:
-    """An immutable alternating node/relationship sequence."""
+    """An immutable alternating node/relationship sequence.
 
-    __slots__ = ("_nodes", "_rels")
+    Internally a *persistent* (structurally shared) cons list: each path
+    holds its end node, the relationship that reached it, and a parent
+    pointer, so :meth:`extend` is O(1) instead of copying both tuples.
+    A DFS expanding a frontier of N paths of depth D therefore allocates
+    O(N) cells, not O(N·D) tuple entries.  :attr:`nodes` /
+    :attr:`relationships` materialise (and cache) the tuples on demand;
+    the membership checks walk the parent chain without allocating.
+    """
+
+    __slots__ = ("_parent", "_rel", "_end", "_start", "_length", "_seq")
 
     def __init__(self, nodes: Sequence[Node], rels: Sequence[Relationship] = ()):
+        nodes = tuple(nodes)
+        rels = tuple(rels)
         if len(nodes) != len(rels) + 1:
             raise GraphError(
                 f"path needs len(nodes) == len(rels)+1, got {len(nodes)}/{len(rels)}"
             )
-        self._nodes: Tuple[Node, ...] = tuple(nodes)
-        self._rels: Tuple[Relationship, ...] = tuple(rels)
+        parent: Optional[Path] = None
+        for i, rel in enumerate(rels):
+            link = Path.__new__(Path)
+            link._parent = parent
+            link._rel = rels[i - 1] if i else None
+            link._end = nodes[i]
+            link._start = nodes[0]
+            link._length = i
+            link._seq = None
+            parent = link
+        self._parent = parent
+        self._rel = rels[-1] if rels else None
+        self._end = nodes[-1]
+        self._start = nodes[0]
+        self._length = len(rels)
+        self._seq: Optional[Tuple[Tuple[Node, ...], Tuple[Relationship, ...]]] = (
+            nodes,
+            rels,
+        )
 
     @classmethod
     def single(cls, node: Node) -> "Path":
         return cls([node])
 
+    def _materialize(self) -> Tuple[Tuple[Node, ...], Tuple[Relationship, ...]]:
+        if self._seq is None:
+            nodes: List[Node] = []
+            rels: List[Relationship] = []
+            link: Optional[Path] = self
+            while link is not None:
+                nodes.append(link._end)
+                if link._rel is not None:
+                    rels.append(link._rel)
+                link = link._parent
+            nodes.reverse()
+            rels.reverse()
+            self._seq = (tuple(nodes), tuple(rels))
+        return self._seq
+
     @property
     def nodes(self) -> Tuple[Node, ...]:
-        return self._nodes
+        return self._materialize()[0]
 
     @property
     def relationships(self) -> Tuple[Relationship, ...]:
-        return self._rels
+        return self._materialize()[1]
 
     @property
     def start_node(self) -> Node:
-        return self._nodes[0]
+        return self._start
 
     @property
     def end_node(self) -> Node:
         """tabby-path-finder's ``getEndNode``."""
-        return self._nodes[-1]
+        return self._end
 
     @property
     def length(self) -> int:
         """Number of relationships (``getdepth`` in Algorithm 3)."""
-        return len(self._rels)
+        return self._length
 
     def extend(self, rel: Relationship, node: Node) -> "Path":
-        return Path(self._nodes + (node,), self._rels + (rel,))
+        child = Path.__new__(Path)
+        child._parent = self
+        child._rel = rel
+        child._end = node
+        child._start = self._start
+        child._length = self._length + 1
+        child._seq = None
+        return child
 
     def contains_node(self, node: Node) -> bool:
-        return any(n.id == node.id for n in self._nodes)
+        node_id = node.id
+        link: Optional[Path] = self
+        while link is not None:
+            if link._end.id == node_id:
+                return True
+            link = link._parent
+        return False
 
     def contains_relationship(self, rel: Relationship) -> bool:
-        return any(r.id == rel.id for r in self._rels)
+        rel_id = rel.id
+        link: Optional[Path] = self
+        while link is not None:
+            if link._rel is not None and link._rel.id == rel_id:
+                return True
+            link = link._parent
+        return False
 
     @property
     def last_relationship(self) -> Optional[Relationship]:
-        return self._rels[-1] if self._rels else None
+        return self._rel
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._nodes)
+        return iter(self.nodes)
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self._length + 1
 
     def __repr__(self) -> str:
-        parts = [f"({self._nodes[0].id})"]
-        for rel, node in zip(self._rels, self._nodes[1:]):
+        nodes, rels = self._materialize()
+        parts = [f"({nodes[0].id})"]
+        for rel, node in zip(rels, nodes[1:]):
             parts.append(f"-[:{rel.type}]-({node.id})")
         return "<Path " + "".join(parts) + ">"
 
@@ -150,9 +213,26 @@ def type_expander(
 
     State is passed through unchanged; use a custom expander (like the
     gadget-chain Expander of Algorithm 2) when state must evolve.
+
+    Wanted types are resolved through the graph's type-bucketed
+    adjacency index (a dict hit per type) instead of filtering every
+    incident relationship in Python.  Relationship ids increase in
+    insertion order, so merging buckets by id reproduces the exact
+    order a filtered scan of the flat adjacency list used to yield.
     """
 
-    wanted = set(types) if types is not None else None
+    wanted = list(dict.fromkeys(types)) if types is not None else None
+
+    def typed(getter, node: Node) -> List[Relationship]:
+        if wanted is None:
+            return getter(node)
+        if len(wanted) == 1:
+            return getter(node, wanted[0])
+        rels: List[Relationship] = []
+        for rel_type in wanted:
+            rels.extend(getter(node, rel_type))
+        rels.sort(key=lambda r: r.id)
+        return rels
 
     def expand(
         graph: PropertyGraph, path: Path, state: Any
@@ -160,12 +240,10 @@ def type_expander(
         node = path.end_node
         rels: List[Relationship] = []
         if direction in (Direction.OUTGOING, Direction.BOTH):
-            rels.extend(graph.out_relationships(node))
+            rels.extend(typed(graph.out_relationships, node))
         if direction in (Direction.INCOMING, Direction.BOTH):
-            rels.extend(graph.in_relationships(node))
+            rels.extend(typed(graph.in_relationships, node))
         for rel in rels:
-            if wanted is not None and rel.type not in wanted:
-                continue
             yield rel, graph.node(rel.other_id(node.id)), state
 
     return expand

@@ -270,8 +270,12 @@ class TestSearchStatistics:
             n = method_node(g, f"hop{i}")
             call(g, n, prev, [0])
             prev = n
+        # a source beyond the depth budget: every hop stays
+        # source-reachable, so the optimized engine walks the chain too
+        # and hits the same depth wall as the baseline
+        call(g, method_node(g, "readObject", source=True), prev, [0])
         finder = GadgetChainFinder(hand_built_cpg(g), max_depth=2)
-        finder.find_chains()
+        assert finder.find_chains() == []
         assert finder.last_search_stats.depth_pruned >= 1
 
     def test_stats_reset_between_runs(self):
@@ -284,3 +288,196 @@ class TestSearchStatistics:
         first = finder.last_search_stats.paths_visited
         finder.find_chains()
         assert finder.last_search_stats.paths_visited == first
+
+
+class TestExactCounters:
+    """Exact SearchStatistics values on hand-built mini-CPGs, pinned on
+    both engines so the optimized rewrite cannot drift unnoticed."""
+
+    def counter_graph(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[1])
+        a = method_node(g, "invoke")
+        d = method_node(g, "decoy")
+        b = method_node(g, "readObject", source=True)
+        e2 = method_node(g, "invokeOverride")
+        call(g, a, sink, [0, 0])
+        call(g, d, sink, [0, -1])  # PP kills the required position
+        call(g, b, a, [0, 0])
+        alias(g, e2, a)
+        return g
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_fig6_counters_exact(self, optimize):
+        finder = GadgetChainFinder(hand_built_cpg(self.counter_graph()),
+                                   optimize=optimize)
+        chains = finder.find_chains()
+        stats = finder.last_search_stats
+        assert [c.key for c in chains] == [(("g", "readObject", 0),
+                                           ("g", "invoke", 0),
+                                           ("g", "exec", 0))]
+        # visits: (exec), (exec,invoke), (exec,invoke,readObject),
+        # (exec,invoke,invokeOverride)
+        assert stats.paths_visited == 4
+        assert stats.call_edges_followed == 2
+        assert stats.call_edges_rejected == 1  # the decoy edge
+        assert stats.alias_hops == 1
+        assert stats.depth_pruned == 0
+        assert stats.filtered_sources == 0
+        assert stats.chains_found == 1
+        if optimize:
+            # everything in this graph is source-reachable: the decoy
+            # edge dies on its Polluted_Position before the prune check
+            assert stats.reachability_pruned == 0
+            assert stats.reachable_nodes == 4  # readObject, invoke, exec, override
+            assert stats.negative_cache_hits == 0
+            # the dead alias-override subtree is recorded as empty
+            assert stats.negative_cache_entries == 1
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_depth_pruned_exact(self, optimize):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        prev = sink
+        for i in range(5):
+            n = method_node(g, f"hop{i}")
+            call(g, n, prev, [0])
+            prev = n
+        call(g, method_node(g, "readObject", source=True), prev, [0])
+        finder = GadgetChainFinder(hand_built_cpg(g), max_depth=2,
+                                   optimize=optimize)
+        assert finder.find_chains() == []
+        stats = finder.last_search_stats
+        # visits: (exec), (exec,hop0), (exec,hop0,hop1) — the third hits
+        # the depth wall
+        assert stats.paths_visited == 3
+        assert stats.call_edges_followed == 2
+        assert stats.depth_pruned == 1
+        assert stats.call_edges_rejected == 0
+        assert stats.alias_hops == 0
+
+    def test_reachability_prune_exact(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        dead = method_node(g, "dead")
+        call(g, dead, sink, [0])  # PP-controllable but source-unreachable
+        # a decoy subtree behind the dead caller that the optimized
+        # engine must never enumerate
+        prev = dead
+        for i in range(4):
+            n = method_node(g, f"dead{i}")
+            call(g, n, prev, [0])
+            prev = n
+        src = method_node(g, "readObject", source=True)
+        call(g, src, sink, [0])
+        baseline = GadgetChainFinder(hand_built_cpg(g), optimize=False)
+        optimized = GadgetChainFinder(hand_built_cpg(g), optimize=True)
+        assert ([c.key for c in baseline.find_chains()]
+                == [c.key for c in optimized.find_chains()])
+        assert optimized.last_search_stats.reachability_pruned == 1
+        assert optimized.last_search_stats.reachable_nodes == 2  # src, exec
+        # optimized never enters the decoy subtree
+        assert optimized.last_search_stats.paths_visited == 2
+        assert baseline.last_search_stats.paths_visited == 7
+
+    def test_negative_cache_hit_exact(self):
+        """Two same-length routes into the same dead subtree: the second
+        visit is answered from the negative cache."""
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        a = method_node(g, "a")
+        b = method_node(g, "b")
+        x = method_node(g, "x")
+        y = method_node(g, "y")
+        call(g, a, sink, [0])
+        call(g, b, sink, [0])
+        call(g, x, a, [0])
+        call(g, x, b, [0])
+        call(g, y, x, [0])
+        # no sources at all: disable the reachability prune to exercise
+        # the cache in isolation
+        finder = GadgetChainFinder(
+            hand_built_cpg(g), optimize=True, prune_unreachable=False
+        )
+        assert finder.find_chains() == []
+        stats = finder.last_search_stats
+        # visits: (exec), (a), (x), (y), (b), (x: cache hit) -> 6
+        assert stats.paths_visited == 6
+        assert stats.negative_cache_hits == 1
+        # empty states recorded: y, x, a, b, and the sink itself
+        assert stats.negative_cache_entries == 5
+        baseline = GadgetChainFinder(hand_built_cpg(g), optimize=False)
+        assert baseline.find_chains() == []
+        assert baseline.last_search_stats.paths_visited == 7
+
+
+class TestSourceFilterBudget:
+    """Regression: filtered-out chains must not consume the
+    max_results_per_sink budget (they used to be included by the
+    evaluator and post-filtered, silently dropping wanted chains)."""
+
+    def two_source_graph(self):
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        # the unwanted source's edge is created first, so the DFS finds
+        # its chain before the wanted one
+        unwanted = method_node(g, "readObject", cls="com.evil.U", source=True)
+        wanted = method_node(g, "readObject", cls="org.good.W", source=True)
+        call(g, unwanted, sink, [0])
+        call(g, wanted, sink, [0])
+        return g
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_wanted_chain_survives_budget_of_one(self, optimize):
+        finder = GadgetChainFinder(
+            hand_built_cpg(self.two_source_graph()),
+            max_results_per_sink=1,
+            optimize=optimize,
+        )
+        chains = finder.find_chains(source_filter="org.good")
+        assert [c.source.class_name for c in chains] == ["org.good.W"]
+        assert finder.last_search_stats.filtered_sources == 1
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_find_between_respects_budget(self, optimize):
+        g = self.two_source_graph()
+        cpg = hand_built_cpg(g)
+        finder = GadgetChainFinder(cpg, max_results_per_sink=1,
+                                   optimize=optimize)
+        sink = g.find_node("Method", NAME="exec")
+        wanted = g.find_node("Method", CLASSNAME="org.good.W")
+        chains = finder.find_between(wanted, sink)
+        assert [c.source.class_name for c in chains] == ["org.good.W"]
+
+    def test_filtered_sources_still_searched_through(self):
+        """An unwanted source is excluded but expansion continues: a
+        wanted source sitting *above* it must still be found."""
+        g = PropertyGraph()
+        sink = method_node(g, "exec", sink=True, tc=[0])
+        mid = method_node(g, "readExternal", cls="com.evil.M", source=True)
+        top = method_node(g, "readObject", cls="org.good.T", source=True)
+        call(g, mid, sink, [0])
+        call(g, top, mid, [0])
+        finder = GadgetChainFinder(hand_built_cpg(g))
+        chains = finder.find_chains(source_filter="org.good")
+        assert [c.source.class_name for c in chains] == ["org.good.T"]
+
+
+class TestParallelSearch:
+    def test_workers_match_serial_on_mini_cpg(self):
+        g = PropertyGraph()
+        sources = []
+        for i in range(4):
+            sink = method_node(g, f"exec{i}", cls=f"s{i}", sink=True, tc=[0])
+            mid = method_node(g, f"mid{i}", cls=f"s{i}")
+            src = method_node(g, "readObject", cls=f"s{i}", source=True)
+            call(g, mid, sink, [0])
+            call(g, src, mid, [0])
+            sources.append(src)
+        serial = GadgetChainFinder(hand_built_cpg(g), workers=1)
+        fanned = GadgetChainFinder(hand_built_cpg(g), workers=2)
+        assert ([c.key for c in serial.find_chains()]
+                == [c.key for c in fanned.find_chains()])
+        assert fanned.last_search_stats.parallel_workers == 2
+        assert (fanned.last_search_stats.paths_visited
+                == serial.last_search_stats.paths_visited)

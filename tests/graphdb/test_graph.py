@@ -99,6 +99,59 @@ class TestRelationships:
         assert graph.degree(a) == 2
 
 
+class TestTypedAdjacencyIndex:
+    def test_typed_lookup_preserves_insertion_order(self, graph):
+        """The per-type buckets must yield exactly what a filtered scan
+        of the flat adjacency list yields, in the same order."""
+        a = graph.create_node()
+        targets = [graph.create_node() for _ in range(6)]
+        rels = []
+        for i, t in enumerate(targets):
+            rels.append(
+                graph.create_relationship("CALL" if i % 2 else "ALIAS", a, t)
+            )
+        calls = graph.out_relationships(a, "CALL")
+        assert calls == [r for r in rels if r.type == "CALL"]
+        assert [r.id for r in calls] == sorted(r.id for r in calls)
+        assert graph.out_relationships(a) == rels
+
+    def test_typed_lookup_unknown_type_empty(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        graph.create_relationship("CALL", a, b)
+        assert graph.out_relationships(a, "EXTEND") == []
+        assert graph.in_relationships(b, "EXTEND") == []
+
+    def test_degree_helpers(self, graph):
+        a, b, c = (graph.create_node() for _ in range(3))
+        graph.create_relationship("CALL", a, b)
+        graph.create_relationship("CALL", c, b)
+        graph.create_relationship("ALIAS", a, b)
+        assert graph.out_degree(a) == 2
+        assert graph.out_degree(a, "CALL") == 1
+        assert graph.in_degree(b) == 3
+        assert graph.in_degree(b, "CALL") == 2
+        assert graph.in_degree(b, "EXTEND") == 0
+
+    def test_delete_relationship_updates_buckets(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        r1 = graph.create_relationship("CALL", a, b)
+        r2 = graph.create_relationship("CALL", a, b)
+        graph.delete_relationship(r1)
+        assert graph.out_relationships(a, "CALL") == [r2]
+        assert graph.in_relationships(b, "CALL") == [r2]
+        assert graph.in_degree(b, "CALL") == 1
+        graph.delete_relationship(r2)
+        assert graph.out_relationships(a, "CALL") == []
+
+    def test_detach_delete_updates_other_endpoints_buckets(self, graph):
+        a, b, c = (graph.create_node() for _ in range(3))
+        graph.create_relationship("CALL", a, b)
+        graph.create_relationship("CALL", c, b)
+        graph.delete_node(b, detach=True)
+        assert graph.out_relationships(a, "CALL") == []
+        assert graph.out_degree(c, "CALL") == 0
+
+
 class TestDeletion:
     def test_delete_relationship(self, graph):
         a, b = graph.create_node(), graph.create_node()

@@ -192,3 +192,150 @@ class TestRelationshipPathUniqueness:
         assert p.last_relationship is rels[0]
         assert p.contains_relationship(rels[0])
         assert not p.contains_relationship(rels[1])
+
+
+class TestPersistentPath:
+    """The persistent (structurally shared) Path representation."""
+
+    def test_extend_shares_parent(self):
+        g, nodes = chain_graph(3)
+        rels = list(g.relationships())
+        parent = Path.single(nodes[0]).extend(rels[0], nodes[1])
+        left = parent.extend(rels[1], nodes[2])
+        # materialising the child must not disturb the parent
+        assert left.nodes == (nodes[0], nodes[1], nodes[2])
+        assert parent.nodes == (nodes[0], nodes[1])
+        assert parent.relationships == (rels[0],)
+        assert left.relationships == (rels[0], rels[1])
+
+    def test_compat_constructor_round_trip(self):
+        g, nodes = chain_graph(4)
+        rels = list(g.relationships())
+        p = Path(nodes, rels)
+        assert p.length == 3
+        assert p.start_node is nodes[0]
+        assert p.end_node is nodes[3]
+        assert p.last_relationship is rels[2]
+        assert p.nodes == tuple(nodes)
+        assert p.relationships == tuple(rels)
+        assert list(p) == list(nodes)
+        assert len(p) == 4
+
+    def test_membership_checks(self):
+        g, nodes = chain_graph(4)
+        rels = list(g.relationships())
+        p = Path(nodes[:3], rels[:2])
+        assert all(p.contains_node(n) for n in nodes[:3])
+        assert not p.contains_node(nodes[3])
+        assert p.contains_relationship(rels[0])
+        assert p.contains_relationship(rels[1])
+        assert not p.contains_relationship(rels[2])
+
+    def test_repr_stable(self):
+        g, nodes = chain_graph(2)
+        rel = next(g.relationships())
+        p = Path.single(nodes[0]).extend(rel, nodes[1])
+        assert repr(p) == f"<Path ({nodes[0].id})-[:CALL]-({nodes[1].id})>"
+
+
+class TestUniquenessModePins:
+    """Pins the exact accepted-path sequences of every Uniqueness mode —
+    start-node exemption, multi-start, and max_results interplay — so an
+    engine rewrite cannot change traversal semantics unnoticed."""
+
+    @staticmethod
+    def names(results):
+        return [tuple(n["NAME"] for n in p.nodes) for p, _ in results]
+
+    @staticmethod
+    def diamond():
+        g = PropertyGraph()
+        a, b, c, d = (g.create_node(["N"], {"NAME": x}) for x in "abcd")
+        for left, right in ((a, b), (a, c), (b, d), (c, d)):
+            g.create_relationship("E", left, right)
+        return g, (a, b, c, d)
+
+    def test_diamond_sequences_per_mode(self):
+        g, (a, b, c, d) = self.diamond()
+        dfs = [("a",), ("a", "b"), ("a", "b", "d"), ("a", "c"), ("a", "c", "d")]
+        expected = {
+            Uniqueness.NODE_PATH: dfs,
+            Uniqueness.RELATIONSHIP_PATH: dfs,
+            # the second route into d is dropped: the lossy shortcut
+            Uniqueness.NODE_GLOBAL: dfs[:4],
+            Uniqueness.NONE: dfs,
+        }
+        for mode, want in expected.items():
+            got = self.names(
+                traverse(g, a, type_expander(["E"]), include_all, uniqueness=mode)
+            )
+            assert got == want, mode
+
+    def test_start_node_cycle_exemption_per_mode(self):
+        """The start node is marked before evaluation under NODE_GLOBAL
+        but exempted via ``path.length > 0`` — the start path itself is
+        always evaluated; only *returns* to the start are constrained."""
+        g = PropertyGraph()
+        a = g.create_node(["N"], {"NAME": "a"})
+        b = g.create_node(["N"], {"NAME": "b"})
+        g.create_relationship("E", a, b)
+        g.create_relationship("E", b, a)
+
+        def bounded(graph, path, state):
+            if path.length < 3:
+                return Evaluation.INCLUDE_AND_CONTINUE
+            return Evaluation.INCLUDE_AND_PRUNE
+
+        expected = {
+            Uniqueness.NODE_PATH: [("a",), ("a", "b")],
+            Uniqueness.RELATIONSHIP_PATH: [("a",), ("a", "b"), ("a", "b", "a")],
+            Uniqueness.NODE_GLOBAL: [("a",), ("a", "b")],
+            Uniqueness.NONE: [
+                ("a",), ("a", "b"), ("a", "b", "a"), ("a", "b", "a", "b"),
+            ],
+        }
+        for mode, want in expected.items():
+            got = self.names(
+                traverse(g, a, type_expander(["E"]), bounded, uniqueness=mode)
+            )
+            assert got == want, mode
+
+    def test_multi_start_per_mode(self):
+        """A later start node already visited by an earlier traversal is
+        still evaluated under NODE_GLOBAL (length-0 exemption), but its
+        expansions into visited territory are dropped."""
+        g, nodes = chain_graph(3)
+        full = [("a0",), ("a0", "a1"), ("a0", "a1", "a2"), ("a1",), ("a1", "a2")]
+        expected = {
+            Uniqueness.NODE_PATH: full,
+            Uniqueness.RELATIONSHIP_PATH: full,
+            Uniqueness.NODE_GLOBAL: full[:4],
+            Uniqueness.NONE: full,
+        }
+        for mode, want in expected.items():
+            got = self.names(
+                traverse(
+                    g, [nodes[0], nodes[1]], type_expander(["CALL"]),
+                    include_all, uniqueness=mode,
+                )
+            )
+            assert got == want, mode
+
+    def test_max_results_counts_included_paths_only(self):
+        """max_results truncates on *included* paths; excluded visits do
+        not consume the budget in any mode."""
+        g, nodes = chain_graph(6)
+
+        def even_lengths_only(graph, path, state):
+            if path.length % 2 == 0:
+                return Evaluation.INCLUDE_AND_CONTINUE
+            return Evaluation.EXCLUDE_AND_CONTINUE
+
+        for mode in Uniqueness:
+            results = list(
+                traverse(
+                    g, nodes[0], type_expander(["CALL"]), even_lengths_only,
+                    uniqueness=mode, max_results=2,
+                )
+            )
+            assert [p.length for p, _ in results] == [0, 2], mode
