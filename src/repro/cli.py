@@ -81,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("cpg", help="a CPG file written by 'tabby analyze'")
     query.add_argument("cypher", help="a Cypher-subset query string")
     query.add_argument("--json", action="store_true")
+    query.add_argument("--explain", action="store_true",
+                       help="print the query plan instead of running it")
+    query.add_argument("--profile", action="store_true",
+                       help="run the query and print the plan with "
+                       "per-operator row/time counters to stderr")
+    query.add_argument("--no-planner", action="store_true",
+                       help="use the legacy naive interpreter "
+                       "(incompatible with --explain/--profile)")
 
     bench = sub.add_parser("bench", help="regenerate an evaluation table")
     bench.add_argument(
@@ -304,8 +312,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.graphdb.query import run_query
     from repro.graphdb.storage import load_graph
 
+    if args.no_planner and (args.explain or args.profile):
+        print("query: --no-planner is incompatible with --explain/--profile",
+              file=sys.stderr)
+        return 2
     graph = load_graph(args.cpg)
-    result = run_query(graph, args.cypher)
+    result = run_query(
+        graph,
+        args.cypher,
+        optimize=not args.no_planner,
+        explain=args.explain,
+        profile=args.profile,
+    )
+    if args.explain:
+        print(result.plan.render())
+        return 0
+    if args.profile:
+        print(result.plan.render(), file=sys.stderr)
     if args.json:
         print(json.dumps([_jsonable_row(r) for r in result.rows], indent=2))
         return 0

@@ -164,6 +164,25 @@ class Tabby:
     def save_cpg(self, path: str) -> None:
         save_graph(self.build_cpg().graph, path)
 
-    def query(self, cypher: str) -> QueryResult:
-        """Run a Cypher-subset query against the CPG."""
-        return run_query(self.build_cpg().graph, cypher)
+    def query(
+        self,
+        cypher: str,
+        *,
+        optimize: bool = True,
+        explain: bool = False,
+        profile: bool = False,
+    ) -> QueryResult:
+        """Run a Cypher-subset query against the CPG.
+
+        ``optimize=False`` selects the legacy naive interpreter;
+        ``explain=True`` returns only the plan (``result.plan``) without
+        executing, and ``profile=True`` executes while collecting
+        per-operator row/time counters on the plan.
+        """
+        return run_query(
+            self.build_cpg().graph,
+            cypher,
+            optimize=optimize,
+            explain=explain,
+            profile=profile,
+        )

@@ -3,12 +3,15 @@
 * :mod:`repro.graphdb.graph` — nodes, relationships, adjacency
 * :mod:`repro.graphdb.index` — label and property indexes
 * :mod:`repro.graphdb.query` — Cypher-subset query language
+* :mod:`repro.graphdb.plan` — cost-based query planner + optimized
+  executor (EXPLAIN/PROFILE)
 * :mod:`repro.graphdb.traversal` — expander/evaluator traversal
   framework (the *tabby-path-finder* substrate)
 * :mod:`repro.graphdb.storage` — JSON persistence
 """
 
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
+from repro.graphdb.plan import QueryPlan, build_plan
 from repro.graphdb.query import QueryResult, run_query
 from repro.graphdb.storage import load_graph, save_graph
 from repro.graphdb.traversal import (
@@ -26,6 +29,8 @@ __all__ = [
     "Relationship",
     "run_query",
     "QueryResult",
+    "QueryPlan",
+    "build_plan",
     "save_graph",
     "load_graph",
     "Path",

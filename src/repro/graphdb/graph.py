@@ -164,6 +164,9 @@ class PropertyGraph:
         #: node id -> rel type -> rel ids, each bucket in insertion order
         self._out_by_type: Dict[int, Dict[str, List[int]]] = {}
         self._in_by_type: Dict[int, Dict[str, List[int]]] = {}
+        #: rel type -> live relationship count, maintained incrementally
+        #: so the query planner's cost model never scans the edge set
+        self._rel_type_counts: Dict[str, int] = {}
         self._next_node_id = 0
         self._next_rel_id = 0
         self.indexes = IndexManager()
@@ -203,7 +206,17 @@ class PropertyGraph:
         self._in[end_id].append(rel.id)
         self._out_by_type[start_id].setdefault(rel_type, []).append(rel.id)
         self._in_by_type[end_id].setdefault(rel_type, []).append(rel.id)
+        self._rel_type_counts[rel_type] = self._rel_type_counts.get(rel_type, 0) + 1
         return rel
+
+    # -- indexing -----------------------------------------------------------
+
+    def create_index(self, label: str, key: str) -> None:
+        """Declare a (label, property) index and backfill it over the
+        nodes already in the graph, so lookups are complete no matter
+        when the index is declared.  The query planner routes anchor
+        scans through these indexes and assumes completeness."""
+        self.indexes.create_index(label, key, nodes=self.nodes(label))
 
     # -- deletion -----------------------------------------------------------
 
@@ -222,6 +235,11 @@ class PropertyGraph:
         in_bucket.remove(rel_id)
         if not in_bucket:
             del self._in_by_type[found.end_id][found.type]
+        remaining = self._rel_type_counts[found.type] - 1
+        if remaining:
+            self._rel_type_counts[found.type] = remaining
+        else:
+            del self._rel_type_counts[found.type]
 
     def delete_node(self, node: "Node | int", detach: bool = False) -> None:
         node_id = node.id if isinstance(node, Node) else node
@@ -374,10 +392,7 @@ class PropertyGraph:
         return self.indexes.label_counts()
 
     def relationship_type_counts(self) -> Dict[str, int]:
-        out: Dict[str, int] = {}
-        for rel in self._rels.values():
-            out[rel.type] = out.get(rel.type, 0) + 1
-        return out
+        return dict(self._rel_type_counts)
 
     def __repr__(self) -> str:
         return (

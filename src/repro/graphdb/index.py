@@ -42,16 +42,26 @@ class IndexManager:
 
     # -- schema -----------------------------------------------------------
 
-    def create_index(self, label: str, key: str) -> None:
+    def create_index(
+        self, label: str, key: str, nodes: Iterable["Node"] = ()
+    ) -> None:
         """Declare a property index; call before or after bulk loading.
 
-        Creating an index that already exists is a no-op.  Note: nodes
-        indexed *before* the declaration are not revisited — declare
-        indexes before loading, as the CPG builder does.
+        Creating an index that already exists is a no-op.  Nodes indexed
+        *before* the declaration are not revisited unless passed via
+        ``nodes`` — either declare indexes before loading (as the CPG
+        builder does) or use :meth:`PropertyGraph.create_index`, which
+        backfills automatically.  The query planner relies on indexes
+        being complete for the nodes they cover.
         """
         if not label or not key:
             raise GraphError("index needs a label and a property key")
-        self._property_indexes.setdefault((label, key), {})
+        table = self._property_indexes.setdefault((label, key), {})
+        for node in nodes:
+            if label in node.labels and key in node.properties:
+                table.setdefault(_index_key(node.properties[key]), set()).add(
+                    node.id
+                )
 
     def has_index(self, label: str, key: str) -> bool:
         return (label, key) in self._property_indexes
@@ -93,6 +103,18 @@ class IndexManager:
         if table is None:
             return None
         return set(table.get(_index_key(value), ()))
+
+    def count(self, label: str, key: str, value: Any) -> Optional[int]:
+        """Size of an exact-match hit set without copying it, or None
+        when no index covers (label, key) — the planner's cost probe."""
+        table = self._property_indexes.get((label, key))
+        if table is None:
+            return None
+        return len(table.get(_index_key(value), ()))
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (0 for unknown labels)."""
+        return len(self._by_label.get(label, ()))
 
     def label_counts(self) -> Dict[str, int]:
         return {label: len(ids) for label, ids in self._by_label.items()}

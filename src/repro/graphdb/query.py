@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
+from repro.graphdb.traversal import Path
 
 __all__ = ["run_query", "QueryResult", "parse_query"]
 
@@ -446,31 +447,95 @@ def _node_matches(node: Node, pat: NodePattern) -> bool:
 
 
 def _candidate_nodes(graph: PropertyGraph, pat: NodePattern) -> Iterable[Node]:
+    """Seed nodes for a pattern: the smallest indexed property hit set
+    across *all* of the pattern's labels, falling back to the most
+    selective (lowest-count) label scan; every candidate is then
+    verified against the full label set and property map."""
     if pat.labels:
-        return graph.find_nodes(pat.labels[0], **pat.props)
+        best_hit: Optional[Set[int]] = None
+        for label in pat.labels:
+            for key, value in pat.props.items():
+                hit = graph.indexes.lookup(label, key, value)
+                if hit is not None and (best_hit is None or len(hit) < len(best_hit)):
+                    best_hit = hit
+        if best_hit is not None:
+            candidates: Iterable[Node] = (graph.node(i) for i in best_hit)
+        else:
+            candidates = graph.nodes(
+                min(pat.labels, key=graph.indexes.label_count)
+            )
+        return [n for n in candidates if _node_matches(n, pat)]
     return [n for n in graph.nodes() if _node_matches(n, pat)]
+
+
+def _typed_rels(getter, node: Node, types: List[str]) -> List[Relationship]:
+    """Relationships of the wanted types via the per-type adjacency
+    buckets; merging by id reproduces the order a filtered scan of the
+    flat (insertion-ordered) adjacency list used to yield."""
+    if len(types) == 1:
+        return getter(node, types[0])
+    rels: List[Relationship] = []
+    for rel_type in dict.fromkeys(types):
+        rels.extend(getter(node, rel_type))
+    rels.sort(key=lambda r: r.id)
+    return rels
 
 
 def _step(
     graph: PropertyGraph, node: Node, rel_pat: RelPattern
 ) -> Iterator[Tuple[Relationship, Node]]:
-    rels: List[Relationship] = []
+    types = rel_pat.types
+    out_rels: Sequence[Relationship] = ()
+    in_rels: Sequence[Relationship] = ()
     if rel_pat.direction in ("out", "both"):
-        rels.extend(graph.out_relationships(node))
+        out_rels = (
+            _typed_rels(graph.out_relationships, node, types)
+            if types
+            else graph.out_relationships(node)
+        )
     if rel_pat.direction in ("in", "both"):
-        rels.extend(graph.in_relationships(node))
-    seen: Set[int] = set()
-    for rel in rels:
-        if rel.id in seen:
-            continue
-        seen.add(rel.id)
-        if rel_pat.types and rel.type not in rel_pat.types:
-            continue
-        if rel_pat.direction == "out" and rel.start_id != node.id:
-            continue
-        if rel_pat.direction == "in" and rel.end_id != node.id:
-            continue
-        yield rel, graph.node(rel.other_id(node.id))
+        in_rels = (
+            _typed_rels(graph.in_relationships, node, types)
+            if types
+            else graph.in_relationships(node)
+        )
+    for rel in out_rels:
+        yield rel, graph.node(rel.end_id)
+    if rel_pat.direction == "both":
+        seen = {rel.id for rel in out_rels}
+        for rel in in_rels:
+            if rel.id not in seen:
+                yield rel, graph.node(rel.start_id)
+    else:
+        for rel in in_rels:
+            yield rel, graph.node(rel.start_id)
+
+
+def _bind_node(b: Binding, pat: NodePattern, node: Node) -> Optional[Binding]:
+    if not _node_matches(node, pat):
+        return None
+    if pat.var is not None:
+        existing = b.get(pat.var)
+        if existing is not None:
+            if not (isinstance(existing, Node) and existing.id == node.id):
+                return None
+            return b
+        b = dict(b)
+        b[pat.var] = node
+    return b
+
+
+def _bind_rel(b: Binding, rel_pat: RelPattern, rel: Relationship) -> Optional[Binding]:
+    if rel_pat.var is None:
+        return b
+    existing = b.get(rel_pat.var)
+    if existing is not None:
+        if not (isinstance(existing, Relationship) and existing.id == rel.id):
+            return None
+        return b
+    b = dict(b)
+    b[rel_pat.var] = rel
+    return b
 
 
 def _match_path(
@@ -480,19 +545,6 @@ def _match_path(
 ) -> Iterator[Binding]:
     """Backtracking matcher for one linear pattern, extending ``binding``."""
 
-    def bind_node(b: Binding, pat: NodePattern, node: Node) -> Optional[Binding]:
-        if not _node_matches(node, pat):
-            return None
-        if pat.var is not None:
-            existing = b.get(pat.var)
-            if existing is not None:
-                if not (isinstance(existing, Node) and existing.id == node.id):
-                    return None
-                return b
-            b = dict(b)
-            b[pat.var] = node
-        return b
-
     def rec(b: Binding, node: Node, index: int) -> Iterator[Binding]:
         if index == len(pattern.rels):
             yield b
@@ -501,44 +553,35 @@ def _match_path(
         next_pat = pattern.nodes[index + 1]
         if not rel_pat.is_var_length:
             for rel, nxt in _step(graph, node, rel_pat):
-                b2 = b
-                if rel_pat.var is not None:
-                    existing = b2.get(rel_pat.var)
-                    if existing is not None:
-                        if not (
-                            isinstance(existing, Relationship)
-                            and existing.id == rel.id
-                        ):
-                            continue
-                    else:
-                        b2 = dict(b2)
-                        b2[rel_pat.var] = rel
-                b3 = bind_node(b2, next_pat, nxt)
+                b2 = _bind_rel(b, rel_pat, rel)
+                if b2 is None:
+                    continue
+                b3 = _bind_node(b2, next_pat, nxt)
                 if b3 is None:
                     continue
                 yield from rec(b3, nxt, index + 1)
             return
-        # variable-length: DFS over hop counts within [min, max]
+        # variable-length: DFS over hop counts within [min, max], using
+        # the persistent cons-list Path so each push is O(1) instead of
+        # copying an O(depth) rel list and visited set
         max_hops = rel_pat.max_hops if rel_pat.max_hops is not None else graph.node_count
-        stack: List[Tuple[Node, List[Relationship], Set[int]]] = [
-            (node, [], {node.id})
-        ]
+        stack: List[Path] = [Path.single(node)]
         while stack:
-            current, rels, on_path = stack.pop()
-            if len(rels) >= rel_pat.min_hops:
+            path = stack.pop()
+            if path.length >= rel_pat.min_hops:
                 b2 = b
                 if rel_pat.var is not None:
                     b2 = dict(b2)
-                    b2[rel_pat.var] = list(rels)
-                b3 = bind_node(b2, next_pat, current)
+                    b2[rel_pat.var] = list(path.relationships)
+                b3 = _bind_node(b2, next_pat, path.end_node)
                 if b3 is not None:
-                    yield from rec(b3, current, index + 1)
-            if len(rels) >= max_hops:
+                    yield from rec(b3, path.end_node, index + 1)
+            if path.length >= max_hops:
                 continue
-            for rel, nxt in _step(graph, current, rel_pat):
-                if nxt.id in on_path:
+            for rel, nxt in _step(graph, path.end_node, rel_pat):
+                if path.contains_node(nxt):
                     continue
-                stack.append((nxt, rels + [rel], on_path | {nxt.id}))
+                stack.append(path.extend(rel, nxt))
 
     first = pattern.nodes[0]
     bound = binding.get(first.var) if first.var else None
@@ -547,7 +590,7 @@ def _match_path(
     else:
         candidates = _candidate_nodes(graph, first)
     for node in candidates:
-        b0 = bind_node(binding, first, node)
+        b0 = _bind_node(binding, first, node)
         if b0 is None:
             continue
         yield from rec(b0, node, 0)
@@ -634,11 +677,19 @@ def _hashable(value: Any) -> Any:
 
 
 class QueryResult:
-    """Query output: ordered ``columns`` and a list of row dicts."""
+    """Query output: ordered ``columns`` and a list of row dicts.
 
-    def __init__(self, columns: List[str], rows: List[Dict[str, Any]]):
+    When the cost-based planner ran (see :mod:`repro.graphdb.plan`),
+    ``plan`` holds the chosen :class:`~repro.graphdb.plan.QueryPlan` —
+    with per-operator row/time counters filled in under ``profile=``.
+    """
+
+    def __init__(
+        self, columns: List[str], rows: List[Dict[str, Any]], plan: Any = None
+    ):
         self.columns = columns
         self.rows = rows
+        self.plan = plan
 
     def values(self, column: str) -> List[Any]:
         return [row[column] for row in self.rows]
@@ -660,10 +711,81 @@ class QueryResult:
         return f"<QueryResult {len(self.rows)} rows x {self.columns}>"
 
 
-def run_query(graph: PropertyGraph, source: str) -> QueryResult:
-    """Parse and execute a query against ``graph``."""
-    query = parse_query(source)
+def _project_row(query: Query, b: Binding) -> Dict[str, Any]:
+    return {item.alias: _eval_expr(item.expr, b) for item in query.items}
 
+
+def _aggregate_rows(query: Query, bindings: Iterable[Binding]) -> List[Dict[str, Any]]:
+    """Group bindings by the non-aggregate RETURN items and evaluate the
+    count() aggregates per group (shared by both engines)."""
+    group_items = [item for item in query.items if not item.is_aggregate]
+    groups: Dict[Any, Dict[str, Any]] = {}
+    members: Dict[Any, List[Binding]] = {}
+    for b in bindings:
+        key = tuple(_hashable(_eval_expr(item.expr, b)) for item in group_items)
+        if key not in groups:
+            groups[key] = {
+                item.alias: _eval_expr(item.expr, b) for item in group_items
+            }
+            members[key] = []
+        members[key].append(b)
+    if not groups and not group_items:
+        groups[()] = {}
+        members[()] = []
+    rows = []
+    for key, row in groups.items():
+        for item in query.items:
+            if item.expr[0] == "count_all":
+                row[item.alias] = len(members[key])
+            elif item.expr[0] == "count":
+                _, inner, distinct = item.expr
+                vals = [
+                    _eval_expr(inner, b)
+                    for b in members[key]
+                    if _eval_expr(inner, b) is not None
+                ]
+                if distinct:
+                    row[item.alias] = len({_hashable(v) for v in vals})
+                else:
+                    row[item.alias] = len(vals)
+        rows.append(row)
+    return rows
+
+
+def _distinct_rows(
+    columns: List[str], rows: Iterable[Dict[str, Any]]
+) -> Iterator[Dict[str, Any]]:
+    """Streaming first-occurrence dedup over full rows."""
+    seen: Set[Any] = set()
+    for row in rows:
+        key = tuple(_hashable(row[c]) for c in columns)
+        if key not in seen:
+            seen.add(key)
+            yield row
+
+
+def _make_sort_key(query: Query) -> Callable[[Dict[str, Any]], Tuple]:
+    def sort_key(row: Dict[str, Any]) -> Tuple:
+        key = []
+        for expr, asc in query.order_by:
+            alias = _default_alias(expr)
+            if alias in row:
+                value = row[alias]
+            elif expr[0] == "var" and expr[1] in row:
+                value = row[expr[1]]
+            else:
+                raise QueryExecutionError(
+                    f"ORDER BY expression {alias!r} is not in RETURN"
+                )
+            key.append(_OrderKey(value, asc))
+        return tuple(key)
+
+    return sort_key
+
+
+def _run_naive(graph: PropertyGraph, query: Query) -> QueryResult:
+    """The legacy interpreter: seed every pattern from its first node,
+    evaluate WHERE on complete bindings, materialise + sort + slice."""
     bindings: List[Binding] = [{}]
     for pattern in query.patterns:
         bindings = [
@@ -679,81 +801,52 @@ def run_query(graph: PropertyGraph, source: str) -> QueryResult:
 
     rows: List[Dict[str, Any]]
     if has_aggregate:
-        group_items = [item for item in query.items if not item.is_aggregate]
-        groups: Dict[Any, Dict[str, Any]] = {}
-        members: Dict[Any, List[Binding]] = {}
-        for b in bindings:
-            key = tuple(_hashable(_eval_expr(item.expr, b)) for item in group_items)
-            if key not in groups:
-                groups[key] = {
-                    item.alias: _eval_expr(item.expr, b) for item in group_items
-                }
-                members[key] = []
-            members[key].append(b)
-        if not bindings and not group_items:
-            groups[()] = {}
-            members[()] = []
-        rows = []
-        for key, row in groups.items():
-            for item in query.items:
-                if item.expr[0] == "count_all":
-                    row[item.alias] = len(members[key])
-                elif item.expr[0] == "count":
-                    _, inner, distinct = item.expr
-                    vals = [
-                        _eval_expr(inner, b)
-                        for b in members[key]
-                        if _eval_expr(inner, b) is not None
-                    ]
-                    if distinct:
-                        row[item.alias] = len({_hashable(v) for v in vals})
-                    else:
-                        row[item.alias] = len(vals)
-            rows.append(row)
+        rows = _aggregate_rows(query, bindings)
     else:
-        rows = [
-            {item.alias: _eval_expr(item.expr, b) for item in query.items}
-            for b in bindings
-        ]
+        rows = [_project_row(query, b) for b in bindings]
 
     if query.distinct:
-        seen: Set[Any] = set()
-        unique: List[Dict[str, Any]] = []
-        for row in rows:
-            key = tuple(_hashable(row[c]) for c in columns)
-            if key not in seen:
-                seen.add(key)
-                unique.append(row)
-        rows = unique
+        rows = list(_distinct_rows(columns, rows))
 
     if query.order_by:
-        binding_free = all(
-            expr[0] in ("lit",) or _default_alias(expr) in columns or expr[0] == "var"
-            for expr, _ in query.order_by
-        )
-
-        def sort_key(row: Dict[str, Any]) -> Tuple:
-            key = []
-            for expr, asc in query.order_by:
-                alias = _default_alias(expr)
-                if alias in row:
-                    value = row[alias]
-                elif expr[0] == "var" and expr[1] in row:
-                    value = row[expr[1]]
-                else:
-                    raise QueryExecutionError(
-                        f"ORDER BY expression {alias!r} is not in RETURN"
-                    )
-                key.append(_OrderKey(value, asc))
-            return tuple(key)
-
-        rows.sort(key=sort_key)
+        rows.sort(key=_make_sort_key(query))
 
     if query.skip:
         rows = rows[query.skip :]
     if query.limit is not None:
         rows = rows[: query.limit]
     return QueryResult(columns, rows)
+
+
+def run_query(
+    graph: PropertyGraph,
+    source: str,
+    *,
+    optimize: bool = True,
+    explain: bool = False,
+    profile: bool = False,
+) -> QueryResult:
+    """Parse and execute a query against ``graph``.
+
+    By default the cost-based planner (:mod:`repro.graphdb.plan`) picks
+    the cheapest anchor for each pattern, pushes WHERE conjuncts to the
+    earliest position where their variables are bound, and short-circuits
+    ORDER BY/LIMIT; the row multiset is identical to the legacy engine
+    by construction.  ``optimize=False`` runs the legacy interpreter.
+    ``explain=True`` returns the plan without executing (empty rows);
+    ``profile=True`` executes and fills per-operator row/time counters.
+    Either way the plan is attached as ``result.plan``.
+    """
+    query = parse_query(source)
+    if not optimize:
+        if explain or profile:
+            raise QueryExecutionError(
+                "explain/profile require the planner (optimize=True)"
+            )
+        return _run_naive(graph, query)
+    from repro.graphdb.plan import execute_planned
+
+    return execute_planned(graph, query, source, explain=explain, profile=profile)
 
 
 class _OrderKey:

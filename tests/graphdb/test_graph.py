@@ -214,3 +214,13 @@ class TestStats:
         assert graph.relationship_count == 1
         assert graph.label_counts() == {"Class": 1, "Method": 1}
         assert graph.relationship_type_counts() == {"HAS": 1}
+
+    def test_relationship_type_counts_track_deletes(self, graph):
+        a = graph.create_node(["M"])
+        b = graph.create_node(["M"])
+        r1 = graph.create_relationship("CALL", a, b)
+        graph.create_relationship("CALL", b, a)
+        graph.create_relationship("ALIAS", a, b)
+        assert graph.relationship_type_counts() == {"CALL": 2, "ALIAS": 1}
+        graph.delete_relationship(r1)
+        assert graph.relationship_type_counts() == {"CALL": 1, "ALIAS": 1}

@@ -59,6 +59,40 @@ class TestIndexManager:
         assert n.id in g.indexes.nodes_with_label("A")
         assert n.id in g.indexes.nodes_with_label("B")
 
+    def test_graph_create_index_backfills_existing_nodes(self):
+        g = PropertyGraph()
+        a = g.create_node(["M"], {"NAME": "x"})
+        b = g.create_node(["M"], {"NAME": "x"})
+        g.create_node(["M"], {"NAME": "y"})
+        g.create_node(["Other"], {"NAME": "x"})  # wrong label: not covered
+        g.create_index("M", "NAME")
+        assert g.indexes.lookup("M", "NAME", "x") == {a.id, b.id}
+        # and stays maintained for nodes created afterwards
+        c = g.create_node(["M"], {"NAME": "x"})
+        assert g.indexes.lookup("M", "NAME", "x") == {a.id, b.id, c.id}
+
+    def test_manager_create_index_backfills_passed_nodes_only(self):
+        g = PropertyGraph()
+        a = g.create_node(["M"], {"NAME": "x"})
+        g.indexes.create_index("M", "NAME", nodes=[a])
+        assert g.indexes.lookup("M", "NAME", "x") == {a.id}
+
+    def test_count_matches_lookup_size(self):
+        g = PropertyGraph()
+        g.create_index("M", "NAME")
+        g.create_node(["M"], {"NAME": "x"})
+        g.create_node(["M"], {"NAME": "x"})
+        assert g.indexes.count("M", "NAME", "x") == 2
+        assert g.indexes.count("M", "NAME", "missing") == 0
+        assert g.indexes.count("M", "OTHER", "x") is None
+
+    def test_label_count(self):
+        g = PropertyGraph()
+        g.create_node(["A"])
+        g.create_node(["A"])
+        assert g.indexes.label_count("A") == 2
+        assert g.indexes.label_count("Nope") == 0
+
 
 class TestIndexKeys:
     def test_list_values_hashable(self):

@@ -63,6 +63,58 @@ class TestAnalyze:
         rows = json.loads(capsys.readouterr().out)
         assert rows == [{"n": "invoke"}]
 
+    def test_query_explain_prints_plan_without_rows(self, jar_dir, tmp_path,
+                                                    capsys):
+        cpg = str(tmp_path / "out.cpg.json.gz")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main([
+            "query", cpg, "--explain",
+            "MATCH (a:Method)-[:CALL]->(b:Method {IS_SINK: true}) "
+            "RETURN a.NAME AS n",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QUERY PLAN" in out
+        assert "[reversed]" in out
+        assert "index seek Method.IS_SINK" in out
+        assert "row(s)" not in out  # plan only, no result table
+
+    def test_query_profile_prints_counters_to_stderr(self, jar_dir, tmp_path,
+                                                     capsys):
+        cpg = str(tmp_path / "out.cpg.json.gz")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main([
+            "query", cpg, "--profile", "--json",
+            "MATCH (m:Method {IS_SINK: true}) RETURN m.NAME AS n",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "profiled" in captured.err and "rows=" in captured.err
+        rows = json.loads(captured.out)  # --json output stays clean
+        assert rows == [{"n": "invoke"}]
+
+    def test_query_no_planner_matches_default(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "out.cpg.json.gz")
+        main(["analyze", jar_dir, "-o", cpg])
+        cypher = ("MATCH (m:Method {IS_SINK: true}) "
+                  "RETURN m.NAME AS n ORDER BY n")
+        capsys.readouterr()
+        assert main(["query", cpg, cypher]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["query", cpg, "--no-planner", cypher]) == 0
+        legacy_out = capsys.readouterr().out
+        assert legacy_out == default_out
+
+    def test_query_no_planner_rejects_explain(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "out.cpg.json.gz")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main([
+            "query", cpg, "--no-planner", "--explain",
+            "MATCH (m:Method) RETURN m.NAME AS n",
+        ]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
     def test_missing_classpath_errors(self, capsys):
         assert main(["analyze", "/no/such/dir"]) == 1
         assert "error:" in capsys.readouterr().err
