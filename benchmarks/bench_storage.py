@@ -1,0 +1,253 @@
+"""Storage benchmark: the v2 binary columnar snapshot vs the v1 JSON form.
+
+Two workloads, both rooted in the 26-component Table IX corpus:
+
+* **corpus** — the merged corpus CPG exactly as built: the graph a
+  ``tabby analyze`` of the whole corpus persists.  The >=3x v2 load
+  speedup gate (full mode only) is asserted on this workload.
+
+* **library_bulk** — the same CPG plus decoy CALL lattices attached to
+  a real sink, mimicking the storage profile of real-world classpaths
+  (lots of near-identical method nodes and CALL edges, few distinct
+  strings).  This is where columnar layout and the string table pay
+  the most; the decoys add zero chains, which is also asserted.
+
+Per workload x format we record save time, load time (both best-of-N),
+file size, and the tracemalloc-visible resident size of the loaded
+graph.  Identity gates run in every mode, smoke included:
+
+* ``load_graph(save_graph(g))`` is :func:`graph_fingerprint`-identical
+  to ``g`` under both formats — nodes, labels, properties, indexes,
+  adjacency buckets and relationship-type counts;
+* the gadget-chain search over the reloaded graph is bit-identical to
+  the search over the in-memory original;
+* a planner query over the reloaded graph returns bit-identical rows.
+
+Results go to ``BENCH_storage.json``.  The full run asserts the v2
+binary loads >=3x faster than v1 and produces a smaller file;
+``--smoke`` uses a two-component corpus and skips the speedup gate
+(identity is always enforced), which is what CI runs.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+import tracemalloc
+
+sys.path.insert(0, "src")
+
+from repro.core.cpg import CALL, CPG, CPGBuilder, CPGStatistics
+from repro.core.pathfinder import GadgetChainFinder
+from repro.corpus import COMPONENT_NAMES, build_component, build_lang_base
+from repro.graphdb.query import run_query
+from repro.graphdb.snapshot import graph_fingerprint
+from repro.graphdb.storage import load_graph, save_graph
+from repro.jvm.hierarchy import ClassHierarchy
+
+REPETITIONS = 5
+
+SMOKE_COMPONENTS = ["CommonsBeanutils1", "commons-collections(3.2.1)"]
+
+#: both formats answer this after a reload, bit-identically
+PROBE_QUERY = (
+    "MATCH (a:Method)-[c:CALL]->(b:Method {IS_SINK: true}) "
+    "RETURN a.SIGNATURE AS caller, b.NAME AS sink ORDER BY caller, sink"
+)
+
+FORMATS = {"v1_json": ("g.cpg.json.gz", "json"), "v2_binary": ("g.cpg", "binary")}
+
+
+def build_corpus_cpg(components):
+    classes = build_lang_base()
+    for name in components:
+        classes += build_component(name).classes
+    return CPGBuilder(ClassHierarchy(classes)).build()
+
+
+def decoy_method(graph, name):
+    return graph.create_node(
+        ["Method"],
+        {
+            "NAME": name,
+            "CLASSNAME": "bulk.Library",
+            "SIGNATURE": f"void bulk.Library.{name}(java.lang.Object)",
+            "ARITY": 1,
+            "IS_SOURCE": False,
+            "IS_SINK": False,
+        },
+    )
+
+
+def attach_lattice(graph, sink, tag, width, depth):
+    """A diamond CALL lattice feeding ``sink`` (see bench_search_scaling):
+    source-unreachable, so it adds bulk but zero chains."""
+    layers = []
+    for d in range(depth + 1):
+        layers.append([decoy_method(graph, f"{tag}_{d}_{k}") for k in range(width)])
+    for node in layers[0]:
+        graph.create_relationship(
+            CALL, node, sink, {"POLLUTED_POSITION": [0, 0], "KIND": "virtual"}
+        )
+    for d in range(depth):
+        for k in range(width):
+            for caller in (layers[d + 1][k], layers[d + 1][(k + 1) % width]):
+                graph.create_relationship(
+                    CALL, caller, layers[d][k],
+                    {"POLLUTED_POSITION": [0, 0], "KIND": "virtual"},
+                )
+
+
+def build_bulk_cpg(components, width, depth):
+    cpg = build_corpus_cpg(components)
+    sink = cpg.sink_nodes()[0]
+    attach_lattice(cpg.graph, sink, "bulk", width, depth)
+    return cpg
+
+
+def chain_fingerprint(cpg):
+    return [
+        (
+            tuple(step.qualified for step in chain.steps),
+            chain.sink_category,
+            tuple(chain.trigger_condition),
+        )
+        for chain in GadgetChainFinder(cpg).find_chains()
+    ]
+
+
+def reload_as_cpg(graph):
+    return CPG(graph, ClassHierarchy([]), CPGStatistics(), {})
+
+
+def timed(action, repetitions=REPETITIONS):
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        result = action()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def resident_bytes(path):
+    """tracemalloc-visible size of the object graph a load allocates."""
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    graph = load_graph(path)
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return after - before, graph
+
+
+def measure_workload(name, cpg, tmp_dir, report, failures):
+    graph = cpg.graph
+    print(f"{name}: {graph.node_count} nodes, "
+          f"{graph.relationship_count} relationships")
+    reference = graph_fingerprint(graph)
+    chains_before = chain_fingerprint(cpg)
+    rows_before = run_query(graph, PROBE_QUERY).rows
+    entry = {
+        "nodes": graph.node_count,
+        "relationships": graph.relationship_count,
+        "chains": len(chains_before),
+        "formats": {},
+    }
+    for label, (file_name, format) in FORMATS.items():
+        path = os.path.join(tmp_dir, f"{name}-{file_name}")
+        save_s, _ = timed(lambda: save_graph(graph, path, format=format))
+        load_s, _ = timed(lambda: load_graph(path))
+        resident, loaded = resident_bytes(path)
+        entry["formats"][label] = {
+            "save_s": save_s,
+            "load_s": load_s,
+            "file_bytes": os.path.getsize(path),
+            "resident_bytes": resident,
+        }
+        print(f"  {label:<10} save {save_s * 1000:7.1f}ms  "
+              f"load {load_s * 1000:7.1f}ms  "
+              f"{os.path.getsize(path):>9} bytes on disk  "
+              f"{resident:>9} bytes resident")
+
+        # -- identity gates (every mode)
+        if graph_fingerprint(loaded) != reference:
+            failures.append(f"{name}/{label}: reload is not "
+                            "fingerprint-identical to the original")
+        if chain_fingerprint(reload_as_cpg(loaded)) != chains_before:
+            failures.append(f"{name}/{label}: chain search diverged "
+                            "after a save/load cycle")
+        if run_query(loaded, PROBE_QUERY).rows != rows_before:
+            failures.append(f"{name}/{label}: planner query rows diverged "
+                            "after a save/load cycle")
+
+    v1, v2 = entry["formats"]["v1_json"], entry["formats"]["v2_binary"]
+    entry["load_speedup_v2_vs_v1"] = (
+        v1["load_s"] / v2["load_s"] if v2["load_s"] else float("inf")
+    )
+    entry["size_ratio_v2_vs_v1"] = v2["file_bytes"] / v1["file_bytes"]
+    report["workloads"][name] = entry
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="two-component corpus, identity checks only (no speedup gate)",
+    )
+    parser.add_argument("--output", default="BENCH_storage.json")
+    args = parser.parse_args(argv)
+
+    components = SMOKE_COMPONENTS if args.smoke else list(COMPONENT_NAMES)
+    width, depth = (8, 4) if args.smoke else (96, 14)
+    failures = []
+    report = {
+        "benchmark": "storage",
+        "mode": "smoke" if args.smoke else "full",
+        "components": len(components),
+        "repetitions": REPETITIONS,
+        "lattice": {"width": width, "depth": depth},
+        "workloads": {},
+    }
+
+    print(f"building merged {len(components)}-component corpus CPG ...")
+    corpus = build_corpus_cpg(components)
+    print(f"building library-bulk CPG (lattice width={width}, depth={depth}) ...")
+    bulk = build_bulk_cpg(components, width, depth)
+
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as tmp_dir:
+        corpus_entry = measure_workload("corpus", corpus, tmp_dir, report, failures)
+        measure_workload("library_bulk", bulk, tmp_dir, report, failures)
+
+    speedup = corpus_entry["load_speedup_v2_vs_v1"]
+    report["speedup"] = speedup
+    if not args.smoke:
+        if speedup < 3.0:
+            failures.append(
+                f"expected >=3x v2 load speedup on the merged corpus, "
+                f"got {speedup:.2f}x"
+            )
+        for name, entry in report["workloads"].items():
+            if entry["size_ratio_v2_vs_v1"] >= 1.0:
+                failures.append(
+                    f"{name}: v2 file is not smaller than v1 "
+                    f"(ratio {entry['size_ratio_v2_vs_v1']:.2f})"
+                )
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"v2 binary: {speedup:.1f}x faster load than v1 on the merged "
+          "corpus — all reloads bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

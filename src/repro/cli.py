@@ -3,7 +3,9 @@
 Subcommands::
 
     tabby analyze PATH [PATH...]     build a CPG from jars, save it
+                                     (--format binary|json, default binary)
     tabby chains PATH [PATH...]      find (and optionally verify) chains
+    tabby chains --cpg FILE          ... over a persisted CPG (warm start)
     tabby lint [PATH...] [--corpus]  dataflow-based IR lint (repro.lint)
     tabby query CPG "MATCH ..."      run a Cypher-subset query on a CPG
     tabby bench {table8,table9,table10,table11}
@@ -39,7 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="build and persist a CPG")
     analyze.add_argument("classpath", nargs="+", help="jar files or directories")
-    analyze.add_argument("-o", "--output", default="tabby.cpg.json.gz")
+    analyze.add_argument("-o", "--output", default=None,
+                         help="output path (default: tabby.cpg for binary, "
+                         "tabby.cpg.json.gz for json)")
+    analyze.add_argument("--format", choices=("binary", "json"), default="binary",
+                         help="snapshot format: 'binary' is the fast columnar "
+                         "v2 snapshot (default); 'json' emits the byte-stable "
+                         "v1 document for diffing. Readers auto-detect either.")
     analyze.add_argument("--sources", choices=("native", "extended"), default="extended")
     analyze.add_argument("--validate", action="store_true",
                          help="run Soot-style body/linkage validation first")
@@ -48,7 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_build_flags(analyze)
 
     chains = sub.add_parser("chains", help="find gadget chains")
-    chains.add_argument("classpath", nargs="+")
+    chains.add_argument("classpath", nargs="*")
+    chains.add_argument("--cpg", default=None, metavar="FILE",
+                        help="search a CPG persisted by 'tabby analyze' "
+                        "(either format, auto-detected) instead of building "
+                        "one from a classpath")
     chains.add_argument("--sources", choices=("native", "extended"), default="extended")
     _add_build_flags(chains)
     chains.add_argument("--max-depth", type=int, default=12)
@@ -171,6 +183,9 @@ def _check_cpg(tabby: Tabby) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    output = args.output
+    if output is None:
+        output = "tabby.cpg" if args.format == "binary" else "tabby.cpg.json.gz"
     tabby = _build_tabby(args)
     if args.validate:
         from repro.jvm.validate import validate_classes
@@ -185,7 +200,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     cpg = tabby.build_cpg()
     if args.check_cpg and _check_cpg(tabby):
         return 1
-    tabby.save_cpg(args.output)
+    tabby.save_cpg(output, format=args.format)
     stats = cpg.statistics
     print(
         f"analyzed {tabby.class_count} classes from {stats.jar_count} jar(s): "
@@ -195,12 +210,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"in {stats.build_seconds:.2f}s"
     )
     _print_profile(args, tabby)
-    print(f"CPG written to {args.output}")
+    print(f"CPG written to {output} ({args.format})")
     return 0
 
 
 def _cmd_chains(args: argparse.Namespace) -> int:
-    tabby = _build_tabby(args)
+    if args.cpg is None and not args.classpath:
+        print("error: provide jar paths or --cpg", file=sys.stderr)
+        return 2
+    if args.cpg is not None:
+        if args.classpath:
+            print("error: --cpg is incompatible with classpath arguments",
+                  file=sys.stderr)
+            return 2
+        needs_classes = [
+            flag for flag, on in (
+                ("--verify", args.verify),
+                ("--payload", args.payload),
+                ("--refine-guards", args.refine_guards),
+                ("--check-cpg", args.check_cpg),
+            ) if on
+        ]
+        if needs_classes:
+            print(f"error: {', '.join(needs_classes)} need the original "
+                  "classes; pass a classpath instead of --cpg",
+                  file=sys.stderr)
+            return 2
+        tabby = Tabby.load_cpg(
+            args.cpg,
+            sources=_sources(args.sources),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    else:
+        tabby = _build_tabby(args)
     if args.check_cpg and _check_cpg(tabby):
         return 1
     chains = tabby.find_gadget_chains(

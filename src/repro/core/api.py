@@ -11,8 +11,11 @@ Typical usage::
     for chain in chains:
         print(chain.render())
 
-    tabby.save_cpg("project.cpg.json")      # re-queryable later (§IV-F)
+    tabby.save_cpg("project.cpg")           # binary snapshot (§IV-F)
     rows = tabby.query("MATCH (m:Method {IS_SINK: true}) RETURN m.NAME")
+
+    warm = Tabby.load_cpg("project.cpg")    # re-queryable across sessions
+    warm.find_gadget_chains()
 """
 
 from __future__ import annotations
@@ -20,7 +23,13 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.chains import GadgetChain
-from repro.core.cpg import CPG, CPGBuilder
+from repro.core.cpg import (
+    CLASS_LABEL,
+    CPG,
+    CPGBuilder,
+    CPGStatistics,
+    METHOD_LABEL,
+)
 from repro.core.cpg_check import CPGCheckIssue, verify_cpg
 from repro.core.pathfinder import GadgetChainFinder, SearchStatistics
 from repro.core.refine import GuardFeasibilityRefiner
@@ -28,7 +37,7 @@ from repro.core.sinks import SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
 from repro.errors import AnalysisError
 from repro.graphdb.query import QueryResult, run_query
-from repro.graphdb.storage import save_graph
+from repro.graphdb.storage import load_graph, save_graph
 from repro.graphdb.traversal import Uniqueness
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.jar import JarArchive, load_classpath
@@ -161,8 +170,37 @@ class Tabby:
 
     # -- persistence & custom queries ---------------------------------------------
 
-    def save_cpg(self, path: str) -> None:
-        save_graph(self.build_cpg().graph, path)
+    def save_cpg(self, path: str, format: Optional[str] = None) -> None:
+        """Persist the CPG to ``path``.
+
+        ``format`` is ``"binary"`` (the v2 columnar snapshot),
+        ``"json"`` (the byte-stable v1 document) or ``None``/``"auto"``:
+        binary unless the path ends in ``.json``/``.json.gz``.
+        :meth:`load_cpg` and ``load_graph`` auto-detect either format.
+        """
+        save_graph(self.build_cpg().graph, path, format=format)
+
+    @classmethod
+    def load_cpg(cls, path: str, **kwargs) -> "Tabby":
+        """Rebuild a queryable/searchable Tabby from a persisted CPG.
+
+        Accepts both snapshot formats (auto-detected).  The returned
+        instance supports :meth:`query` and :meth:`find_gadget_chains`
+        immediately — the §IV-F warm-start workflow — but carries no
+        class hierarchy, so features that need the original classes
+        (``refine_guards``, verification, payload synthesis) require
+        re-adding them via :meth:`add_classes`/:meth:`add_jar` (which
+        discards the loaded CPG and rebuilds).
+        """
+        tabby = cls(**kwargs)
+        graph = load_graph(path)
+        statistics = CPGStatistics(
+            class_node_count=graph.indexes.label_count(CLASS_LABEL),
+            method_node_count=graph.indexes.label_count(METHOD_LABEL),
+            relationship_edge_count=graph.relationship_count,
+        )
+        tabby._cpg = CPG(graph, ClassHierarchy([]), statistics, {})
+        return tabby
 
     def query(
         self,

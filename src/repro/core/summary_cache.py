@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -60,6 +61,31 @@ __all__ = [
 
 #: bump when the record schema or the analysis semantics change
 CACHE_FORMAT_VERSION = 1
+
+#: strings longer than this are left as-is on read-back (interned
+#: strings live for the rest of the process)
+_INTERN_MAX = 512
+
+
+def _intern_tree(value):
+    """Intern the strings of a JSON-shaped record in place-ish.
+
+    ``json.loads`` memoises object *keys* within one document but
+    allocates a fresh string per value occurrence and shares nothing
+    across cache entries.  Warm builds read one record file per class,
+    so the same class names, sub-signatures and action atoms come back
+    thousands of times; interning them on read-back makes the warm
+    summary phase share one object per distinct string — the same
+    dedup the v2 graph snapshot's string table performs.
+    """
+    kind = type(value)
+    if kind is str:
+        return sys.intern(value) if len(value) <= _INTERN_MAX else value
+    if kind is list:
+        return [_intern_tree(item) for item in value]
+    if kind is dict:
+        return {_intern_tree(k): _intern_tree(v) for k, v in value.items()}
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -346,7 +372,7 @@ class SummaryCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return records
+        return _intern_tree(records)
 
     def store(
         self, key: str, class_name: str, records: List[Dict[str, object]]

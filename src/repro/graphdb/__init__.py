@@ -7,12 +7,16 @@
   executor (EXPLAIN/PROFILE)
 * :mod:`repro.graphdb.traversal` — expander/evaluator traversal
   framework (the *tabby-path-finder* substrate)
-* :mod:`repro.graphdb.storage` — JSON persistence
+* :mod:`repro.graphdb.storage` — persistence front end (v1 JSON and
+  v2 binary, auto-detected on read)
+* :mod:`repro.graphdb.snapshot` — the v2 binary columnar snapshot
+  codec (string table, packed columns, checksummed sections)
 """
 
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
 from repro.graphdb.plan import QueryPlan, build_plan
 from repro.graphdb.query import QueryResult, run_query
+from repro.graphdb.snapshot import graph_fingerprint
 from repro.graphdb.storage import load_graph, save_graph
 from repro.graphdb.traversal import (
     Direction,
@@ -33,6 +37,7 @@ __all__ = [
     "build_plan",
     "save_graph",
     "load_graph",
+    "graph_fingerprint",
     "Path",
     "Evaluation",
     "Uniqueness",

@@ -1,7 +1,20 @@
 """Persistence for property graphs.
 
-A graph is stored as a JSON document with ``nodes``, ``relationships``
-and ``indexes`` sections.  This is the analogue of a Neo4j database
+Two on-disk formats, one read path:
+
+* **v1 (json)** — a gzip/plain JSON document with ``nodes``,
+  ``relationships`` and ``indexes`` sections.  Byte-stable: the JSON
+  emitted today diffs cleanly against snapshots written by any earlier
+  build, which is why ``--format json`` remains available.
+* **v2 (binary)** — the columnar snapshot of
+  :mod:`repro.graphdb.snapshot`: string-table deduplication,
+  struct-packed id columns, checksummed sections, and a trusted bulk
+  load that skips per-property re-validation.  The default for new
+  saves.
+
+:func:`load_graph` auto-detects the format from content (gzip wrapping
+included), so every snapshot ever written keeps loading; callers never
+pass a format on read.  This is the analogue of a Neo4j database
 directory: Tabby builds the CPG once, persists it, and researchers
 re-query it across sessions (paper §IV-F — the re-queryability
 advantage over GadgetInspector/Serianalyzer).
@@ -12,18 +25,31 @@ from __future__ import annotations
 import gzip
 import json
 import os
-from typing import Any, Dict
+import sys
+import zlib
+from typing import Any, Dict, Optional
 
 from repro.errors import StorageError
-from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.graph import PropertyGraph, _bulk_load
+from repro.graphdb.snapshot import (
+    SNAPSHOT_MAGIC,
+    decode_snapshot,
+    encode_snapshot,
+)
 
 __all__ = ["save_graph", "load_graph", "graph_to_dict", "graph_from_dict"]
 
 _FORMAT_VERSION = 1
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: suffixes that keep emitting v1 JSON under the default "auto" format,
+#: so existing pipelines that name their snapshots *.json(.gz) stay
+#: byte-compatible
+_JSON_SUFFIXES = (".json", ".json.gz")
 
 
 def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
-    """Serialise a graph to a JSON-compatible dict."""
+    """Serialise a graph to a JSON-compatible dict (the v1 document)."""
     return {
         "format_version": _FORMAT_VERSION,
         "nodes": [
@@ -47,7 +73,52 @@ def graph_to_dict(graph: PropertyGraph) -> Dict[str, Any]:
 def graph_from_dict(data: Dict[str, Any]) -> PropertyGraph:
     """Rebuild a graph from :func:`graph_to_dict` output.
 
-    Node/relationship ids are remapped densely, preserving order.
+    Node/relationship ids are remapped densely, preserving order.  The
+    document is fed through the same trusted bulk loader as the binary
+    format: property values are installed without re-validation (the
+    writer only emits values that passed validation when the graph was
+    built), and indexes/adjacency are backfilled in batch rather than
+    one ``add_*`` call per entity.
+    """
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(f"unsupported graph format version: {version!r}")
+    intern = sys.intern
+    try:
+        id_map: Dict[int, int] = {}
+        node_rows = []
+        for position, spec in enumerate(data["nodes"]):
+            id_map[spec["id"]] = position
+            props = spec.get("properties")
+            node_rows.append(
+                (
+                    spec["labels"],
+                    {intern(k): v for k, v in props.items()} if props else {},
+                )
+            )
+        rel_rows = []
+        for spec in data["relationships"]:
+            props = spec.get("properties")
+            rel_rows.append(
+                (
+                    intern(spec["type"]),
+                    id_map[spec["start"]],
+                    id_map[spec["end"]],
+                    {intern(k): v for k, v in props.items()} if props else {},
+                )
+            )
+        indexes = [(label, key) for label, key in data.get("indexes", ())]
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise StorageError(f"malformed graph document: missing {exc}") from exc
+    return _bulk_load(PropertyGraph(), indexes, node_rows, rel_rows)
+
+
+def _graph_from_dict_checked(data: Dict[str, Any]) -> PropertyGraph:
+    """The legacy v1 loader: one validated ``create_*`` call per entity.
+
+    Kept as the differential baseline for :func:`graph_from_dict` — the
+    bulk path must produce a structurally identical graph (asserted in
+    the test suite); this function is not used on any hot path.
     """
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
@@ -72,10 +143,32 @@ def graph_from_dict(data: Dict[str, Any]) -> PropertyGraph:
     return graph
 
 
-def save_graph(graph: PropertyGraph, path: str) -> None:
-    """Write a graph to ``path``; ``.gz`` suffix enables compression."""
-    data = graph_to_dict(graph)
+def _resolve_format(path: str, format: Optional[str]) -> str:
+    if format in (None, "auto"):
+        return "json" if path.endswith(_JSON_SUFFIXES) else "binary"
+    if format in ("json", "binary"):
+        return format
+    raise StorageError(
+        f"unknown snapshot format {format!r} (expected 'json', 'binary' or 'auto')"
+    )
+
+
+def save_graph(graph: PropertyGraph, path: str, format: Optional[str] = None) -> None:
+    """Write a graph to ``path``.
+
+    ``format`` is ``"json"`` (the byte-stable v1 document; a ``.gz``
+    suffix enables gzip), ``"binary"`` (the v2 columnar snapshot, which
+    compresses its own sections), or ``"auto"``/``None``: binary unless
+    the path ends in ``.json``/``.json.gz``.  :func:`load_graph` reads
+    either format regardless of the file name.
+    """
+    resolved = _resolve_format(path, format)
     try:
+        if resolved == "binary":
+            with open(path, "wb") as fh:
+                fh.write(encode_snapshot(graph))
+            return
+        data = graph_to_dict(graph)
         if path.endswith(".gz"):
             with gzip.open(path, "wt", encoding="utf-8") as fh:
                 json.dump(data, fh)
@@ -87,16 +180,25 @@ def save_graph(graph: PropertyGraph, path: str) -> None:
 
 
 def load_graph(path: str) -> PropertyGraph:
-    """Read a graph previously written by :func:`save_graph`."""
+    """Read a graph previously written by :func:`save_graph`.
+
+    The format is detected from content, not the file name: gzip
+    wrapping is unpeeled first, then the payload is dispatched on the
+    v2 magic bytes, falling back to the v1 JSON document.
+    """
     if not os.path.exists(path):
         raise StorageError(f"graph file not found: {path}")
     try:
-        if path.endswith(".gz"):
-            with gzip.open(path, "rt", encoding="utf-8") as fh:
-                data = json.load(fh)
-        else:
-            with open(path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        if raw[:2] == _GZIP_MAGIC:
+            raw = gzip.decompress(raw)
+    except (OSError, EOFError, zlib.error) as exc:
+        raise StorageError(f"cannot read graph from {path}: {exc}") from exc
+    if raw[: len(SNAPSHOT_MAGIC)] == SNAPSHOT_MAGIC:
+        return decode_snapshot(raw)
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise StorageError(f"cannot read graph from {path}: {exc}") from exc
     return graph_from_dict(data)

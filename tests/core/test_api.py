@@ -125,3 +125,57 @@ class TestEndToEnd:
     def test_max_depth_limits_results(self, tabby):
         assert tabby.find_gadget_chains(max_depth=2) == []
         assert len(tabby.find_gadget_chains(max_depth=3)) == 1
+
+
+class TestPersistenceFormats:
+    """save_cpg format plumbing and the Tabby.load_cpg warm start."""
+
+    def chain_steps(self, chains):
+        return [[s.qualified for s in c.steps] for c in chains]
+
+    @pytest.mark.parametrize("format", ["binary", "json"])
+    def test_load_cpg_reproduces_chains(self, tabby, tmp_path, format):
+        path = str(tmp_path / "saved.cpg")
+        cold = tabby.find_gadget_chains()
+        tabby.save_cpg(path, format=format)
+        warm = Tabby.load_cpg(path, sources=SourceCatalog.native())
+        assert self.chain_steps(warm.find_gadget_chains()) == self.chain_steps(cold)
+
+    def test_load_cpg_reproduces_queries(self, tabby, tmp_path):
+        path = str(tmp_path / "saved.cpg")
+        cold = tabby.query(
+            "MATCH (m:Method {IS_SINK: true}) RETURN m.CLASSNAME AS c, m.NAME AS n"
+        )
+        tabby.save_cpg(path)
+        warm = Tabby.load_cpg(path)
+        assert warm.query(
+            "MATCH (m:Method {IS_SINK: true}) RETURN m.CLASSNAME AS c, m.NAME AS n"
+        ).rows == cold.rows
+
+    def test_load_cpg_graph_fingerprint_identical(self, tabby, tmp_path):
+        from repro.graphdb.snapshot import graph_fingerprint
+
+        path = str(tmp_path / "saved.cpg")
+        tabby.save_cpg(path, format="binary")
+        warm = Tabby.load_cpg(path)
+        assert graph_fingerprint(warm.cpg.graph) == graph_fingerprint(
+            tabby.cpg.graph
+        )
+
+    def test_load_cpg_statistics_populated(self, tabby, tmp_path):
+        path = str(tmp_path / "saved.cpg")
+        tabby.save_cpg(path)
+        warm = Tabby.load_cpg(path)
+        stats = warm.cpg.statistics
+        assert stats.method_node_count > 0
+        assert stats.relationship_edge_count == tabby.cpg.graph.relationship_count
+
+    def test_default_format_by_suffix(self, tabby, tmp_path):
+        from repro.graphdb.snapshot import SNAPSHOT_MAGIC
+
+        binary = tmp_path / "saved.cpg"
+        jsonish = tmp_path / "saved.cpg.json"
+        tabby.save_cpg(str(binary))
+        tabby.save_cpg(str(jsonish))
+        assert binary.read_bytes()[:8] == SNAPSHOT_MAGIC
+        assert jsonish.read_bytes()[:1] == b"{"

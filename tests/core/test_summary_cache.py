@@ -9,14 +9,17 @@ persistence ban.
 
 import json
 import os
+import sys
 
 import pytest
 
+from repro.core import SourceCatalog, Tabby
 from repro.core.cpg import CPGBuilder
 from repro.core.sinks import SinkCatalog, SinkMethod
 from repro.core.summary_cache import (
     CACHE_FORMAT_VERSION,
     SummaryCache,
+    _intern_tree,
     catalog_token,
     decode_summary,
     dependency_closures,
@@ -25,6 +28,7 @@ from repro.core.summary_cache import (
 from repro.corpus import build_component, build_lang_base
 from repro.jvm.builder import ProgramBuilder
 from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import SERIALIZABLE
 
 
 def make_classes(leaf_body="toString"):
@@ -189,6 +193,93 @@ class TestCodec:
                 assert a.polluted_position == b.polluted_position
                 assert a.pruned == b.pruned
                 assert a.resolved is b.resolved
+
+
+class TestReadBackInterning:
+    """Warm loads return one shared object per distinct string."""
+
+    def test_intern_tree_shares_strings(self):
+        # json.loads allocates a fresh string per *value* occurrence
+        record = json.loads(
+            '{"callee_class": "com.example.Widget",'
+            ' "nested": {"tags": ["com.example.Widget"]}, "pp": [0, 1]}'
+        )
+        out = _intern_tree(record)
+        assert out["callee_class"] is sys.intern("com.example.Widget")
+        assert out["nested"]["tags"][0] is out["callee_class"]
+        assert out["pp"] == [0, 1]
+
+    def test_long_strings_left_alone(self):
+        long = "x" * 600
+        assert _intern_tree([long])[0] is long
+
+    def test_load_interns_record_strings(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        cache.store(
+            "deadbeef", "t.C", [{"subsig": "void run()", "callee": "com.ex.Widget"}]
+        )
+        (record,) = SummaryCache(str(tmp_path)).load("deadbeef", "t.C")
+        assert record["callee"] is sys.intern("com.ex.Widget")
+        assert record["subsig"] is sys.intern("void run()")
+
+
+class TestWarmRunIdentity:
+    """A warm ``--cache-dir`` run after a binary save/load cycle must be
+    bit-identical to a cold run: same rendered chains, same graph."""
+
+    def gadget_classes(self):
+        pb = ProgramBuilder()
+        obj = pb.cls("java.lang.Object", extends=None)
+        obj.abstract_method("toString", returns="java.lang.String")
+        obj.finish()
+        with pb.cls("demo.EvilObjectB", implements=[SERIALIZABLE]) as c:
+            c.field("val2", "java.lang.Object")
+            with c.method("toString", returns="java.lang.String") as m:
+                v = m.get_field(m.this, "val2")
+                cmd = m.invoke(
+                    v, "java.lang.Object", "toString", returns="java.lang.String"
+                )
+                rt = m.invoke_static(
+                    "java.lang.Runtime", "getRuntime", returns="java.lang.Runtime"
+                )
+                m.invoke(rt, "java.lang.Runtime", "exec", [cmd])
+                m.ret(cmd)
+        with pb.cls("demo.EvilObjectA", implements=[SERIALIZABLE]) as c:
+            c.field("val1", "java.lang.Object")
+            with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+                v = m.get_field(m.this, "val1")
+                m.invoke(v, "java.lang.Object", "toString", returns="java.lang.String")
+                m.ret()
+        return pb.build()
+
+    def test_warm_run_bit_identical_after_binary_cycle(self, tmp_path):
+        from repro.graphdb.snapshot import graph_fingerprint
+
+        cache_dir = str(tmp_path / "cache")
+        cold = Tabby(
+            sources=SourceCatalog.native(), cache_dir=cache_dir
+        ).add_classes(self.gadget_classes())
+        cold_chains = [c.render() for c in cold.find_gadget_chains()]
+        assert cold_chains  # the regression only means something with a chain
+        assert cold.cpg.statistics.cached_method_count == 0
+
+        # binary save/load cycle in between the two cache runs
+        path = str(tmp_path / "saved.cpg")
+        cold.save_cpg(path, format="binary")
+        reloaded = Tabby.load_cpg(path, sources=SourceCatalog.native())
+        assert graph_fingerprint(reloaded.cpg.graph) == graph_fingerprint(
+            cold.cpg.graph
+        )
+
+        warm = Tabby(
+            sources=SourceCatalog.native(), cache_dir=cache_dir
+        ).add_classes(self.gadget_classes())
+        warm_chains = [c.render() for c in warm.find_gadget_chains()]
+        assert warm.cpg.statistics.cached_method_count > 0  # really warm
+        assert warm_chains == cold_chains
+        assert graph_fingerprint(warm.cpg.graph) == graph_fingerprint(
+            cold.cpg.graph
+        )
 
 
 class TestCycleTaint:

@@ -224,3 +224,46 @@ class TestStats:
         assert graph.relationship_type_counts() == {"CALL": 2, "ALIAS": 1}
         graph.delete_relationship(r1)
         assert graph.relationship_type_counts() == {"CALL": 1, "ALIAS": 1}
+
+
+class TestInternedStorage:
+    """The compact in-memory representation: pooled label frozensets
+    and interned property keys (construction-time and bulk-load-time
+    deduplication share the same pool)."""
+
+    def test_labelsets_pooled_across_nodes(self, graph):
+        a = graph.create_node(["Method", "Phantom"])
+        b = graph.create_node(["Phantom", "Method"])  # order-insensitive
+        c = graph.create_node(["Method"])
+        assert a.labels is b.labels
+        assert a.labels is not c.labels
+        assert a.labels == {"Method", "Phantom"}
+
+    def test_pool_survives_mixed_input_types(self, graph):
+        a = graph.create_node(("Method",))
+        b = graph.create_node(frozenset({"Method"}))
+        c = graph.create_node(["Method"])
+        assert a.labels is b.labels is c.labels
+
+    def test_property_keys_interned(self, graph):
+        import sys
+
+        key = "SIG" + "NATURE"  # avoid a compile-time constant
+        node = graph.create_node(["Method"], {key: "m()"})
+        (stored,) = node.properties
+        assert stored is sys.intern("SIGNATURE")
+
+    def test_set_node_property_interns_and_pools(self, graph):
+        import sys
+
+        node = graph.create_node(["Method"])
+        graph.set_node_property(node, "NA" + "ME", "x")
+        (stored,) = node.properties
+        assert stored is sys.intern("NAME")
+
+    def test_pooling_does_not_leak_between_graphs(self):
+        g1, g2 = PropertyGraph(), PropertyGraph()
+        a = g1.create_node(["Method"])
+        b = g2.create_node(["Method"])
+        assert a.labels == b.labels
+        assert g1._labelset_pool is not g2._labelset_pool

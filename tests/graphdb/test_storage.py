@@ -6,7 +6,9 @@ from hypothesis import strategies as st
 
 from repro.errors import StorageError
 from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.snapshot import graph_fingerprint
 from repro.graphdb.storage import (
+    _graph_from_dict_checked,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -66,6 +68,65 @@ class TestRoundTrip:
             load_graph(str(path))
 
 
+class TestBulkLoaderEquivalence:
+    """graph_from_dict (trusted bulk path) vs the legacy validated
+    loader: structurally identical graphs, including after deletions
+    force an id remap."""
+
+    def test_sample_graph(self):
+        doc = graph_to_dict(sample_graph())
+        assert graph_fingerprint(graph_from_dict(doc)) == graph_fingerprint(
+            _graph_from_dict_checked(doc)
+        )
+
+    def test_graph_with_deletions_remaps_identically(self):
+        g = sample_graph()
+        extra = g.create_node(["Class"], {"NAME": "Gone"})
+        keep = g.create_node(["Method"], {"NAME": "keep"})
+        g.create_relationship("HAS", extra, keep)
+        g.delete_node(extra, detach=True)
+        doc = graph_to_dict(g)
+        bulk = graph_from_dict(doc)
+        legacy = _graph_from_dict_checked(doc)
+        assert graph_fingerprint(bulk) == graph_fingerprint(legacy)
+        # the remap is dense, unlike the pre-save graph
+        assert sorted(n.id for n in bulk.nodes()) == list(range(bulk.node_count))
+
+    def test_columnar_loader_matches_row_loader(self):
+        """The v2 decode path (_bulk_load_columns) and the v1 path
+        (_bulk_load) must produce interchangeable graphs."""
+        from repro.graphdb.snapshot import decode_snapshot, encode_snapshot
+
+        g = sample_graph()
+        via_columns = decode_snapshot(encode_snapshot(g))
+        via_rows = graph_from_dict(graph_to_dict(g))
+        assert graph_fingerprint(via_columns) == graph_fingerprint(via_rows)
+        assert graph_fingerprint(via_columns) == graph_fingerprint(g)
+
+    def test_columnar_loader_requires_empty_graph(self):
+        from repro.errors import GraphError
+        from repro.graphdb.graph import _bulk_load_columns
+
+        with pytest.raises(GraphError):
+            _bulk_load_columns(sample_graph(), [], [], [], [], [], [], [], [])
+
+    def test_malformed_documents_still_raise_storage_error(self):
+        for doc in (
+            {"format_version": 1, "nodes": [{"id": 0}], "relationships": []},
+            {"format_version": 1, "nodes": []},
+            {"format_version": 1, "nodes": [], "relationships": [{"id": 0}]},
+            {
+                "format_version": 1,
+                "nodes": [],
+                "relationships": [
+                    {"id": 0, "type": "E", "start": 7, "end": 7},
+                ],
+            },
+        ):
+            with pytest.raises(StorageError):
+                graph_from_dict(doc)
+
+
 _props = st.dictionaries(
     st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True),
     st.one_of(
@@ -73,7 +134,19 @@ _props = st.dictionaries(
         st.text(max_size=8),
         st.booleans(),
         st.none(),
+        st.floats(allow_nan=False),
         st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+        st.lists(st.text(max_size=5), max_size=3),
+        # mixed lists and nested maps take the tagged fallback encoding
+        st.lists(
+            st.one_of(st.integers(min_value=0, max_value=9), st.text(max_size=3)),
+            max_size=4,
+        ),
+        st.dictionaries(
+            st.from_regex(r"[a-z]{1,4}", fullmatch=True),
+            st.text(max_size=5),
+            max_size=3,
+        ),
     ),
     max_size=4,
 )
@@ -110,3 +183,40 @@ def test_property_arbitrary_graph_round_trips(node_specs, edge_seed):
         )
 
     assert snapshot(g) == snapshot(g2)
+
+
+_multi_labels = st.sets(st.sampled_from(["A", "B", "C", "Method"]), min_size=1,
+                        max_size=3)
+_rel_types = st.sampled_from(["CALL", "ALIAS", "HAS"])
+
+
+@pytest.mark.parametrize("format", ["json", "binary"])
+@settings(max_examples=25, deadline=None)
+@given(
+    node_specs=st.lists(st.tuples(_multi_labels, _props), min_size=1, max_size=8),
+    index_keys=st.sets(
+        st.tuples(st.sampled_from(["A", "Method"]),
+                  st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)),
+        max_size=2,
+    ),
+    edge_seed=st.data(),
+)
+def test_both_formats_round_trip_full_state(format, tmp_path_factory, node_specs,
+                                            index_keys, edge_seed):
+    """save -> load is fingerprint-identical for random graphs under
+    both formats: labels x property shapes x declared indexes, plus
+    adjacency buckets and relationship-type counts."""
+    g = PropertyGraph()
+    for label, key in sorted(index_keys):
+        g.indexes.create_index(label, key)
+    nodes = [g.create_node(labels, props) for labels, props in node_specs]
+    n_edges = edge_seed.draw(st.integers(min_value=0, max_value=8))
+    for _ in range(n_edges):
+        a = edge_seed.draw(st.sampled_from(nodes))
+        b = edge_seed.draw(st.sampled_from(nodes))
+        rel_type = edge_seed.draw(_rel_types)
+        props = edge_seed.draw(_props)
+        g.create_relationship(rel_type, a, b, props)
+    path = str(tmp_path_factory.mktemp("rt") / "g.snapshot")
+    save_graph(g, path, format=format)
+    assert graph_fingerprint(load_graph(path)) == graph_fingerprint(g)

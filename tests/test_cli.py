@@ -144,6 +144,74 @@ class TestChains:
         assert "1 gadget chain(s) found" in out
 
 
+class TestSnapshotFormats:
+    def test_analyze_default_output_is_binary(self, jar_dir, tmp_path,
+                                              monkeypatch, capsys):
+        from repro.graphdb.snapshot import SNAPSHOT_MAGIC
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["analyze", jar_dir]) == 0
+        assert "CPG written to tabby.cpg (binary)" in capsys.readouterr().out
+        assert (tmp_path / "tabby.cpg").read_bytes()[:8] == SNAPSHOT_MAGIC
+
+    def test_analyze_format_json_default_output(self, jar_dir, tmp_path,
+                                                monkeypatch, capsys):
+        import gzip
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["analyze", jar_dir, "--format", "json"]) == 0
+        assert "CPG written to tabby.cpg.json.gz (json)" in capsys.readouterr().out
+        doc = json.loads(gzip.decompress(
+            (tmp_path / "tabby.cpg.json.gz").read_bytes()
+        ))
+        assert doc["format_version"] == 1
+
+    @pytest.mark.parametrize("format", ["binary", "json"])
+    def test_chains_over_saved_cpg_matches_classpath_run(self, jar_dir, tmp_path,
+                                                         format, capsys):
+        cpg = str(tmp_path / "saved.cpg")
+        assert main(["analyze", jar_dir, "-o", cpg, "--format", format]) == 0
+        capsys.readouterr()
+        assert main(["chains", jar_dir, "--json"]) == 0
+        from_classpath = json.loads(capsys.readouterr().out)
+        assert main(["chains", "--cpg", cpg, "--json"]) == 0
+        from_cpg = json.loads(capsys.readouterr().out)
+        assert from_cpg == from_classpath
+
+    def test_chains_requires_some_input(self, capsys):
+        assert main(["chains"]) == 2
+        assert "provide jar paths or --cpg" in capsys.readouterr().err
+
+    def test_chains_rejects_cpg_plus_classpath(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "saved.cpg")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main(["chains", jar_dir, "--cpg", cpg]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag", ["--verify", "--payload", "--refine-guards", "--check-cpg"]
+    )
+    def test_chains_cpg_rejects_class_dependent_flags(self, jar_dir, tmp_path,
+                                                      flag, capsys):
+        cpg = str(tmp_path / "saved.cpg")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main(["chains", "--cpg", cpg, flag]) == 2
+        err = capsys.readouterr().err
+        assert flag in err and "classpath" in err
+
+    def test_query_over_binary_cpg(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "saved.cpg")
+        assert main(["analyze", jar_dir, "-o", cpg]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", cpg, "--json",
+            "MATCH (m:Method {IS_SINK: true}) RETURN m.NAME AS n",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out) == [{"n": "invoke"}]
+
+
 class TestBenchCommand:
     def test_table9_subset(self, capsys):
         assert main(["bench", "table9", "--components", "Myface"]) == 0
