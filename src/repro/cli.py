@@ -12,6 +12,8 @@ Subcommands::
                                      regenerate an evaluation table
     tabby corpus export DIR          write the synthetic corpus as jars
     tabby corpus list                list components and scenes
+    tabby serve                      run the analysis-as-a-service HTTP
+                                     API (see repro.serve)
 
 ``PATH`` arguments are jasm jar files or directories of them (see
 ``repro.jvm.jar``); ``tabby corpus export`` produces a ready-made set.
@@ -29,6 +31,67 @@ from repro.core import SourceCatalog, Tabby
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _workers_arg(value: str) -> int:
+    """Worker counts must be >= 1; 'auto' spells one-per-CPU.
+
+    A bare ``0`` used to mean auto, which made ``--workers 0`` silently
+    legal everywhere and negative counts fall through to the pools;
+    both now fail argument parsing (exit 2) across analyze/chains/
+    bench/serve alike.
+    """
+    if value == "auto":
+        return 0
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid worker count: {value!r}")
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            "worker count must be >= 1 (or 'auto' for one per CPU)"
+        )
+    return count
+
+
+def _port_arg(value: str) -> int:
+    try:
+        port = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid port: {value!r}")
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError("port must be in [0, 65535]")
+    return port
+
+
+def _positive_float_arg(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid number: {value!r}")
+    if number <= 0:
+        raise argparse.ArgumentTypeError("value must be positive")
+    return number
+
+
+def _positive_int_arg(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid count: {value!r}")
+    if number < 1:
+        raise argparse.ArgumentTypeError("value must be >= 1")
+    return number
+
+
+def _nonnegative_int_arg(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid count: {value!r}")
+    if number < 0:
+        raise argparse.ArgumentTypeError("value must be >= 0")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,8 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--components", nargs="*", default=None,
                        help="restrict table9 to these components")
-    bench.add_argument("--workers", type=int, default=1, metavar="N",
-                       help="worker processes for table9 CPG builds")
+    bench.add_argument("--workers", type=_workers_arg, default=1, metavar="N",
+                       help="worker processes for table9 CPG builds "
+                       "('auto' = one per CPU)")
     bench.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="shared summary cache for table9 CPG builds")
     bench.add_argument("--refine-guards", action="store_true",
@@ -118,6 +182,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sinks = sub.add_parser("sinks", help="print the 38-entry sink catalog (Table VII)")
     sinks.add_argument("--category", default=None, help="filter by category")
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis-as-a-service HTTP job-queue API"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=_port_arg, default=8787, metavar="P",
+                       help="bind port, 0 = ephemeral (default 8787)")
+    serve.add_argument("--workers", type=_workers_arg, default=2, metavar="N",
+                       help="job worker threads ('auto' = one per CPU, "
+                       "default 2)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent per-class summary cache shared by "
+                       "every job's pipeline")
+    serve.add_argument("--rate", type=_positive_float_arg, default=None,
+                       metavar="R",
+                       help="per-client submissions per second "
+                       "(default: unlimited)")
+    serve.add_argument("--burst", type=_positive_float_arg, default=None,
+                       metavar="B",
+                       help="per-client burst allowance (default: R)")
+    serve.add_argument("--store-capacity", type=_positive_int_arg, default=256,
+                       metavar="N",
+                       help="LRU capacity of the content-hash result store")
+    serve.add_argument("--max-queue", type=_nonnegative_int_arg, default=0,
+                       metavar="N",
+                       help="bound the job queue; a full queue answers 503 "
+                       "(0 = unbounded)")
+    serve.add_argument("--no-drain", action="store_true",
+                       help="on shutdown, cancel queued jobs instead of "
+                       "draining them")
 
     corpus = sub.add_parser("corpus", help="synthetic corpus utilities")
     corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
@@ -132,9 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_build_flags(parser: argparse.ArgumentParser) -> None:
     """CPG-build tuning shared by ``analyze`` and ``chains``."""
     parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=_workers_arg, default=1, metavar="N",
         help="shard the summary phase — and, for 'chains', the per-sink "
-        "search — across N worker processes (0 = one per CPU, 1 = "
+        "search — across N worker processes ('auto' = one per CPU, 1 = "
         "in-process serial); results are bit-identical to serial",
     )
     parser.add_argument(
@@ -352,7 +447,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.graphdb.query import run_query
+    from repro.graphdb.query import jsonable_row, run_query
     from repro.graphdb.storage import load_graph
 
     if args.no_planner and (args.explain or args.profile):
@@ -373,27 +468,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.profile:
         print(result.plan.render(), file=sys.stderr)
     if args.json:
-        print(json.dumps([_jsonable_row(r) for r in result.rows], indent=2))
+        print(json.dumps([jsonable_row(r) for r in result.rows], indent=2))
         return 0
     print(" | ".join(result.columns))
     for row in result.rows:
         print(" | ".join(str(row[c]) for c in result.columns))
     print(f"({len(result)} row(s))")
     return 0
-
-
-def _jsonable_row(row: dict) -> dict:
-    out = {}
-    for key, value in row.items():
-        if hasattr(value, "properties"):
-            out[key] = dict(value.properties)
-        elif isinstance(value, list):
-            out[key] = [
-                dict(v.properties) if hasattr(v, "properties") else v for v in value
-            ]
-        else:
-            out[key] = value
-    return out
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -431,6 +512,44 @@ def _cmd_sinks(args: argparse.Namespace) -> int:
             f"{list(sink.trigger_condition)}"
         )
     print(f"({len(entries)} sink method(s))")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.parallel import available_cpus
+    from repro.serve.app import create_server
+
+    workers = args.workers or available_cpus()
+    try:
+        server = create_server(
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            cache_dir=args.cache_dir,
+            rate=args.rate,
+            burst=args.burst,
+            store_capacity=args.store_capacity,
+            max_queue=args.max_queue,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"tabby serve listening on {server.url} "
+        f"({workers} worker(s), cache-dir={args.cache_dir or 'none'})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        mode = "cancelling queued jobs" if args.no_drain else "draining queued jobs"
+        print(f"\nshutting down: {mode}", file=sys.stderr)
+    finally:
+        server.close(drain=not args.no_drain)
     return 0
 
 
@@ -478,6 +597,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "sinks": _cmd_sinks,
         "corpus": _cmd_corpus,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -31,7 +31,7 @@ from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
 from repro.graphdb.traversal import Path
 
-__all__ = ["run_query", "QueryResult", "parse_query"]
+__all__ = ["run_query", "QueryResult", "parse_query", "jsonable_row"]
 
 
 # ---------------------------------------------------------------------------
@@ -709,6 +709,23 @@ class QueryResult:
 
     def __repr__(self) -> str:
         return f"<QueryResult {len(self.rows)} rows x {self.columns}>"
+
+
+def jsonable_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """A row with graph entities replaced by their property maps, safe
+    for ``json.dumps`` — the shape the CLI's ``--json`` and the serve
+    API's query endpoint both emit."""
+    out: Dict[str, Any] = {}
+    for key, value in row.items():
+        if hasattr(value, "properties"):
+            out[key] = dict(value.properties)
+        elif isinstance(value, list):
+            out[key] = [
+                dict(v.properties) if hasattr(v, "properties") else v for v in value
+            ]
+        else:
+            out[key] = value
+    return out
 
 
 def _project_row(query: Query, b: Binding) -> Dict[str, Any]:

@@ -1,0 +1,524 @@
+"""The async job queue behind ``tabby serve``.
+
+A submission travels: ``normalize_submission`` (shape validation +
+content hash, in the HTTP thread) -> :meth:`JobManager.submit` (dedup
+decision under one lock) -> a bounded pool of worker threads running
+the ordinary :class:`repro.core.api.Tabby` pipeline -> the
+content-hash-keyed :class:`repro.serve.store.ResultStore`.
+
+Deduplication is two-layered and atomic with respect to the manager
+lock:
+
+* **in-flight** — while a job for hash H is queued or running, every
+  further submission of H *attaches* to it (same job id, zero extra
+  compute);
+* **warm** — once H's result is stored, a submission of H creates a
+  job that is born ``done``, serving the stored result.
+
+Between the two there is no window in which a second computation for H
+can start: a worker commits ``store.put`` and retires the in-flight
+entry under the same lock a submitter consults both in.  The
+concurrency battery (``tests/serve/test_concurrency.py``) asserts the
+exactly-one-computation-per-hash consequence directly.
+
+Workers are *threads*, not processes: one job's pipeline is the same
+single-process code path the CLI runs (``Tabby(workers=1)``), so N
+service workers bound memory at N live CPGs while the summary cache
+(``cache_dir``) is shared across all of them, processes included.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import Tabby
+from repro.core.cpg import CPGStatistics
+from repro.core.pathfinder import SearchStatistics
+from repro.core.sinks import SinkCatalog
+from repro.core.sources import SourceCatalog
+from repro.errors import ReproError
+from repro.serve.store import JobResult, ResultStore, bundle_key, canonical_options
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobState",
+    "Submission",
+    "normalize_submission",
+    "resolve_classes",
+    "fingerprint_digest",
+]
+
+_SENTINEL = object()
+
+
+class JobState:
+    """Terminal states are DONE/FAILED/CANCELLED; the rest progress."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset((DONE, FAILED, CANCELLED))
+
+
+@dataclass(frozen=True)
+class Submission:
+    """A validated, content-addressed unit of work."""
+
+    kind: str  # "classes" | "components"
+    payload: Tuple[str, ...]
+    options: Dict[str, Any]
+    key: str
+
+
+def normalize_submission(
+    body: Any, sinks: Optional[SinkCatalog] = None
+) -> Submission:
+    """Validate a ``POST /jobs`` body and compute its content hash.
+
+    Raises ``ValueError`` with a client-presentable message on any
+    shape problem (the HTTP layer answers 400).  Deliberately cheap:
+    no jasm parsing happens here, so the warm path of an identical
+    resubmission costs one SHA-256 over the raw bundle text.
+    """
+    if not isinstance(body, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = set(body) - {"classes", "components", "options"}
+    if unknown:
+        raise ValueError(f"unknown field(s): {', '.join(sorted(unknown))}")
+    has_classes = "classes" in body
+    has_components = "components" in body
+    if has_classes == has_components:
+        raise ValueError("provide exactly one of 'classes' or 'components'")
+    options = body.get("options")
+    if options is not None and not isinstance(options, dict):
+        raise ValueError("'options' must be a JSON object")
+    options = canonical_options(options)
+
+    if has_classes:
+        chunks = body["classes"]
+        if isinstance(chunks, str):
+            chunks = [chunks]
+        if (
+            not isinstance(chunks, list)
+            or not chunks
+            or not all(isinstance(c, str) and c.strip() for c in chunks)
+        ):
+            raise ValueError("'classes' must be a non-empty jasm string "
+                             "or list of jasm strings")
+        kind, payload = "classes", tuple(chunks)
+    else:
+        names = body["components"]
+        if (
+            not isinstance(names, list)
+            or not names
+            or not all(isinstance(n, str) for n in names)
+        ):
+            raise ValueError("'components' must be a non-empty list of "
+                             "component names")
+        from repro.corpus import COMPONENT_NAMES
+
+        bad = sorted(set(names) - set(COMPONENT_NAMES))
+        if bad:
+            raise ValueError(f"unknown component(s): {', '.join(bad)}")
+        # order-independent: the resolved classpath is lang base + the
+        # sorted component set either way
+        kind, payload = "components", tuple(sorted(set(names)))
+
+    sources = (
+        SourceCatalog.native()
+        if options["sources"] == "native"
+        else SourceCatalog.extended()
+    )
+    key = bundle_key(kind, payload, options, sinks=sinks, sources=sources)
+    return Submission(kind=kind, payload=payload, options=options, key=key)
+
+
+def resolve_classes(submission: Submission) -> List[Any]:
+    """Parse/build the submitted classes.  Runs in the worker (or the
+    equivalence tests); jasm syntax errors propagate as ``ReproError``
+    and fail the job rather than the HTTP request."""
+    if submission.kind == "classes":
+        from repro.jvm import jasm
+
+        classes: List[Any] = []
+        for chunk in submission.payload:
+            classes.extend(jasm.loads(chunk))
+        return classes
+    from repro.corpus import build_component, build_lang_base
+
+    classes = build_lang_base()
+    for name in submission.payload:
+        classes += build_component(name).classes
+    return classes
+
+
+def fingerprint_digest(graph: Any) -> str:
+    """A stable digest of :func:`repro.graphdb.snapshot.graph_fingerprint`.
+
+    The CPG build is deterministic, so recomputing a submission yields
+    a byte-identical fingerprint — the identity the cache-vs-recompute
+    equivalence tests compare.
+    """
+    import hashlib
+
+    from repro.graphdb.snapshot import graph_fingerprint
+
+    return hashlib.sha256(repr(graph_fingerprint(graph)).encode()).hexdigest()
+
+
+def _cpg_row(stats: CPGStatistics) -> Dict[str, Any]:
+    row = stats.as_row()
+    row["phase_seconds"] = dict(stats.phase_seconds)
+    row["analyzed_methods"] = stats.analyzed_method_count
+    row["cached_methods"] = stats.cached_method_count
+    row["cache_hits"] = stats.cache_hits
+    row["cache_misses"] = stats.cache_misses
+    return row
+
+
+def _search_row(stats: SearchStatistics) -> Dict[str, Any]:
+    row = asdict(stats)
+    row["phase_seconds"] = dict(stats.phase_seconds)
+    return row
+
+
+class Job:
+    """One submission's lifecycle record (shared by attached submits)."""
+
+    def __init__(self, job_id: str, submission: Submission):
+        self.id = job_id
+        self.submission = submission
+        self.key = submission.key
+        self.state = JobState.QUEUED
+        self.phase = "queued"
+        self.cached = False
+        self.attached = 0
+        self.error: Optional[str] = None
+        self.result: Optional[JobResult] = None
+        self.progress: Dict[str, Any] = {}
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.event = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self.event.wait(timeout)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` document (also the list-entry shape)."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "phase": self.phase,
+            "cached": self.cached,
+            "attached": self.attached,
+            "kind": self.submission.kind,
+            "options": dict(self.submission.options),
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "progress": dict(self.progress),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.result is not None:
+            doc["chain_count"] = len(self.result.chain_records)
+            doc["fingerprint"] = self.result.fingerprint
+        return doc
+
+
+class JobManager:
+    """Bounded worker pool + dedup + result store, one lock for all
+    lifecycle transitions."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store: Optional[ResultStore] = None,
+        cache_dir: Optional[str] = None,
+        sinks: Optional[SinkCatalog] = None,
+        max_queue: int = 0,
+        inline: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.store = store if store is not None else ResultStore()
+        self.cache_dir = cache_dir
+        self.sinks = sinks
+        self.max_queue = max_queue
+        self.inline = inline
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._active: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._next_id = 0
+        self._threads: List[threading.Thread] = []
+        # counters (guarded by _lock)
+        self.submitted = 0
+        self.computed = 0
+        self.attached_total = 0
+        self.cache_hits = 0
+        self.failed = 0
+        self.cancelled = 0
+        if not inline:
+            for n in range(workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"tabby-serve-worker-{n}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        body: Any = None,
+        *,
+        submission: Optional[Submission] = None,
+    ) -> Tuple[Optional[Job], str]:
+        """Admit one submission.
+
+        Returns ``(job, status)`` with status one of ``"new"`` (will
+        compute), ``"attached"`` (rides an in-flight identical job),
+        ``"cached"`` (born done from the store), ``"overloaded"``
+        (bounded queue full) or ``"closed"`` (shutting down); job is
+        None for the last two.
+        """
+        sub = submission if submission is not None else normalize_submission(
+            body, sinks=self.sinks
+        )
+        run_now: Optional[Job] = None
+        with self._lock:
+            if self._closed:
+                return None, "closed"
+            self.submitted += 1
+            active = self._active.get(sub.key)
+            if active is not None:
+                active.attached += 1
+                self.attached_total += 1
+                return active, "attached"
+            stored = self.store.get(sub.key)
+            if stored is not None:
+                job = self._new_job(sub)
+                job.state = JobState.DONE
+                job.phase = "done"
+                job.cached = True
+                job.result = stored
+                job.progress = {"cpg": stored.cpg_row, "search": stored.search_row}
+                job.finished = job.created
+                job.event.set()
+                self.cache_hits += 1
+                return job, "cached"
+            if self.max_queue and self._queue.qsize() >= self.max_queue:
+                return None, "overloaded"
+            job = self._new_job(sub)
+            self._active[sub.key] = job
+            if self.inline:
+                run_now = job
+            else:
+                self._queue.put(job)
+        if run_now is not None:
+            self._run_job(run_now)
+            return run_now, "new"
+        return job, "new"
+
+    def _new_job(self, sub: Submission) -> Job:
+        self._next_id += 1
+        job = Job(f"j{self._next_id:05d}", sub)
+        self._jobs[job.id] = job
+        return job
+
+    # -- lookup / deletion -------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def delete(self, job_id: str, purge: bool = False) -> str:
+        """Remove a job record.
+
+        ``"deleted"`` on success (queued jobs are cancelled first),
+        ``"running"`` when refused (the computation is in flight — its
+        attached waiters still poll it), ``"missing"`` otherwise.
+        ``purge=True`` additionally evicts the job's stored result, so
+        the next identical submission recomputes.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return "missing"
+            if job.state == JobState.RUNNING:
+                return "running"
+            if job.state == JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.phase = "cancelled"
+                job.finished = time.time()
+                self._active.pop(job.key, None)
+                self.cancelled += 1
+                job.event.set()
+            del self._jobs[job_id]
+            if purge:
+                self.store.evict(job.key)
+            return "deleted"
+
+    # -- the worker side ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            self._run_job(item)
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            if job.state != JobState.QUEUED:  # cancelled while queued
+                return
+            job.state = JobState.RUNNING
+            job.started = time.time()
+            job.phase = "parse"
+        try:
+            result = self._compute(job)
+        except (ReproError, ValueError) as exc:
+            with self._lock:
+                job.state = JobState.FAILED
+                job.phase = "failed"
+                job.error = str(exc)
+                job.finished = time.time()
+                self._active.pop(job.key, None)
+                self.failed += 1
+            job.event.set()
+            return
+        with self._lock:
+            job.result = result
+            job.state = JobState.DONE
+            job.phase = "done"
+            job.finished = time.time()
+            # commit + retire atomically w.r.t. submit(): no window in
+            # which an identical submission could start a second compute
+            self.store.put(job.key, result)
+            self._active.pop(job.key, None)
+            self.computed += 1
+        job.event.set()
+
+    def _compute(self, job: Job) -> JobResult:
+        """The ordinary pipeline, with phase markers the progress
+        endpoint surfaces live."""
+        from repro.lint import lint_classes
+
+        started = time.perf_counter()
+        options = job.submission.options
+        classes = resolve_classes(job.submission)
+        sources = (
+            SourceCatalog.native()
+            if options["sources"] == "native"
+            else SourceCatalog.extended()
+        )
+        tabby = Tabby(
+            sinks=self.sinks,
+            sources=sources,
+            workers=1,
+            cache_dir=self.cache_dir,
+        ).add_classes(classes)
+        job.phase = "build_cpg"
+        cpg = tabby.build_cpg()
+        job.progress["cpg"] = _cpg_row(cpg.statistics)
+        job.phase = "search"
+        chains = tabby.find_gadget_chains(
+            max_depth=options["max_depth"],
+            source_filter=options["source_filter"],
+            refine_guards=options["refine_guards"],
+        )
+        job.progress["search"] = _search_row(tabby.last_search_stats)
+        job.phase = "lint"
+        lint_records = [issue.to_dict() for issue in lint_classes(classes)]
+        job.phase = "fingerprint"
+        digest = fingerprint_digest(cpg.graph)
+        return JobResult(
+            key=job.key,
+            chain_records=[
+                {
+                    "steps": [s.qualified for s in chain.steps],
+                    "sink_category": chain.sink_category,
+                }
+                for chain in chains
+            ],
+            lint_records=lint_records,
+            graph=cpg.graph,
+            fingerprint=digest,
+            cpg_row=job.progress["cpg"],
+            search_row=job.progress["search"],
+            class_count=len(classes),
+            compute_seconds=time.perf_counter() - started,
+        )
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting work and retire the pool.
+
+        ``drain=True`` lets every already-queued job run to completion
+        before the workers exit; ``drain=False`` cancels queued jobs
+        immediately (running ones always finish — the pipeline has no
+        safe preemption point).  Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            if not drain:
+                for queued in self._jobs.values():
+                    if queued.state == JobState.QUEUED:
+                        queued.state = JobState.CANCELLED
+                        queued.phase = "cancelled"
+                        queued.finished = time.time()
+                        self._active.pop(queued.key, None)
+                        self.cancelled += 1
+                        queued.event.set()
+        if already:
+            return
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "queue_depth": self._queue.qsize(),
+                "jobs": len(self._jobs),
+                "states": states,
+                "submitted": self.submitted,
+                "computed": self.computed,
+                "attached": self.attached_total,
+                "cache_hits": self.cache_hits,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "closed": self._closed,
+            }

@@ -1,0 +1,99 @@
+"""Per-client token-bucket rate limiting for the submission endpoint.
+
+Each client (the ``X-Client-Id`` header when present, else the peer
+address) owns one bucket of ``burst`` tokens refilled continuously at
+``rate`` tokens per second.  A submission costs one token; an empty
+bucket yields HTTP 429 with a ``Retry-After`` hint of when the next
+token lands.  Buckets are lazily created and O(1) per check — the
+limiter adds no contention beyond one small lock, which matters
+because it sits on the service's hottest path (warm-cache submits).
+
+The clock is injectable so the tests can drive refill deterministically
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Try to spend one token at time ``now``.
+
+        Returns ``(allowed, retry_after_seconds)``; ``retry_after`` is
+        0.0 when allowed.
+        """
+        if now > self.updated:
+            self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+            self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        needed = 1.0 - self.tokens
+        return False, needed / self.rate if self.rate > 0 else float("inf")
+
+
+class RateLimiter:
+    """Lazily-created per-client buckets behind one lock.
+
+    ``rate=None`` disables limiting entirely (every check passes),
+    which is the in-process-test and benchmark-warmup default.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else 0)
+        if rate is not None and self.burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.allowed = 0
+        self.limited = 0
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """Charge one request to ``client``; ``(allowed, retry_after)``."""
+        if self.rate is None:
+            self.allowed += 1
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(self.rate, self.burst, now)
+            ok, retry_after = bucket.take(now)
+            if ok:
+                self.allowed += 1
+            else:
+                self.limited += 1
+            return ok, retry_after
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "clients": len(self._buckets),
+                "allowed": self.allowed,
+                "limited": self.limited,
+                "rate": self.rate if self.rate is not None else 0,
+                "burst": self.burst,
+            }

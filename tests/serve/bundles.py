@@ -1,0 +1,97 @@
+"""Helpers for the serve battery: tiny gadget bundles and a JSON HTTP
+client.  Kept outside conftest.py so tests can import them directly."""
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.jvm import jasm
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.model import SERIALIZABLE
+
+#: every submission in the battery pins the native source catalog so
+#: direct-API comparisons are one-liner reproducible
+NATIVE = {"sources": "native"}
+
+
+def gadget_classes(tag="demo"):
+    """The Figure-1 three-class gadget program, parameterised by package
+    so distinct ``tag`` values yield distinct content hashes while the
+    chain shape stays identical."""
+    pb = ProgramBuilder(jar=f"{tag}.jar")
+    obj = pb.cls("java.lang.Object", extends=None)
+    obj.abstract_method("toString", returns="java.lang.String")
+    obj.finish()
+    with pb.cls(f"{tag}.EvilObjectB", implements=[SERIALIZABLE]) as c:
+        c.field("val2", "java.lang.Object")
+        with c.method("toString", returns="java.lang.String") as m:
+            v = m.get_field(m.this, "val2")
+            cmd = m.invoke(
+                v, "java.lang.Object", "toString", returns="java.lang.String"
+            )
+            rt = m.invoke_static(
+                "java.lang.Runtime", "getRuntime", returns="java.lang.Runtime"
+            )
+            m.invoke(rt, "java.lang.Runtime", "exec", [cmd])
+            m.ret(cmd)
+    with pb.cls(f"{tag}.EvilObjectA", implements=[SERIALIZABLE]) as c:
+        c.field("val1", "java.lang.Object")
+        with c.method("readObject", params=["java.io.ObjectInputStream"]) as m:
+            v = m.get_field(m.this, "val1")
+            m.invoke(v, "java.lang.Object", "toString", returns="java.lang.String")
+            m.ret()
+    return pb.build()
+
+
+def gadget_bundle(tag="demo"):
+    """The jasm text of :func:`gadget_classes` — a POST /jobs payload."""
+    return jasm.dumps(gadget_classes(tag))
+
+
+class Client:
+    """A minimal JSON-over-HTTP client for one server."""
+
+    def __init__(self, base_url, client_id=None):
+        self.base_url = base_url
+        self.client_id = client_id
+
+    def request(self, method, path, body=None, raw_body=None):
+        data = raw_body
+        if body is not None:
+            data = json.dumps(body).encode()
+        headers = {}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read()), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+    def submit(self, bundle=None, components=None, options=NATIVE):
+        body = {"options": options}
+        if bundle is not None:
+            body["classes"] = bundle
+        if components is not None:
+            body["components"] = components
+        return self.request("POST", "/jobs", body)
+
+    def poll_done(self, job_id, timeout=30.0):
+        """Poll until the job leaves the queue; returns the final doc."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            code, doc, _ = self.request("GET", f"/jobs/{job_id}")
+            assert code == 200, doc
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            time.sleep(0.01)
+        raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+    def query(self, job_id, cypher):
+        encoded = urllib.parse.quote(cypher)
+        return self.request("GET", f"/jobs/{job_id}/query?q={encoded}")

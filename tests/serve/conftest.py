@@ -1,0 +1,21 @@
+"""Fixtures for the serve battery: an in-process server on an
+ephemeral port, shared per test module."""
+
+import pytest
+
+from repro.serve import create_server
+
+from tests.serve.bundles import Client
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = create_server(workers=2)
+    srv.run_forever_in_thread()
+    yield srv
+    srv.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return Client(server.url)

@@ -325,6 +325,68 @@ class TestLintCommand:
         assert "provide jar paths or --corpus" in capsys.readouterr().err
 
 
+class TestWorkersValidation:
+    """--workers 0/negative is bad input (exit 2) on every subcommand
+    that accepts it; 'auto' is the explicit one-per-CPU spelling."""
+
+    @pytest.mark.parametrize("argv", [
+        ["analyze", "x", "--workers", "0"],
+        ["analyze", "x", "--workers", "-2"],
+        ["chains", "x", "--workers", "0"],
+        ["chains", "x", "--workers", "-1"],
+        ["bench", "table9", "--workers", "0"],
+        ["bench", "table9", "--workers", "-4"],
+        ["serve", "--workers", "0"],
+        ["serve", "--workers", "-3"],
+        ["analyze", "x", "--workers", "many"],
+    ])
+    def test_rejected_with_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "worker count" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["analyze", "x", "--workers", "auto"],
+        ["chains", "x", "--workers", "auto"],
+        ["serve", "--workers", "auto"],
+    ])
+    def test_auto_is_accepted(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.workers == 0  # resolved to one-per-CPU downstream
+
+
+class TestServeValidation:
+    """tabby serve rejects bad input with exit 2, like its siblings."""
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--port", "70000"],
+        ["serve", "--port", "-1"],
+        ["serve", "--port", "web"],
+        ["serve", "--rate", "0"],
+        ["serve", "--rate", "-1.5"],
+        ["serve", "--burst", "0"],
+        ["serve", "--store-capacity", "0"],
+        ["serve", "--max-queue", "-1"],
+    ])
+    def test_bad_arguments_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert capsys.readouterr().err  # argparse reported the problem
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port, args.workers) == ("127.0.0.1", 8787, 2)
+        assert args.rate is None and args.cache_dir is None
+
+    def test_burst_below_one_rejected_at_startup(self, capsys):
+        # burst is a float (fractional bursts are meaningless below 1);
+        # the limiter refuses it and serve exits 2 before binding
+        assert main(["serve", "--rate", "5", "--burst", "0.5"]) == 2
+        assert "burst" in capsys.readouterr().err
+
+
 class TestBenchTables:
     def test_table10(self, capsys):
         assert main(["bench", "table10"]) == 0
