@@ -104,11 +104,11 @@ EXPECTED_TABBY_CELLS = {
     "Click1": (1, 0, 1, 0),
     "Clojure": (4, 1, 1, 2),
     "CommonsBeanutils1": (1, 0, 1, 0),
-    "commons-collections(3.2.1)": (19, 4, 4, 9),
+    "commons-collections(3.2.1)": (20, 5, 4, 9),
     "commons-colletions(4.0.0)": (18, 5, 1, 11),
     "FileUpload1": (2, 0, 2, 0),
     "Groovy1": (2, 2, 0, 0),
-    "Hibernate": (4, 0, 2, 2),
+    "Hibernate": (5, 1, 2, 2),
     "JBossInterceptors1": (3, 2, 1, 0),
     "JSON1": (0, 0, 0, 0),
     "JavassistWeld1": (3, 2, 1, 0),

@@ -1,0 +1,53 @@
+"""Whole-CPG interprocedural refinement (opt-in post-CPG stage).
+
+Three cooperating layers, all conservative by construction:
+
+* :mod:`repro.analysis.rta` — instantiated-type reachability that marks
+  ALIAS/CALL dispatch edges with no constructible receiver
+  (``RTA_DEAD`` edge annotations + the path finder's pruning hook);
+* :mod:`repro.analysis.taint` — interprocedural field-sensitive taint
+  summaries, computed bottom-up over call-graph SCCs on
+  :mod:`repro.jvm.dataflow` and cached through the content-hash
+  summary-cache machinery;
+* :mod:`repro.analysis.chain_refiner` — the verdict layer replaying
+  candidate chains against both, classifying each as KEPT /
+  REFUTED(reason) / UNKNOWN where UNKNOWN never refutes.
+"""
+
+from repro.analysis.chain_refiner import (
+    ChainRefiner,
+    ChainVerdict,
+    REFINE_MODES,
+    RefinementResult,
+)
+from repro.analysis.rta import (
+    RTAResult,
+    TypeReachability,
+    annotate_type_reachability,
+    instantiated_types,
+)
+from repro.analysis.taint import (
+    FieldFacts,
+    MethodTaintSummary,
+    TAINT_TOP,
+    TaintSite,
+    TaintSummaryEngine,
+    UNTAINTED,
+)
+
+__all__ = [
+    "ChainRefiner",
+    "ChainVerdict",
+    "REFINE_MODES",
+    "RefinementResult",
+    "RTAResult",
+    "TypeReachability",
+    "annotate_type_reachability",
+    "instantiated_types",
+    "FieldFacts",
+    "MethodTaintSummary",
+    "TAINT_TOP",
+    "TaintSite",
+    "TaintSummaryEngine",
+    "UNTAINTED",
+]

@@ -1,0 +1,174 @@
+"""RTA-style instantiated-type reachability over a built CPG.
+
+Class-hierarchy analysis (the basis of the MAG's ALIAS edges and of
+virtual/interface CALL edge resolution, §III-B) admits every subtype a
+declaration *could* dispatch to.  Rapid Type Analysis sharpens that:
+a dispatch target is realizable only if some receiver of a suitable
+runtime type can ever exist.  For the deserialization threat model the
+set of constructible runtime types is:
+
+* **allocation sites** — every ``new C`` in any analyzed method body
+  (program-made objects);
+* **serializable classes** — the attacker writes arbitrary serializable
+  object graphs into the stream, so every serializable class in the
+  closure is constructible at deserialization time;
+* **transient-field declared types** — the deserializer does not restore
+  ``transient`` reference fields from attacker bytes; the runtime
+  repopulates them with a trusted instance of the *declared* type
+  (exactly what the verification oracle in :mod:`repro.verify.poc`
+  models), so those declared types are constructible too.
+
+A class is *live* when it is phantom (outside the analyzed closure —
+unknown code is conservatively constructible), ``java.lang.Object``, in
+the instantiated set, or has any transitive subtype in the set.  An
+ALIAS edge is dead when its override-side (subtype) class is not live:
+no constructible receiver can make the override the dispatch target.  A
+virtual/interface CALL edge is dead when the callee's declaring class is
+defined but not live: no constructible receiver subtype exists at all.
+``invokestatic``/``invokespecial`` edges never dispatch on a receiver
+type and are never marked.
+
+:func:`annotate_type_reachability` writes the verdicts onto the graph as
+a boolean ``RTA_DEAD`` relationship property (absent = live), backed by
+a relationship-property index so consumers —
+:class:`~repro.analysis.chain_refiner.ChainRefiner`, ``cpg_check``, the
+path finder's ``skip_rta_dead`` pruning hook — can enumerate annotated
+edges without scanning the edge set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.cpg import ALIAS, CALL, CPG, RTA_DEAD
+from repro.errors import AnalysisError
+from repro.jvm import ir
+from repro.jvm.hierarchy import ClassHierarchy
+
+__all__ = [
+    "RTAResult",
+    "TypeReachability",
+    "annotate_type_reachability",
+    "instantiated_types",
+]
+
+
+def instantiated_types(hierarchy: ClassHierarchy) -> FrozenSet[str]:
+    """The constructible-type seed set (see the module docstring)."""
+    live: Set[str] = set()
+    for cls in hierarchy.classes:
+        for method in cls.methods.values():
+            for stmt in method.body:
+                rhs = getattr(stmt, "rhs", None)
+                if isinstance(rhs, ir.NewExpr):
+                    live.add(rhs.class_name)
+    for cls in hierarchy.classes:
+        if not hierarchy.is_serializable(cls.name):
+            continue
+        live.add(cls.name)
+        for fld in cls.fields.values():
+            if fld.is_static:
+                continue
+            if fld.is_transient and fld.type.is_reference:
+                live.add(fld.type.name)
+    return frozenset(live)
+
+
+class TypeReachability:
+    """Memoised liveness queries against one hierarchy's seed set."""
+
+    def __init__(self, hierarchy: ClassHierarchy):
+        self.hierarchy = hierarchy
+        self.instantiated = instantiated_types(hierarchy)
+        self._live_cache: Dict[str, bool] = {}
+
+    def class_is_live(self, class_name: Optional[str]) -> bool:
+        """Whether any constructible type can serve as a ``class_name``
+        receiver.  Unknown (phantom) classes are conservatively live."""
+        if class_name is None:
+            return True
+        cached = self._live_cache.get(class_name)
+        if cached is not None:
+            return cached
+        hierarchy = self.hierarchy
+        if class_name == "java.lang.Object" or hierarchy.get(class_name) is None:
+            live = True
+        elif class_name in self.instantiated:
+            live = True
+        else:
+            live = any(
+                sub in self.instantiated for sub in hierarchy.subtypes(class_name)
+            )
+        self._live_cache[class_name] = live
+        return live
+
+
+@dataclass
+class RTAResult:
+    """Outcome of one :func:`annotate_type_reachability` pass."""
+
+    instantiated_count: int = 0
+    alias_edges: int = 0
+    call_edges: int = 0
+    dead_alias_edges: int = 0
+    dead_call_edges: int = 0
+    seconds: float = 0.0
+
+    @property
+    def dead_edges(self) -> int:
+        return self.dead_alias_edges + self.dead_call_edges
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "instantiated_count": self.instantiated_count,
+            "alias_edges": self.alias_edges,
+            "call_edges": self.call_edges,
+            "dead_alias_edges": self.dead_alias_edges,
+            "dead_call_edges": self.dead_call_edges,
+            "seconds": self.seconds,
+        }
+
+
+#: CALL edge kinds that dispatch on the receiver's runtime type
+_DISPATCH_KINDS = (ir.InvokeKind.VIRTUAL, ir.InvokeKind.INTERFACE)
+
+
+def annotate_type_reachability(
+    cpg: CPG, types: Optional[TypeReachability] = None
+) -> RTAResult:
+    """Mark every RTA-dead dispatch edge of ``cpg`` with ``RTA_DEAD``.
+
+    Idempotent: re-running recomputes the same verdicts.  Requires the
+    original class definitions (a snapshot-loaded CPG has an empty
+    hierarchy, so the seed set would be empty and *every* defined-class
+    dispatch would look dead — refuse instead of being wrong).
+    """
+    hierarchy = cpg.hierarchy
+    if not hierarchy.classes:
+        raise AnalysisError(
+            "RTA refinement needs the analyzed classes; a snapshot-loaded "
+            "CPG carries no class bodies to seed the instantiated-type set"
+        )
+    types = types if types is not None else TypeReachability(hierarchy)
+    graph = cpg.graph
+    graph.create_relationship_index(RTA_DEAD)
+    started = time.perf_counter()
+    result = RTAResult(instantiated_count=len(types.instantiated))
+    for rel in graph.relationships(ALIAS):
+        result.alias_edges += 1
+        child_class = graph.node(rel.start_id).get("CLASSNAME")
+        if not types.class_is_live(child_class):
+            graph.set_relationship_property(rel, RTA_DEAD, True)
+            result.dead_alias_edges += 1
+    for rel in graph.relationships(CALL):
+        result.call_edges += 1
+        if rel.get("KIND") not in _DISPATCH_KINDS:
+            continue
+        callee_class = graph.node(rel.end_id).get("CLASSNAME")
+        if not types.class_is_live(callee_class):
+            graph.set_relationship_property(rel, RTA_DEAD, True)
+            result.dead_call_edges += 1
+    result.seconds = time.perf_counter() - started
+    return result

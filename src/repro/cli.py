@@ -94,6 +94,21 @@ def _nonnegative_int_arg(value: str) -> int:
     return number
 
 
+def _refine_modes_arg(value: str) -> tuple:
+    """Comma-separated subset of the refinement modes (rta,taint)."""
+    from repro.analysis.chain_refiner import REFINE_MODES
+
+    modes = tuple(m.strip() for m in value.split(",") if m.strip())
+    bad = [m for m in modes if m not in REFINE_MODES]
+    if bad or not modes:
+        raise argparse.ArgumentTypeError(
+            f"invalid refinement mode(s): {value!r} "
+            f"(choose from {', '.join(REFINE_MODES)})"
+        )
+    # canonical order, matching ChainRefiner and the serve cache key
+    return tuple(m for m in REFINE_MODES if m in modes)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tabby",
@@ -116,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run Soot-style body/linkage validation first")
     analyze.add_argument("--check-cpg", action="store_true",
                          help="verify CPG structural invariants after the build")
+    analyze.add_argument("--refine", type=_refine_modes_arg, default=None,
+                         metavar="MODES",
+                         help="comma-separated refinement passes to run "
+                         "before saving: 'rta' marks type-unreachable "
+                         "dispatch edges (persisted in the snapshot), "
+                         "'taint' precomputes field-sensitive taint "
+                         "summaries (warming --cache-dir when set)")
     _add_build_flags(analyze)
 
     chains = sub.add_parser("chains", help="find gadget chains")
@@ -136,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
     chains.add_argument("--refine-guards", action="store_true",
                         help="drop chains behind constant-false guards "
                         "(extension, off by default)")
+    chains.add_argument("--refine", type=_refine_modes_arg, default=None,
+                        metavar="MODES",
+                        help="comma-separated verdict-layer passes "
+                        "(rta,taint): refute chains via type "
+                        "reachability and/or taint summaries; the "
+                        "refined list is a verbatim subset of the "
+                        "unrefined one (extension, off by default)")
     chains.add_argument("--baseline-search", action="store_true",
                         help="use the unoptimized search engine (no "
                         "reachability pruning / negative caching); the "
@@ -151,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true", help="machine-readable output")
     lint.add_argument("--fail-on-error", action="store_true",
                       help="exit 1 if any unsuppressed error-severity issue")
+    lint.add_argument("--interprocedural", action="store_true",
+                      help="also run the whole-program summary-backed "
+                      "rules (taint-unreachable-sink, "
+                      "alias-never-instantiated); noisy on decoy-rich "
+                      "inputs like the corpus")
 
     query = sub.add_parser("query", help="query a persisted CPG")
     query.add_argument("cpg", help="a CPG file written by 'tabby analyze'")
@@ -295,6 +329,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     cpg = tabby.build_cpg()
     if args.check_cpg and _check_cpg(tabby):
         return 1
+    if args.refine and "rta" in args.refine:
+        rta = tabby.annotate_rta()
+        print(
+            f"RTA refinement: {rta.dead_edges} dispatch edge(s) marked dead "
+            f"({rta.dead_call_edges} CALL, {rta.dead_alias_edges} ALIAS) "
+            f"from {rta.instantiated_count} instantiable type(s)"
+        )
+    if args.refine and "taint" in args.refine:
+        from repro.analysis.taint import TaintSummaryEngine
+
+        engine = TaintSummaryEngine(cpg.hierarchy, cache_dir=args.cache_dir)
+        engine.compute_all()
+        print(
+            f"taint summaries: {engine.stats['methods']} method(s) over "
+            f"{engine.stats['sccs']} SCC(s)"
+            + (f" (cache warmed: {args.cache_dir})" if args.cache_dir else "")
+        )
     tabby.save_cpg(output, format=args.format)
     stats = cpg.statistics
     print(
@@ -323,6 +374,7 @@ def _cmd_chains(args: argparse.Namespace) -> int:
                 ("--verify", args.verify),
                 ("--payload", args.payload),
                 ("--refine-guards", args.refine_guards),
+                ("--refine", args.refine),
                 ("--check-cpg", args.check_cpg),
             ) if on
         ]
@@ -345,14 +397,39 @@ def _cmd_chains(args: argparse.Namespace) -> int:
         max_depth=args.max_depth,
         source_filter=args.source_filter,
         refine_guards=args.refine_guards,
+        refine=args.refine,
         optimize=not args.baseline_search,
     )
+    refining = args.refine_guards or args.refine
     if args.refine_guards:
         # stderr so the refinement note composes with --json pipelines
+        guard_refuted = sum(
+            1 for _, r in tabby.last_refutations if r.kind == "constant-guard"
+        )
         print(
-            f"guard refinement: {len(tabby.last_refuted)} chain(s) refuted",
+            f"guard refinement: {guard_refuted} chain(s) refuted",
             file=sys.stderr,
         )
+    if args.refine:
+        stats = tabby.last_refine.statistics
+        by_kind = ", ".join(
+            f"{kind}: {count}"
+            for kind, count in sorted(stats["refuted_by_kind"].items())
+        ) or "none"
+        print(
+            f"refinement ({','.join(args.refine)}): {stats['kept']} kept, "
+            f"{stats['refuted']} refuted ({by_kind}), "
+            f"{stats['unknown']} unknown",
+            file=sys.stderr,
+        )
+    if refining and tabby.last_refutations:
+        # the verdict table: which hop died and why, one line per chain
+        for chain, reason in tabby.last_refutations:
+            print(
+                f"  refuted [{reason.kind}] {reason.caller} -> "
+                f"{reason.callee} (step {reason.step_index}): {reason.detail}",
+                file=sys.stderr,
+            )
     _print_profile(args, tabby)
     if args.profile:
         for line in tabby.last_search_stats.profile_lines():
@@ -370,12 +447,22 @@ def _cmd_chains(args: argparse.Namespace) -> int:
 
         synthesizer = PayloadSynthesizer(classes)
     if args.json:
+        verdict_of = {}
+        if tabby.last_refine is not None:
+            verdict_of = {
+                chain.key: verdict.status
+                for chain, verdict in zip(
+                    tabby.last_refine.chains, tabby.last_refine.verdicts
+                )
+            }
         payload = []
         for chain in chains:
             record = {
                 "steps": [s.qualified for s in chain.steps],
                 "sink_category": chain.sink_category,
             }
+            if chain.key in verdict_of:
+                record["verdict"] = verdict_of[chain.key]
             if verifier is not None:
                 record["effective"] = verifier.verify(chain).effective
             if synthesizer is not None:
@@ -384,7 +471,26 @@ def _cmd_chains(args: argparse.Namespace) -> int:
                 except VerificationError as exc:
                     record["payload_error"] = str(exc)
             payload.append(record)
-        print(json.dumps(payload, indent=2))
+        if refining:
+            # refinement runs emit an object so refuted chains travel
+            # with their reasons; the plain list shape is unchanged
+            # for unrefined runs
+            document = {
+                "chains": payload,
+                "refuted": [
+                    {
+                        "steps": [s.qualified for s in chain.steps],
+                        "sink_category": chain.sink_category,
+                        "refutation": reason.as_dict(),
+                    }
+                    for chain, reason in tabby.last_refutations
+                ],
+            }
+            if tabby.last_refine is not None:
+                document["refinement"] = tabby.last_refine.statistics
+            print(json.dumps(document, indent=2))
+        else:
+            print(json.dumps(payload, indent=2))
         return 0
     print(f"{len(chains)} gadget chain(s) found")
     for i, chain in enumerate(chains, start=1):
@@ -413,21 +519,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         from repro.corpus import COMPONENT_NAMES, build_component, build_lang_base
 
         base = build_lang_base()
-        issues.extend(lint_classes(base))
+        issues.extend(lint_classes(base, interprocedural=args.interprocedural))
         for name in COMPONENT_NAMES:
             spec = build_component(name)
             # components resolve against the shared lang base, but only
             # the component's own classes are reported (the base is
             # linted once, above)
             only = {cls.name for cls in spec.classes}
-            issues.extend(lint_classes(base + spec.classes, only_classes=only))
+            issues.extend(lint_classes(
+                base + spec.classes,
+                only_classes=only,
+                interprocedural=args.interprocedural,
+            ))
     if args.classpath:
         from repro.jvm.jar import load_classpath
 
         classes = []
         for archive in load_classpath(args.classpath):
             classes.extend(archive.classes)
-        issues.extend(lint_classes(classes))
+        issues.extend(lint_classes(classes, interprocedural=args.interprocedural))
 
     errors = sum(1 for i in issues if i.severity == "error" and not i.suppressed)
     warnings = sum(1 for i in issues if i.severity == "warning" and not i.suppressed)

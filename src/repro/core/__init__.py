@@ -30,7 +30,11 @@ from repro.core.controllability import (
 from repro.core.cpg import CPG, CPGBuilder, CPGStatistics
 from repro.core.cpg_check import CPGCheckIssue, verify_cpg
 from repro.core.parallel import ParallelConfig, available_cpus
-from repro.core.refine import GuardFeasibilityRefiner, refine_chains
+from repro.core.refine import (
+    GuardFeasibilityRefiner,
+    RefutationReason,
+    refine_chains,
+)
 from repro.core.pathfinder import GadgetChainFinder, SearchStatistics
 from repro.core.sinks import DEFAULT_SINKS, SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
@@ -58,6 +62,7 @@ __all__ = [
     "CPGCheckIssue",
     "verify_cpg",
     "GuardFeasibilityRefiner",
+    "RefutationReason",
     "refine_chains",
     "GadgetChainFinder",
     "SearchStatistics",

@@ -69,6 +69,12 @@ class Tabby:
         self._cpg: Optional[CPG] = None
         #: diagnostics from the last find_gadget_chains() run
         self.last_search_stats = SearchStatistics()
+        #: chains dropped by the last refined run (guard + verdict layer)
+        self.last_refuted: List[GadgetChain] = []
+        #: the same chains paired with why each one was refuted
+        self.last_refutations: List[tuple] = []
+        #: full verdict layer output (RefinementResult) when refine= ran
+        self.last_refine = None
 
     # -- input -------------------------------------------------------------
 
@@ -128,6 +134,8 @@ class Tabby:
         max_results_per_sink: Optional[int] = 200,
         uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
         refine_guards: bool = False,
+        refine: Optional[Sequence[str]] = None,
+        skip_rta_dead: bool = False,
         optimize: bool = True,
         search_workers: Optional[int] = None,
     ) -> List[GadgetChain]:
@@ -135,9 +143,23 @@ class Tabby:
 
         ``refine_guards=True`` additionally drops chains whose
         connecting call sites sit behind constant-false guards (see
-        :mod:`repro.core.refine`).  Off by default: the refinement is
-        an extension beyond the paper pipeline.  Refuted chains from
-        the last refined run are kept in :attr:`last_refuted`.
+        :mod:`repro.core.refine`).  ``refine=("rta", "taint")`` layers
+        the whole-CPG verdict engine on top (see
+        :mod:`repro.analysis`): RTA type-reachability plus
+        field-sensitive taint summaries, each refuting chains only on
+        a sound argument (UNKNOWN never refutes).  Both are off by
+        default: refinement is an extension beyond the paper pipeline
+        and the refined list is always a verbatim subset of the
+        unrefined one.  Refuted chains land in :attr:`last_refuted`,
+        with their :class:`~repro.core.refine.RefutationReason` in
+        :attr:`last_refutations` and the full verdict layer output in
+        :attr:`last_refine`.
+
+        ``skip_rta_dead=True`` makes the *search itself* skip edges
+        annotated by :meth:`annotate_rta` — a performance device whose
+        output equals post-hoc RTA filtering only when
+        ``max_results_per_sink`` is ``None`` (truncation composes
+        differently with pruning).
 
         ``optimize=False`` restores the baseline search engine (no
         reachability pruning or negative caching) — the chain set is
@@ -147,6 +169,11 @@ class Tabby:
         kept in :attr:`last_search_stats`.
         """
         cpg = self.build_cpg()
+        if refine and not cpg.hierarchy.classes:
+            raise AnalysisError(
+                "refine= needs the class hierarchy; a snapshot-loaded CPG "
+                "carries none (re-add the classes via add_classes/add_jar)"
+            )
         finder = GadgetChainFinder(
             cpg,
             max_depth=max_depth,
@@ -155,14 +182,40 @@ class Tabby:
             uniqueness=uniqueness,
             optimize=optimize,
             workers=self.workers if search_workers is None else search_workers,
+            skip_rta_dead=skip_rta_dead,
         )
         chains = finder.find_chains(source_filter=source_filter)
         self.last_search_stats = finder.last_search_stats
         self.last_refuted = []
+        self.last_refutations = []
+        self.last_refine = None
         if refine_guards:
             refiner = GuardFeasibilityRefiner(cpg.hierarchy)
-            chains, self.last_refuted = refiner.refine(chains)
+            chains, guard_refuted = refiner.refine_with_reasons(chains)
+            self.last_refutations.extend(guard_refuted)
+        if refine:
+            # local import: repro.analysis itself imports core submodules
+            from repro.analysis.chain_refiner import ChainRefiner
+
+            result = ChainRefiner(
+                cpg.hierarchy, modes=tuple(refine), cache_dir=self.cache_dir
+            ).refine(chains)
+            self.last_refine = result
+            self.last_refutations.extend(result.refuted)
+            chains = result.kept
+        self.last_refuted = [chain for chain, _ in self.last_refutations]
         return chains
+
+    def annotate_rta(self):
+        """Run RTA type-reachability over the built CPG, marking
+        provably-dead dispatch edges with ``RTA_DEAD`` (see
+        :mod:`repro.analysis.rta`).  Returns the
+        :class:`~repro.analysis.rta.RTAResult` counters.  Annotated
+        edges are skipped by ``find_gadget_chains(skip_rta_dead=True)``
+        and survive :meth:`save_cpg` round-trips."""
+        from repro.analysis.rta import annotate_type_reachability
+
+        return annotate_type_reachability(self.build_cpg())
 
     def check_cpg(self) -> List[CPGCheckIssue]:
         """Verify the structural invariants of the built CPG."""

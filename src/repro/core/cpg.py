@@ -50,6 +50,12 @@ HAS = "HAS"
 CALL = "CALL"
 ALIAS = "ALIAS"
 
+#: relationship property set (only ever to ``True``) by the RTA pass in
+#: :mod:`repro.analysis.rta` on CALL/ALIAS edges whose receiver type is
+#: never constructible; absence means the edge is live.  Defined here so
+#: the path finder can test it without importing ``repro.analysis``.
+RTA_DEAD = "RTA_DEAD"
+
 
 @dataclass
 class CPGStatistics:

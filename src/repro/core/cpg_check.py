@@ -14,7 +14,12 @@ harness, cached/parallel rebuilds — silently rely on:
 * no relationship dangles (both endpoints exist in the graph);
 * every method node is attached to its class via a ``HAS`` edge whose
   class node names the method's ``CLASSNAME`` (phantom callee nodes,
-  which have no defined class, are exempt).
+  which have no defined class, are exempt);
+* refinement annotations are well-formed: ``RTA_DEAD`` appears only on
+  ``CALL``/``ALIAS`` edges, only with the value ``True``, a dead CALL
+  edge is a receiver dispatch (``KIND`` virtual/interface), and a dead
+  ALIAS edge connects a valid override pair — the corrupted-CPG guard
+  for the edge annotations written by :mod:`repro.analysis.rta`.
 
 ``verify_cpg`` re-derives each invariant from the graph itself, so a
 bug in any build phase (or a corrupted cache) surfaces as a typed
@@ -27,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.core.cpg import ALIAS, CALL, CLASS_LABEL, CPG, HAS, METHOD_LABEL
+from repro.core.cpg import ALIAS, CALL, CLASS_LABEL, CPG, HAS, METHOD_LABEL, RTA_DEAD
 
 __all__ = ["CPGCheckIssue", "verify_cpg"]
 
@@ -54,6 +59,7 @@ def verify_cpg(cpg: CPG) -> List[CPGCheckIssue]:
     issues.extend(_check_alias_overrides(cpg))
     issues.extend(_check_sink_metadata(cpg))
     issues.extend(_check_method_ownership(cpg))
+    issues.extend(_check_refinement_annotations(cpg))
     return issues
 
 
@@ -171,6 +177,59 @@ def _check_sink_metadata(cpg: CPG) -> List[CPGCheckIssue]:
             issues.append(
                 CPGCheckIssue(
                     "sink-metadata", f"sink {signature} carries no SINK_TYPE"
+                )
+            )
+    return issues
+
+
+def _check_refinement_annotations(cpg: CPG) -> List[CPGCheckIssue]:
+    """Guard the ``RTA_DEAD`` edge annotations (absence = live edge)."""
+    issues = []
+    hierarchy = cpg.hierarchy
+    for rel in cpg.graph.relationships_with_property(RTA_DEAD):
+        where = (
+            f"{rel.type} {_describe(cpg, rel.start_id)} -> "
+            f"{_describe(cpg, rel.end_id)}"
+        )
+        if rel.type not in (CALL, ALIAS):
+            issues.append(
+                CPGCheckIssue(
+                    "refine-annotation",
+                    f"{where}: RTA_DEAD on a {rel.type} edge "
+                    "(only CALL/ALIAS dispatch edges can be RTA-dead)",
+                )
+            )
+            continue
+        if rel.get(RTA_DEAD) is not True:
+            issues.append(
+                CPGCheckIssue(
+                    "refine-annotation",
+                    f"{where}: RTA_DEAD must be boolean True when present, "
+                    f"got {rel.get(RTA_DEAD)!r}",
+                )
+            )
+            continue
+        if rel.type == CALL:
+            if rel.get("KIND") not in ("virtual", "interface"):
+                issues.append(
+                    CPGCheckIssue(
+                        "refine-annotation",
+                        f"{where}: RTA-dead CALL edge has KIND "
+                        f"{rel.get('KIND')!r} (only receiver dispatch can "
+                        "be type-unreachable)",
+                    )
+                )
+            continue
+        if not (cpg.graph.has_node(rel.start_id) and cpg.graph.has_node(rel.end_id)):
+            continue  # reported by dangling-ref
+        child_cls = cpg.graph.node(rel.start_id).get("CLASSNAME")
+        parent_cls = cpg.graph.node(rel.end_id).get("CLASSNAME")
+        if child_cls is None or parent_cls is None or parent_cls not in hierarchy.supertypes(child_cls):
+            issues.append(
+                CPGCheckIssue(
+                    "refine-annotation",
+                    f"{where}: RTA-dead ALIAS edge does not connect a "
+                    "subtype override to its supertype declaration",
                 )
             )
     return issues

@@ -69,7 +69,7 @@ from typing import (
 )
 
 from repro.core.chains import ChainStep, GadgetChain, dedupe_chains
-from repro.core.cpg import ALIAS, CALL, CPG
+from repro.core.cpg import ALIAS, CALL, CPG, RTA_DEAD
 from repro.core.actions import traverse_tc
 from repro.errors import PathFinderError
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
@@ -93,6 +93,7 @@ _MERGE_COUNTERS = (
     "reachability_pruned",
     "negative_cache_hits",
     "negative_cache_entries",
+    "rta_pruned",
 )
 
 
@@ -127,6 +128,8 @@ class SearchStatistics:
     negative_cache_hits: int = 0
     #: (node, TC, remaining-depth) failure states recorded
     negative_cache_entries: int = 0
+    #: expansions refused over RTA-dead dispatch edges (``skip_rta_dead``)
+    rta_pruned: int = 0
     #: worker processes used for the per-sink fan-out (0 = serial)
     parallel_workers: int = 0
     #: wall-clock per search phase: reachability / search / dedupe
@@ -154,7 +157,7 @@ class SearchStatistics:
         lines.append(
             f"pruning: {self.reachability_pruned} unreachable expansions "
             f"refused ({self.reachable_nodes} source-reachable nodes), "
-            f"{self.depth_pruned} depth-pruned"
+            f"{self.depth_pruned} depth-pruned, {self.rta_pruned} RTA-pruned"
         )
         lines.append(
             f"negative cache: {self.negative_cache_hits} hits, "
@@ -204,6 +207,7 @@ class GadgetChainFinder:
         prune_unreachable: Optional[bool] = None,
         negative_cache: Optional[bool] = None,
         workers: int = 1,
+        skip_rta_dead: bool = False,
     ):
         if max_depth < 1:
             raise PathFinderError("max_depth must be >= 1")
@@ -222,6 +226,11 @@ class GadgetChainFinder:
         #: per-sink fan-out: 1 = in-process serial, 0 = one worker per
         #: CPU, N>1 = N worker processes; results are identical to serial
         self.workers = workers
+        #: skip CALL/ALIAS edges carrying the ``RTA_DEAD`` annotation
+        #: written by :func:`repro.analysis.rta.annotate_type_reachability`
+        #: (no-op on an unannotated CPG); differential-tested equivalent
+        #: to post-hoc RTA-only chain refutation
+        self.skip_rta_dead = skip_rta_dead
         #: diagnostics from the most recent find_chains() run
         self.last_search_stats = SearchStatistics()
         self._accept: Optional[Callable[[Node], bool]] = None
@@ -238,6 +247,9 @@ class GadgetChainFinder:
         # incoming CALL edges: move from callee to caller, pushing the TC
         # through the edge's Polluted_Position (Formula 4)
         for rel in graph.in_relationships(node, CALL):
+            if self.skip_rta_dead and rel.get(RTA_DEAD):
+                stats.rta_pruned += 1
+                continue
             pp = rel.get("POLLUTED_POSITION")
             if pp is None:
                 continue
@@ -263,12 +275,18 @@ class GadgetChainFinder:
         if last is not None and last.type == ALIAS:
             return
         for rel in graph.out_relationships(node, ALIAS):
+            if self.skip_rta_dead and rel.get(RTA_DEAD):
+                stats.rta_pruned += 1
+                continue
             if reachable is not None and rel.end_id not in reachable:
                 stats.reachability_pruned += 1
                 continue
             stats.alias_hops += 1
             yield rel, graph.node(rel.end_id), list(tc)
         for rel in graph.in_relationships(node, ALIAS):
+            if self.skip_rta_dead and rel.get(RTA_DEAD):
+                stats.rta_pruned += 1
+                continue
             if reachable is not None and rel.start_id not in reachable:
                 stats.reachability_pruned += 1
                 continue

@@ -111,6 +111,7 @@ def _worker_init(graph_json: Optional[str], config: Dict[str, Any]) -> None:
         prune_unreachable=config["prune_unreachable"],
         negative_cache=config["negative_cache"],
         workers=1,
+        skip_rta_dead=config["skip_rta_dead"],
     )
     finder._accept = _make_accept(config["accept_spec"])
     if finder.prune_unreachable:
@@ -169,6 +170,7 @@ def parallel_find_chains(
         "optimize": finder.optimize,
         "prune_unreachable": finder.prune_unreachable,
         "negative_cache": finder.negative_cache,
+        "skip_rta_dead": finder.skip_rta_dead,
         "accept_spec": accept_spec,
     }
     start_method = (

@@ -26,6 +26,7 @@ from repro.corpus.patterns import (
     plant_extends_chain,
     plant_guard_decoy,
     plant_proxy_chain,
+    plant_rta_decoy,
     plant_sl_crowders,
     plant_sl_flood,
 )
@@ -191,6 +192,16 @@ def build() -> ComponentSpec:
         f"{PKG}.bidimap.TreeBidiMap",
         f"{PKG}.CollectionsConfig",
         through_interface=f"{PKG}.OrderedBidiMapGuard",
+    )
+
+    # a fifth fake only whole-CPG refinement can explain: the observer
+    # callback's sole implementation is never instantiated, so RTA
+    # refutes the chain (rta-dead-dispatch); the guard pass cannot
+    plant_rta_decoy(
+        pb,
+        iface=f"{PKG}.observed.ModificationHandler",
+        impl=f"{PKG}.observed.standard.StandardModificationHandler",
+        source=f"{PKG}.observed.ObservableCollection",
     )
 
     # an effective extension-dispatch chain the dataset does not record

@@ -8,6 +8,7 @@ from repro.corpus.patterns import (
     plant_gi_bait_fan,
     plant_sl_crowders,
     plant_sl_flood,
+    plant_taint_decoy,
 )
 from repro.jvm.builder import ProgramBuilder
 from repro.jvm.model import SERIALIZABLE
@@ -53,5 +54,16 @@ def build() -> ComponentSpec:
         )
 
     plant_gi_bait_fan(pb, f"{PKG}.engine.spi.SessionDelegator", f"{PKG}.engine.Worker", 2)
+
+    # a fake only the taint-summary replay can explain: the timestamp
+    # cache's region is a transient field nothing ever stores, so the
+    # sink argument is trusted on every path (untainted-sink); the
+    # interface hop keeps GI blind to it
+    plant_taint_decoy(
+        pb,
+        iface=f"{PKG}.cache.spi.Region",
+        impl=f"{PKG}.cache.internal.StandardQueryCache",
+        source=f"{PKG}.cache.spi.UpdateTimestampsCache",
+    )
 
     return component(NAME, PKG, pb, known)

@@ -46,6 +46,8 @@ __all__ = [
     "plant_extends_chain",
     "plant_proxy_chain",
     "plant_guard_decoy",
+    "plant_rta_decoy",
+    "plant_taint_decoy",
     "plant_gi_bait_fan",
     "plant_sl_flood",
     "plant_sl_crowders",
@@ -282,6 +284,80 @@ def plant_guard_decoy(
             with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
                 payload = m.get_field(m.this, "payload")
                 guarded_sink(m, payload)
+    return (source, shape.class_name)
+
+
+def plant_rta_decoy(
+    pb: ProgramBuilder,
+    iface: str,
+    impl: str,
+    source: str,
+    sink_key: str = "exec",
+    method: str = "handle",
+    source_method: str = "readObject",
+) -> Tuple[str, str]:
+    """A chain whose only dispatch target is never instantiated: the
+    source calls through an interface whose sole implementation is not
+    serializable and is never allocated anywhere in the closure, so no
+    execution can produce a receiver of that type.  The CPG keeps the
+    Alias edge (soundly) and the search reports the chain; RTA
+    type-reachability refinement refutes it (``rta-dead-dispatch``).
+    GI misses it outright (interface dispatch).  Returns the decoy's
+    (source class, sink class) endpoints."""
+    shape = SINK_SHAPES[sink_key]
+    ib = pb.interface(iface)
+    ib.abstract_method(method, params=["java.lang.Object"], returns="java.lang.Object")
+    ib.finish()
+    with pb.cls(impl, implements=[iface]) as c:
+        # Never instantiated anywhere in the closure — exactly what the
+        # interprocedural lint rule flags; the suppression marks intent.
+        c.lint_ignore("alias-never-instantiated")
+        with c.method(method, params=["java.lang.Object"], returns="java.lang.Object") as m:
+            payload = m.param(1)
+            emit_sink(m, sink_key, payload)
+            m.ret(payload)
+    with pb.cls(source, implements=[SERIALIZABLE]) as c:
+        c.field("handler", "java.lang.Object")
+        c.field("data", "java.lang.Object")
+        with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
+            h = m.get_field(m.this, "handler")
+            d = m.get_field(m.this, "data")
+            m.invoke_interface(h, iface, method, [d], returns="java.lang.Object")
+    return (source, shape.class_name)
+
+
+def plant_taint_decoy(
+    pb: ProgramBuilder,
+    iface: str,
+    impl: str,
+    source: str,
+    sink_key: str = "exec",
+    method: str = "refresh",
+    trusted_field: str = "region",
+    source_method: str = "readObject",
+) -> Tuple[str, str]:
+    """A chain whose sink argument only ever carries a *trusted* value:
+    the source feeds the dispatch a transient reference field that is
+    never stored anywhere in the closure, so deserialization cannot
+    plant attacker data in it.  The search (field-insensitive on the
+    polluted-position lattice) reports the chain; the taint-summary
+    replay refutes it (``untainted-sink``).  The dispatch goes through
+    an interface so GI stays blind to it.  Returns the decoy's
+    (source class, sink class) endpoints."""
+    shape = SINK_SHAPES[sink_key]
+    ib = pb.interface(iface)
+    ib.abstract_method(method, params=["java.lang.Object"])
+    ib.finish()
+    with pb.cls(impl, implements=[iface, SERIALIZABLE]) as c:
+        with c.method(method, params=["java.lang.Object"]) as m:
+            emit_sink(m, sink_key, m.param(1))
+    with pb.cls(source, implements=[SERIALIZABLE]) as c:
+        c.field("listener", "java.lang.Object")
+        c.field(trusted_field, "java.lang.Object", transient=True)
+        with c.method(source_method, params=["java.io.ObjectInputStream"]) as m:
+            h = m.get_field(m.this, "listener")
+            v = m.get_field(m.this, trusted_field)
+            m.invoke_interface(h, iface, method, [v])
     return (source, shape.class_name)
 
 

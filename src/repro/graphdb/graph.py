@@ -180,6 +180,10 @@ class PropertyGraph:
         #: has millions of nodes but a handful of label sets, so every
         #: node with the same labels shares one frozenset object
         self._labelset_pool: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        #: indexed relationship-property key -> ids of live relationships
+        #: carrying that key (any value); lets annotation passes such as
+        #: RTA edge marking be enumerated without scanning the edge set
+        self._rel_prop_indexes: Dict[str, Set[int]] = {}
         self._next_node_id = 0
         self._next_rel_id = 0
         self.indexes = IndexManager()
@@ -230,6 +234,10 @@ class PropertyGraph:
         self._out_by_type[start_id].setdefault(rel_type, []).append(rel.id)
         self._in_by_type[end_id].setdefault(rel_type, []).append(rel.id)
         self._rel_type_counts[rel_type] = self._rel_type_counts.get(rel_type, 0) + 1
+        if rel.properties:
+            for key in self._rel_prop_indexes:
+                if key in rel.properties:
+                    self._rel_prop_indexes[key].add(rel.id)
         return rel
 
     # -- indexing -----------------------------------------------------------
@@ -240,6 +248,30 @@ class PropertyGraph:
         when the index is declared.  The query planner routes anchor
         scans through these indexes and assumes completeness."""
         self.indexes.create_index(label, key, nodes=self.nodes(label))
+
+    def create_relationship_index(self, key: str) -> None:
+        """Declare a relationship-property presence index and backfill
+        it, so :meth:`relationships_with_property` is a set lookup no
+        matter when the index is declared.  Idempotent."""
+        if key in self._rel_prop_indexes:
+            return
+        self._rel_prop_indexes[_intern_key(key)] = {
+            rel.id for rel in self._rels.values() if key in rel.properties
+        }
+
+    def relationships_with_property(
+        self, key: str, rel_type: Optional[str] = None
+    ) -> List[Relationship]:
+        """Live relationships carrying property ``key`` (any value), in
+        id order; served from the presence index when one exists."""
+        indexed = self._rel_prop_indexes.get(key)
+        if indexed is not None:
+            rels = [self._rels[rel_id] for rel_id in sorted(indexed)]
+        else:
+            rels = [rel for rel in self._rels.values() if key in rel.properties]
+        if rel_type is not None:
+            rels = [rel for rel in rels if rel.type == rel_type]
+        return rels
 
     # -- deletion -----------------------------------------------------------
 
@@ -263,6 +295,8 @@ class PropertyGraph:
             self._rel_type_counts[found.type] = remaining
         else:
             del self._rel_type_counts[found.type]
+        for indexed in self._rel_prop_indexes.values():
+            indexed.discard(rel_id)
 
     def delete_node(self, node: "Node | int", detach: bool = False) -> None:
         node_id = node.id if isinstance(node, Node) else node
@@ -298,6 +332,9 @@ class PropertyGraph:
     ) -> None:
         found = self.relationship(rel.id if isinstance(rel, Relationship) else rel)
         found.properties[_intern_key(key)] = _check_property_value(key, value)
+        indexed = self._rel_prop_indexes.get(key)
+        if indexed is not None:
+            indexed.add(found.id)
 
     # -- lookup -----------------------------------------------------------------
 

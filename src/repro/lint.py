@@ -35,7 +35,13 @@ from repro.jvm.cfg import ControlFlowGraph, build_cfg
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.model import JavaClass, JavaMethod
 
-__all__ = ["LintIssue", "LINT_RULES", "Linter", "lint_classes"]
+__all__ = [
+    "LintIssue",
+    "LINT_RULES",
+    "INTERPROCEDURAL_RULES",
+    "Linter",
+    "lint_classes",
+]
 
 
 #: rule name -> (severity, one-line description)
@@ -72,7 +78,23 @@ LINT_RULES: Dict[str, Tuple[str, str]] = {
         "error",
         "switch statement repeats a case value",
     ),
+    "taint-unreachable-sink": (
+        "warning",
+        "sink call whose trigger positions are provably untainted even "
+        "for a fully attacker-controlled entry (interprocedural)",
+    ),
+    "alias-never-instantiated": (
+        "warning",
+        "class overrides dispatchable methods but no instance of it or "
+        "any subtype can exist in the analyzed closure (interprocedural)",
+    ),
 }
+
+#: rules that need the whole-program summary engines; they run only
+#: with ``Linter(..., interprocedural=True)`` (``tabby lint
+#: --interprocedural``) because on a decoy-rich corpus they flag every
+#: planted fake — by design the corpus is *full* of dead dispatch.
+INTERPROCEDURAL_RULES = ("taint-unreachable-sink", "alias-never-instantiated")
 
 
 @dataclass(frozen=True)
@@ -113,10 +135,28 @@ class Linter:
     corpus components, the component plus the lang base.
     """
 
-    def __init__(self, classes: Sequence[JavaClass]):
+    def __init__(self, classes: Sequence[JavaClass], interprocedural: bool = False):
         self.classes = list(classes)
         self.hierarchy = ClassHierarchy(self.classes)
         self.static_oracle = df.constant_static_fields(self.classes)
+        self.interprocedural = interprocedural
+        from repro.core.sinks import SinkCatalog
+
+        self._sink_catalog = SinkCatalog()
+        # the two summary-backed rules share the interprocedural
+        # engines from repro.analysis; both are built lazily since
+        # they cost a whole-program pass
+        self._taint_engine = None
+        self._type_reachability = None
+
+    def _engines(self):
+        if self._taint_engine is None:
+            from repro.analysis.rta import TypeReachability
+            from repro.analysis.taint import TaintSummaryEngine
+
+            self._taint_engine = TaintSummaryEngine(self.hierarchy)
+            self._type_reachability = TypeReachability(self.hierarchy)
+        return self._taint_engine, self._type_reachability
 
     def run(self, only_classes: Optional[Set[str]] = None) -> List[LintIssue]:
         """Lint every method body; returns all issues, suppressed ones
@@ -127,10 +167,44 @@ class Linter:
         for cls in self.classes:
             if only_classes is not None and cls.name not in only_classes:
                 continue
+            issues.extend(self._lint_class(cls))
             for method in cls.methods.values():
                 if method.has_body:
                     issues.extend(self._lint_method(cls, method))
         return issues
+
+    # -- per-class ----------------------------------------------------------
+
+    def _lint_class(self, cls: JavaClass) -> List[LintIssue]:
+        """Class-level rules (currently: alias-never-instantiated)."""
+        if not self.interprocedural or cls.is_interface or cls.is_abstract:
+            return []
+        _engine, types = self._engines()
+        if types.class_is_live(cls.name):
+            return []
+        overridden = sorted(
+            {
+                m.name
+                for m in cls.methods.values()
+                if m.name not in ("<init>", "<clinit>")
+                and self.hierarchy.alias_parents(m)
+            }
+        )
+        if not overridden:
+            return []
+        rule = "alias-never-instantiated"
+        return [
+            LintIssue(
+                rule,
+                LINT_RULES[rule][0],
+                cls.name,
+                "",
+                f"overrides {', '.join(overridden)} but is never "
+                "allocated, not serializable, and has no instantiable "
+                "subtype — its dispatch edges are dead",
+                suppressed=rule in cls.lint_suppressions,
+            )
+        ]
 
     # -- per-method ---------------------------------------------------------
 
@@ -147,6 +221,7 @@ class Linter:
         raw.extend(self._check_dead_stores(cfg, reachable))
         raw.extend(self._check_guards(cfg))
         raw.extend(self._check_statements(method))
+        raw.extend(self._check_taint_sinks(method))
 
         suppressions = method.lint_suppressions | cls.lint_suppressions
         issues = []
@@ -259,6 +334,39 @@ class Linter:
             )
         return out
 
+    def _check_taint_sinks(self, method: JavaMethod) -> List[Tuple[str, str]]:
+        """Flag sink-catalog calls whose every trigger position is
+        untainted in the method's taint summary — those sites cannot
+        fire no matter what the caller passes in, so a chain ending
+        there is decorative."""
+        if not self.interprocedural:
+            return []
+        from repro.analysis.taint import is_untainted
+
+        engine, _types = self._engines()
+        summary = engine.summary_for(method)
+        if summary is None:
+            return []
+        out = []
+        for site in summary.sites:
+            sink = self._sink_catalog.lookup(site.class_name, site.method_name)
+            if sink is None or not sink.trigger_condition:
+                continue
+            tc = [p for p in sink.trigger_condition if p < len(site.positions)]
+            if not tc:
+                continue  # conservative: TC outside the site's width
+            if all(is_untainted(site.positions[p]) for p in tc):
+                out.append(
+                    (
+                        "taint-unreachable-sink",
+                        f"call to sink {site.class_name}."
+                        f"{site.method_name} can never fire: trigger "
+                        f"position(s) {sorted(tc)} are untainted for any "
+                        "caller",
+                    )
+                )
+        return out
+
     def _check_statements(self, method: JavaMethod) -> List[Tuple[str, str]]:
         out = []
         for stmt in method.body:
@@ -324,7 +432,11 @@ class Linter:
 
 
 def lint_classes(
-    classes: Sequence[JavaClass], only_classes: Optional[Set[str]] = None
+    classes: Sequence[JavaClass],
+    only_classes: Optional[Set[str]] = None,
+    interprocedural: bool = False,
 ) -> List[LintIssue]:
     """Convenience wrapper: lint ``classes`` as one program."""
-    return Linter(classes).run(only_classes=only_classes)
+    return Linter(classes, interprocedural=interprocedural).run(
+        only_classes=only_classes
+    )

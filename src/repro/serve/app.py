@@ -11,6 +11,8 @@ Routes::
                                     (CPGStatistics/SearchStatistics rows)
     GET    /jobs/<id>/chains        the found gadget chains
     GET    /jobs/<id>/lint          lint issues for the submitted classes
+    GET    /jobs/<id>/verdicts      refinement verdicts + refutation reasons
+                                    (empty unless options.refine/-guards set)
     GET    /jobs/<id>/query?q=...   a Cypher-subset query over the job's CPG
     DELETE /jobs/<id>[?purge=1]     drop the job (purge also evicts its
                                     cached result)
@@ -221,7 +223,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, job.as_dict())
             return
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
-            "chains", "lint", "query",
+            "chains", "lint", "query", "verdicts",
         ):
             job = self._job_or_404(parts[1])
             if job is None:
@@ -247,6 +249,16 @@ class _Handler(BaseHTTPRequestHandler):
             elif parts[2] == "lint":
                 self._reply(
                     200, {"id": job.id, "issues": result.lint_records}
+                )
+            elif parts[2] == "verdicts":
+                self._reply(
+                    200,
+                    {
+                        "id": job.id,
+                        "cached": job.cached,
+                        "verdicts": result.verdict_records,
+                        "refinement": result.refine_stats,
+                    },
                 )
             else:
                 self._do_query(job, parsed.query)

@@ -441,12 +441,42 @@ class JobManager:
         cpg = tabby.build_cpg()
         job.progress["cpg"] = _cpg_row(cpg.statistics)
         job.phase = "search"
+        refine_modes = tuple(
+            m for m in options["refine"].split(",") if m
+        ) or None
         chains = tabby.find_gadget_chains(
             max_depth=options["max_depth"],
             source_filter=options["source_filter"],
             refine_guards=options["refine_guards"],
+            refine=refine_modes,
         )
         job.progress["search"] = _search_row(tabby.last_search_stats)
+        verdict_records: List[Dict[str, Any]] = []
+        refine_stats: Dict[str, Any] = {}
+        if options["refine_guards"] or refine_modes:
+            job.phase = "refine"
+            verdict_records = [
+                {
+                    "steps": [s.qualified for s in chain.steps],
+                    "sink_category": chain.sink_category,
+                    "status": "refuted",
+                    "refutation": reason.as_dict(),
+                }
+                for chain, reason in tabby.last_refutations
+            ]
+            if tabby.last_refine is not None:
+                refine_stats = tabby.last_refine.statistics
+                verdict_records.extend(
+                    {
+                        "steps": [s.qualified for s in chain.steps],
+                        "sink_category": chain.sink_category,
+                        "status": verdict.status,
+                    }
+                    for chain, verdict in zip(
+                        tabby.last_refine.chains, tabby.last_refine.verdicts
+                    )
+                    if verdict.status != "refuted"
+                )
         job.phase = "lint"
         lint_records = [issue.to_dict() for issue in lint_classes(classes)]
         job.phase = "fingerprint"
@@ -461,6 +491,8 @@ class JobManager:
                 for chain in chains
             ],
             lint_records=lint_records,
+            verdict_records=verdict_records,
+            refine_stats=refine_stats,
             graph=cpg.graph,
             fingerprint=digest,
             cpg_row=job.progress["cpg"],

@@ -55,6 +55,7 @@ OPTION_DEFAULTS: Dict[str, Any] = {
     "max_depth": 12,
     "source_filter": None,
     "refine_guards": False,
+    "refine": "",
 }
 
 
@@ -80,6 +81,20 @@ def canonical_options(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         raise ValueError("options.source_filter must be a string or null")
     if not isinstance(merged["refine_guards"], bool):
         raise ValueError("options.refine_guards must be a boolean")
+    if not isinstance(merged["refine"], str):
+        raise ValueError(
+            "options.refine must be a comma-separated string of modes"
+        )
+    from repro.analysis.chain_refiner import REFINE_MODES
+
+    modes = tuple(m.strip() for m in merged["refine"].split(",") if m.strip())
+    if any(m not in REFINE_MODES for m in modes):
+        raise ValueError(
+            f"options.refine modes must be drawn from {REFINE_MODES}"
+        )
+    # canonical spelling so "taint,rta", "rta, taint" and "rta,taint"
+    # all share one cache key
+    merged["refine"] = ",".join(m for m in REFINE_MODES if m in modes)
     return merged
 
 
@@ -122,6 +137,8 @@ class JobResult:
     key: str
     chain_records: List[Dict[str, Any]] = field(default_factory=list)
     lint_records: List[Dict[str, Any]] = field(default_factory=list)
+    verdict_records: List[Dict[str, Any]] = field(default_factory=list)
+    refine_stats: Dict[str, Any] = field(default_factory=dict)
     graph: Any = None
     fingerprint: str = ""
     cpg_row: Dict[str, Any] = field(default_factory=dict)

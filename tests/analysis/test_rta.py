@@ -1,0 +1,180 @@
+"""RTA instantiated-type reachability: seed set, liveness queries, edge
+annotation, and the pruned-search/post-hoc-refinement differential."""
+
+import pytest
+
+from repro.analysis.rta import (
+    RTAResult,
+    TypeReachability,
+    annotate_type_reachability,
+    instantiated_types,
+)
+from repro.core import Tabby
+from repro.core.cpg import ALIAS, CALL, RTA_DEAD
+from repro.corpus.patterns import plant_interface_chain, plant_rta_decoy
+from repro.errors import AnalysisError
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import SERIALIZABLE
+
+
+def _mixed_program():
+    """One live interface chain plus one ghost-handler decoy, with an
+    allocation site and a transient-field declared type on the side."""
+    pb = ProgramBuilder()
+    plant_interface_chain(pb, "t.Xform", "t.XformImpl", "t.TrueSrc", "exec")
+    plant_rta_decoy(pb, "t.Handler", "t.GhostHandler", "t.DecoySrc")
+    with pb.cls("t.Allocated") as c:
+        with c.method("noop") as m:
+            m.ret()
+    with pb.cls("t.Factory") as c:
+        with c.method("make", returns="java.lang.Object") as m:
+            obj = m.new("t.Allocated")
+            m.ret(obj)
+    with pb.cls("t.Repopulated") as c:
+        with c.method("noop") as m:
+            m.ret()
+    with pb.cls("t.Holder", implements=[SERIALIZABLE]) as c:
+        c.field("slot", "t.Repopulated", transient=True)
+    return pb.build()
+
+
+@pytest.fixture(scope="module")
+def classes():
+    return _mixed_program()
+
+
+@pytest.fixture(scope="module")
+def hierarchy(classes):
+    return ClassHierarchy(classes)
+
+
+class TestInstantiatedTypes:
+    def test_allocation_sites_are_seeded(self, hierarchy):
+        assert "t.Allocated" in instantiated_types(hierarchy)
+
+    def test_serializable_classes_are_seeded(self, hierarchy):
+        live = instantiated_types(hierarchy)
+        assert "t.TrueSrc" in live
+        assert "t.XformImpl" in live
+        assert "t.Holder" in live
+
+    def test_transient_field_declared_type_is_seeded(self, hierarchy):
+        # the deserializer repopulates transient refs with a trusted
+        # instance of the declared type, so that type is constructible
+        assert "t.Repopulated" in instantiated_types(hierarchy)
+
+    def test_ghost_impl_is_not_seeded(self, hierarchy):
+        live = instantiated_types(hierarchy)
+        assert "t.GhostHandler" not in live
+        # non-serializable, never allocated helper classes stay out too
+        assert "t.Factory" not in live
+
+
+class TestClassIsLive:
+    def test_object_and_phantom_are_live(self, hierarchy):
+        types = TypeReachability(hierarchy)
+        assert types.class_is_live("java.lang.Object")
+        assert types.class_is_live("com.example.NotInClosure")
+        assert types.class_is_live(None)
+
+    def test_interface_liveness_follows_subtypes(self, hierarchy):
+        types = TypeReachability(hierarchy)
+        assert types.class_is_live("t.Xform")  # live impl exists
+        assert not types.class_is_live("t.Handler")  # only the ghost
+        assert not types.class_is_live("t.GhostHandler")
+
+    def test_queries_are_memoised(self, hierarchy):
+        types = TypeReachability(hierarchy)
+        assert types.class_is_live("t.Handler") is types.class_is_live(
+            "t.Handler"
+        )
+
+
+class TestAnnotation:
+    @pytest.fixture()
+    def cpg(self, classes):
+        return Tabby().add_classes(classes).build_cpg()
+
+    def test_marks_only_dead_dispatch_edges(self, cpg):
+        result = annotate_type_reachability(cpg)
+        assert isinstance(result, RTAResult)
+        dead = cpg.graph.relationships_with_property(RTA_DEAD)
+        assert len(dead) == result.dead_edges > 0
+        for rel in dead:
+            assert rel.type in (CALL, ALIAS)
+            assert rel.get(RTA_DEAD) is True
+        dead_callees = {
+            cpg.graph.node(rel.end_id).get("CLASSNAME")
+            for rel in dead
+            if rel.type == CALL
+        }
+        assert dead_callees == {"t.Handler"}
+        dead_children = {
+            cpg.graph.node(rel.start_id).get("CLASSNAME")
+            for rel in dead
+            if rel.type == ALIAS
+        }
+        assert dead_children == {"t.GhostHandler"}
+
+    def test_live_chain_edges_stay_unmarked(self, cpg):
+        annotate_type_reachability(cpg)
+        for rel in cpg.graph.relationships(CALL):
+            callee = cpg.graph.node(rel.end_id).get("CLASSNAME")
+            if callee in ("t.Xform", "t.XformImpl"):
+                assert rel.get(RTA_DEAD) is None
+
+    def test_idempotent(self, cpg):
+        first = annotate_type_reachability(cpg)
+        second = annotate_type_reachability(cpg)
+        assert first.dead_edges == second.dead_edges
+        assert len(cpg.graph.relationships_with_property(RTA_DEAD)) == (
+            first.dead_edges
+        )
+
+    def test_counts_are_consistent(self, cpg):
+        result = annotate_type_reachability(cpg)
+        assert result.dead_alias_edges <= result.alias_edges
+        assert result.dead_call_edges <= result.call_edges
+        doc = result.as_dict()
+        assert doc["dead_alias_edges"] + doc["dead_call_edges"] == (
+            result.dead_edges
+        )
+
+    def test_refuses_snapshot_loaded_cpg(self, classes, tmp_path):
+        """A snapshot carries no class bodies, so the seed set would be
+        empty and every defined dispatch would look dead — refuse."""
+        path = str(tmp_path / "cpg.snap")
+        Tabby().add_classes(classes).save_cpg(path)
+        loaded = Tabby().load_cpg(path)
+        with pytest.raises(AnalysisError):
+            annotate_type_reachability(loaded.build_cpg())
+
+
+class TestPrunedSearchDifferential:
+    def test_skip_rta_dead_equals_post_hoc_refinement(self, classes):
+        """Searching over the annotated CPG with dead edges skipped
+        returns exactly the chains a post-hoc RTA refinement keeps
+        (with per-sink capping off, so both sides see every chain)."""
+        from repro.analysis.chain_refiner import ChainRefiner
+
+        tabby = Tabby().add_classes(classes)
+        baseline = tabby.find_gadget_chains(max_results_per_sink=None)
+        kept = ChainRefiner(tabby.cpg.hierarchy, modes=("rta",)).refine(
+            baseline
+        ).kept
+
+        tabby.annotate_rta()
+        pruned = tabby.find_gadget_chains(
+            max_results_per_sink=None, skip_rta_dead=True
+        )
+        assert [c.key for c in pruned] == [c.key for c in kept]
+        assert len(pruned) < len(baseline)
+
+    def test_skip_without_annotation_is_baseline(self, classes):
+        tabby = Tabby().add_classes(classes)
+        baseline = tabby.find_gadget_chains(max_results_per_sink=None)
+        skipped = tabby.find_gadget_chains(
+            max_results_per_sink=None, skip_rta_dead=True
+        )
+        assert [c.key for c in skipped] == [c.key for c in baseline]

@@ -1,0 +1,248 @@
+"""Field-sensitive taint summaries: the lattice, whole-closure field
+trust, per-method transfer functions, bottom-up composition, and the
+on-disk summary cache."""
+
+import pytest
+
+from repro.analysis.taint import (
+    TAINT_TOP,
+    UNTAINTED,
+    FieldFacts,
+    TaintSummaryEngine,
+    decode_value,
+    encode_value,
+    is_untainted,
+    join_values,
+)
+from repro.jvm.builder import ProgramBuilder
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.model import SERIALIZABLE
+
+
+class TestLattice:
+    def test_join_is_union_with_top_absorbing(self):
+        a = frozenset({(1, None)})
+        b = frozenset({(0, "f")})
+        assert join_values(a, b) == a | b
+        assert join_values(a, TAINT_TOP) is TAINT_TOP
+        assert join_values(TAINT_TOP, b) is TAINT_TOP
+        assert join_values(UNTAINTED, a) == a
+
+    def test_is_untainted_only_for_empty_set(self):
+        assert is_untainted(UNTAINTED)
+        assert not is_untainted(TAINT_TOP)
+        assert not is_untainted(frozenset({(2, None)}))
+
+    def test_encode_decode_round_trip(self):
+        for value in (
+            TAINT_TOP,
+            UNTAINTED,
+            frozenset({(0, None), (0, "f"), (3, None)}),
+        ):
+            assert decode_value(encode_value(value)) == value or (
+                value is TAINT_TOP and decode_value(encode_value(value)) is TAINT_TOP
+            )
+
+    def test_encoding_is_deterministic(self):
+        value = frozenset({(2, None), (0, "b"), (0, "a")})
+        assert encode_value(value) == encode_value(frozenset(sorted(value))) \
+            == [[0, "a"], [0, "b"], [2, None]]
+
+
+def _facts_program():
+    pb = ProgramBuilder()
+    with pb.cls("t.Pure", implements=[SERIALIZABLE]) as c:
+        c.field("clean", "java.lang.Object", transient=True)
+        c.field("dirty", "java.lang.Object")
+        c.field("primitive", "int", transient=True)
+        c.field("written", "java.lang.Object", transient=True)
+        with c.method("poke", params=["java.lang.Object"]) as m:
+            m.set_field(m.this, "written", m.param(1))
+    with pb.cls("t.Mixed") as c:
+        # same name as t.Pure.clean but NOT transient: the by-name trust
+        # classification must reject the name entirely
+        c.field("shared", "java.lang.Object")
+    with pb.cls("t.Pure2") as c:
+        c.field("shared", "java.lang.Object", transient=True)
+    return ClassHierarchy(pb.build())
+
+
+class TestFieldFacts:
+    @pytest.fixture(scope="class")
+    def facts(self):
+        return FieldFacts.compute(_facts_program())
+
+    def test_transient_unstored_reference_is_trusted(self, facts):
+        assert "clean" in facts.trusted
+
+    def test_non_transient_is_not_trusted(self, facts):
+        assert "dirty" not in facts.trusted
+
+    def test_transient_primitive_is_not_trusted(self, facts):
+        # the oracle lets attacker bytes through for primitives
+        assert "primitive" not in facts.trusted
+
+    def test_stored_field_is_not_trusted(self, facts):
+        assert "written" in facts.stored
+        assert "written" not in facts.trusted
+
+    def test_mixed_declarations_are_not_trusted(self, facts):
+        assert "shared" not in facts.trusted
+
+    def test_read_field_semantics(self, facts):
+        this = frozenset({(0, None)})
+        assert facts.read_field("clean", this) == UNTAINTED
+        assert facts.read_field("written", this) is TAINT_TOP
+        assert facts.read_field("dirty", this) == frozenset({(0, "dirty")})
+        # reading off a parameter collapses to the parameter channel
+        assert facts.read_field("dirty", frozenset({(2, None)})) == frozenset(
+            {(2, None)}
+        )
+        assert facts.read_field("dirty", TAINT_TOP) is TAINT_TOP
+
+    def test_digest_tracks_content(self):
+        a = FieldFacts(frozenset({"x"}), frozenset())
+        b = FieldFacts(frozenset({"y"}), frozenset())
+        assert a.digest() != b.digest()
+        assert a.digest() == FieldFacts(frozenset({"x"}), frozenset()).digest()
+
+
+def _summary_program():
+    pb = ProgramBuilder()
+    with pb.cls("t.Lib") as c:
+        c.field("payload", "java.lang.Object")
+        c.field("spare", "java.lang.Object", transient=True)
+        with c.method("identity", params=["java.lang.Object"],
+                      returns="java.lang.Object") as m:
+            m.ret(m.param(1))
+        with c.method("constant", returns="java.lang.Object") as m:
+            obj = m.new("java.lang.Object")
+            m.ret(obj)
+        with c.method("readPayload", returns="java.lang.Object") as m:
+            v = m.get_field(m.this, "payload")
+            m.ret(v)
+        with c.method("readSpare", returns="java.lang.Object") as m:
+            v = m.get_field(m.this, "spare")
+            m.ret(v)
+        with c.method("wrap", params=["java.lang.Object"],
+                      returns="java.lang.Object") as m:
+            out = m.invoke(m.this, "t.Lib", "identity", [m.param(1)],
+                           returns="java.lang.Object")
+            m.ret(out)
+        with c.method("launder", params=["java.lang.Object"],
+                      returns="java.lang.Object") as m:
+            # calls a phantom method: must degrade to TOP, never to clean
+            out = m.invoke(m.param(1), "ext.Unknown", "mix", [m.param(1)],
+                           returns="java.lang.Object")
+            m.ret(out)
+    with pb.cls("t.Rec") as c:
+        with c.method("ping", params=["java.lang.Object"],
+                      returns="java.lang.Object") as m:
+            out = m.invoke(m.this, "t.Rec", "pong", [m.param(1)],
+                           returns="java.lang.Object")
+            m.ret(out)
+        with c.method("pong", params=["java.lang.Object"],
+                      returns="java.lang.Object") as m:
+            m.if_ne(m.param(1), 0, "rec")
+            m.ret(m.param(1))  # the base case seeding the SCC fixpoint
+            m.label("rec")
+            out = m.invoke(m.this, "t.Rec", "ping", [m.param(1)],
+                           returns="java.lang.Object")
+            m.ret(out)
+    return pb.build()
+
+
+def _summary(engine, cls, name):
+    hierarchy = engine.hierarchy
+    method = hierarchy.get(cls).find_method(name, 1) or hierarchy.get(
+        cls
+    ).find_method(name, 0)
+    return engine.summary_for(method)
+
+
+class TestSummaries:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return TaintSummaryEngine(ClassHierarchy(_summary_program()))
+
+    def test_identity_returns_its_parameter(self, engine):
+        assert _summary(engine, "t.Lib", "identity").returns == frozenset(
+            {(1, None)}
+        )
+
+    def test_fresh_allocation_is_untainted(self, engine):
+        assert _summary(engine, "t.Lib", "constant").returns == UNTAINTED
+
+    def test_field_read_names_the_channel(self, engine):
+        assert _summary(engine, "t.Lib", "readPayload").returns == frozenset(
+            {(0, "payload")}
+        )
+
+    def test_trusted_field_read_is_clean(self, engine):
+        assert _summary(engine, "t.Lib", "readSpare").returns == UNTAINTED
+
+    def test_interprocedural_composition(self, engine):
+        # wrap(p) = identity(p): the callee's channel rewrites to the
+        # caller's parameter
+        assert _summary(engine, "t.Lib", "wrap").returns == frozenset(
+            {(1, None)}
+        )
+
+    def test_unresolvable_call_degrades_to_top(self, engine):
+        assert _summary(engine, "t.Lib", "launder").returns is TAINT_TOP
+
+    def test_mutual_recursion_reaches_a_fixpoint(self, engine):
+        ping = _summary(engine, "t.Rec", "ping")
+        pong = _summary(engine, "t.Rec", "pong")
+        assert ping.returns == pong.returns == frozenset({(1, None)})
+
+    def test_sites_record_position_taint(self, engine):
+        wrap = _summary(engine, "t.Lib", "wrap")
+        (site,) = [s for s in wrap.sites if s.method_name == "identity"]
+        assert site.positions[0] == frozenset({(0, None)})
+        assert site.positions[1] == frozenset({(1, None)})
+
+    def test_bodiless_method_has_no_summary(self, engine):
+        pb = ProgramBuilder()
+        ib = pb.interface("t.I")
+        ib.abstract_method("go", params=["java.lang.Object"])
+        ib.finish()
+        h = ClassHierarchy(pb.build())
+        e = TaintSummaryEngine(h)
+        method = h.get("t.I").find_method("go", 1)
+        assert e.summary_for(method) is None
+
+    def test_compute_all_is_deterministic(self):
+        hierarchy = ClassHierarchy(_summary_program())
+        first = TaintSummaryEngine(hierarchy).compute_all()
+        second = TaintSummaryEngine(hierarchy).compute_all()
+        assert first == second
+
+
+class TestSummaryCache:
+    def test_round_trip_hits_on_second_engine(self, tmp_path):
+        hierarchy = ClassHierarchy(_summary_program())
+        cold = TaintSummaryEngine(hierarchy, cache_dir=str(tmp_path))
+        baseline = cold.compute_all()
+        assert cold.cache.stats.stored > 0
+
+        warm = TaintSummaryEngine(hierarchy, cache_dir=str(tmp_path))
+        cached = warm.compute_all()
+        assert cached == baseline
+        assert warm.cache.stats.hits > 0
+        # everything came from disk: no fixpoint work was done
+        assert warm.stats["methods"] == 0
+
+    def test_field_fact_changes_invalidate_the_cache(self, tmp_path):
+        hierarchy = ClassHierarchy(_summary_program())
+        TaintSummaryEngine(hierarchy, cache_dir=str(tmp_path)).compute_all()
+
+        pb = ProgramBuilder()
+        with pb.cls("t.Extra") as c:
+            # declares `spare` non-transient: "spare" loses trust
+            c.field("spare", "java.lang.Object")
+        changed = ClassHierarchy(_summary_program() + pb.build())
+        warm = TaintSummaryEngine(changed, cache_dir=str(tmp_path))
+        summaries = warm.compute_all()
+        key = [k for k in summaries if "readSpare" in k]
+        assert summaries[key[0]].returns == frozenset({(0, "spare")})

@@ -106,3 +106,51 @@ class TestCorruptions:
         issue = verify_cpg(cpg)[0]
         assert str(issue).startswith("[call-pp-arity]")
         assert issue.to_dict()["check"] == "call-pp-arity"
+
+
+class TestRefinementAnnotations:
+    """Corrupted ``RTA_DEAD`` annotations are structural errors: absence
+    means live, so a malformed marker silently changes pruned-search
+    results and must be caught before anyone trusts the snapshot."""
+
+    def _checks(self, cpg):
+        return {issue.check for issue in verify_cpg(cpg)}
+
+    def test_annotated_cpg_verifies_clean(self):
+        tabby, cpg = _component_cpg("commons-collections(3.2.1)")
+        tabby.annotate_rta()
+        assert verify_cpg(cpg) == []
+
+    def test_rta_dead_on_a_has_edge_is_caught(self, cpg):
+        rel = next(iter(cpg.graph.relationships(HAS)))
+        cpg.graph.set_relationship_property(rel, "RTA_DEAD", True)
+        assert "refine-annotation" in self._checks(cpg)
+
+    def test_rta_dead_must_be_true(self, cpg):
+        rel = next(iter(cpg.graph.relationships(CALL)))
+        cpg.graph.set_relationship_property(rel, "RTA_DEAD", False)
+        assert "refine-annotation" in self._checks(cpg)
+
+    def test_rta_dead_on_static_dispatch_is_caught(self, cpg):
+        rel = next(
+            r for r in cpg.graph.relationships(CALL)
+            if r.get("KIND") not in ("virtual", "interface")
+        )
+        cpg.graph.set_relationship_property(rel, "RTA_DEAD", True)
+        assert "refine-annotation" in self._checks(cpg)
+
+    def test_rta_dead_alias_must_be_an_override_pair(self, cpg):
+        methods = list(cpg.graph.nodes(METHOD_LABEL))
+        a = next(m for m in methods if m.get("NAME") == "readObject")
+        b = next(m for m in methods if m.get("NAME") != "readObject")
+        rel = cpg.graph.create_relationship(ALIAS, a, b)
+        cpg.graph.set_relationship_property(rel, "RTA_DEAD", True)
+        assert "refine-annotation" in self._checks(cpg)
+
+    def test_well_formed_dead_call_passes(self, cpg):
+        rel = next(
+            r for r in cpg.graph.relationships(CALL)
+            if r.get("KIND") in ("virtual", "interface")
+        )
+        cpg.graph.set_relationship_property(rel, "RTA_DEAD", True)
+        assert "refine-annotation" not in self._checks(cpg)

@@ -140,3 +140,50 @@ class TestComponentRefinement:
         for attr in ("result_count", "fake_count", "known_found",
                      "unknown_count"):
             assert getattr(plain.tabby, attr) == getattr(with_flag.tabby, attr)
+
+
+class TestRefutationReasons:
+    """Refuted chains carry an explainable reason: which hop died, on
+    which guard, and what constant value pins it shut."""
+
+    def test_constant_guard_reason_names_the_hop(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        reason = refiner.chain_refutation(_chain("m"))
+        assert reason is not None
+        assert reason.kind == "constant-guard"
+        assert reason.step_index == 0
+        assert reason.caller.startswith("t.A.m")
+        assert reason.callee.startswith("t.B.hit")
+        # the guard location and the pinned constant are both reported
+        assert "ENABLED" in reason.detail
+        assert "0" in reason.detail
+
+    def test_kept_chain_has_no_reason(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        assert refiner.chain_refutation(_chain("open")) is None
+
+    def test_reason_serializes(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        doc = refiner.chain_refutation(_chain("m")).as_dict()
+        assert doc["kind"] == "constant-guard"
+        assert doc["step_index"] == 0
+        assert set(doc) == {"kind", "step_index", "caller", "callee", "detail"}
+
+    def test_refine_with_reasons_matches_legacy_partition(self):
+        refiner = GuardFeasibilityRefiner(ClassHierarchy(_guarded_program()))
+        chains = [_chain("open"), _chain("m"), _chain("open")]
+        kept, refuted_pairs = refiner.refine_with_reasons(chains)
+        legacy_kept, legacy_refuted = refiner.refine(chains)
+        assert kept == legacy_kept
+        assert [c for c, _r in refuted_pairs] == legacy_refuted
+        assert all(r.kind == "constant-guard" for _c, r in refuted_pairs)
+
+    def test_api_exposes_refutation_pairs(self):
+        spec = build_component("commons-collections(3.2.1)")
+        classes = build_lang_base() + spec.classes
+        tabby = Tabby().add_classes(classes)
+        tabby.find_gadget_chains(refine_guards=True)
+        assert tabby.last_refutations
+        assert tabby.last_refuted == [c for c, _r in tabby.last_refutations]
+        for _chain_obj, reason in tabby.last_refutations:
+            assert reason.kind == "constant-guard"

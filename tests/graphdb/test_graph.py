@@ -267,3 +267,65 @@ class TestInternedStorage:
         b = g2.create_node(["Method"])
         assert a.labels == b.labels
         assert g1._labelset_pool is not g2._labelset_pool
+
+
+class TestRelationshipPropertyIndex:
+    """Presence index over relationship properties (serves the RTA_DEAD
+    sparse-annotation scans without touching unannotated edges)."""
+
+    def _edges(self, graph, n=4, rel_type="CALL"):
+        nodes = [graph.create_node() for _ in range(n + 1)]
+        return [
+            graph.create_relationship(rel_type, nodes[i], nodes[i + 1])
+            for i in range(n)
+        ]
+
+    def test_index_serves_annotated_edges_in_id_order(self, graph):
+        rels = self._edges(graph)
+        graph.create_relationship_index("DEAD")
+        graph.set_relationship_property(rels[2], "DEAD", True)
+        graph.set_relationship_property(rels[0], "DEAD", True)
+        got = graph.relationships_with_property("DEAD")
+        assert [r.id for r in got] == sorted([rels[0].id, rels[2].id])
+
+    def test_late_index_declaration_backfills(self, graph):
+        rels = self._edges(graph)
+        # property set before the index exists must still be found
+        graph.set_relationship_property(rels[1], "DEAD", True)
+        graph.create_relationship_index("DEAD")
+        assert [r.id for r in graph.relationships_with_property("DEAD")] == [
+            rels[1].id
+        ]
+
+    def test_create_is_idempotent(self, graph):
+        rels = self._edges(graph)
+        graph.create_relationship_index("DEAD")
+        graph.set_relationship_property(rels[0], "DEAD", True)
+        graph.create_relationship_index("DEAD")
+        assert len(graph.relationships_with_property("DEAD")) == 1
+
+    def test_rel_type_filter(self, graph):
+        call = self._edges(graph, n=1)[0]
+        alias = self._edges(graph, n=1, rel_type="ALIAS")[0]
+        graph.create_relationship_index("DEAD")
+        graph.set_relationship_property(call, "DEAD", True)
+        graph.set_relationship_property(alias, "DEAD", True)
+        got = graph.relationships_with_property("DEAD", rel_type="ALIAS")
+        assert [r.id for r in got] == [alias.id]
+
+    def test_delete_relationship_drops_index_entry(self, graph):
+        rels = self._edges(graph)
+        graph.create_relationship_index("DEAD")
+        graph.set_relationship_property(rels[0], "DEAD", True)
+        graph.set_relationship_property(rels[1], "DEAD", True)
+        graph.delete_relationship(rels[0])
+        assert [r.id for r in graph.relationships_with_property("DEAD")] == [
+            rels[1].id
+        ]
+
+    def test_unindexed_key_still_answers_by_scan(self, graph):
+        rels = self._edges(graph)
+        graph.set_relationship_property(rels[3], "DEAD", True)
+        assert [r.id for r in graph.relationships_with_property("DEAD")] == [
+            rels[3].id
+        ]

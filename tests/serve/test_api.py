@@ -9,7 +9,7 @@ import pytest
 from repro.core import SourceCatalog, Tabby
 from repro.serve import create_server
 
-from tests.serve.bundles import Client, gadget_bundle, gadget_classes
+from tests.serve.bundles import NATIVE, Client, gadget_bundle, gadget_classes
 
 
 def direct_records(classes, **kwargs):
@@ -309,3 +309,61 @@ class TestRateLimiting:
             assert code == 200
         finally:
             srv.close()
+
+
+class TestRefinementEndpoint:
+    def test_refine_option_bad_mode_400(self, client):
+        code, err, _ = client.request(
+            "POST", "/jobs",
+            {"classes": "x", "options": {"refine": "rta,cha"}},
+        )
+        assert code == 400
+        assert "refine" in err["error"]
+
+    def test_refine_option_wrong_type_400(self, client):
+        code, err, _ = client.request(
+            "POST", "/jobs",
+            {"classes": "x", "options": {"refine": ["rta"]}},
+        )
+        assert code == 400
+        assert "comma-separated" in err["error"]
+
+    def test_verdicts_empty_without_refinement(self, client):
+        _, doc, _ = client.submit(gadget_bundle("noverdicts"))
+        client.poll_done(doc["id"])
+        code, body, _ = client.request("GET", f"/jobs/{doc['id']}/verdicts")
+        assert code == 200
+        assert body["verdicts"] == []
+        assert body["refinement"] == {}
+
+    def test_verdicts_present_with_refinement(self, client):
+        options = dict(NATIVE, refine="rta,taint")
+        _, doc, _ = client.submit(gadget_bundle("verdicty"), options=options)
+        final = client.poll_done(doc["id"])
+        assert final["state"] == "done"
+        code, body, _ = client.request("GET", f"/jobs/{doc['id']}/verdicts")
+        assert code == 200
+        assert body["refinement"]["modes"] == ["rta", "taint"]
+        statuses = {v["status"] for v in body["verdicts"]}
+        assert statuses <= {"kept", "refuted", "unknown"}
+        # the Figure-1 gadget is a true chain: nothing may be refuted
+        assert final["chain_count"] == 1
+        assert "refuted" not in statuses
+
+    def test_verdicts_409_before_result(self, client):
+        _, doc, _ = client.submit("class nope {{{ not jasm")
+        final = client.poll_done(doc["id"])
+        assert final["state"] == "failed"
+        code, err, _ = client.request("GET", f"/jobs/{doc['id']}/verdicts")
+        assert code == 409
+
+    def test_refine_mode_order_is_cache_canonical(self, client):
+        bundle = gadget_bundle("canonical")
+        first_opts = dict(NATIVE, refine="taint,rta")
+        code, first, _ = client.submit(bundle, options=first_opts)
+        assert code == 202
+        client.poll_done(first["id"])
+        second_opts = dict(NATIVE, refine="rta,taint")
+        code, second, _ = client.submit(bundle, options=second_opts)
+        assert code == 200
+        assert second["cached"] is True

@@ -397,3 +397,61 @@ class TestBenchTables:
         assert main(["bench", "table11"]) == 0
         out = capsys.readouterr().out
         assert "LazyInitTargetSource" in out
+
+
+class TestRefineFlag:
+    def test_bad_mode_is_a_parse_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chains", "jars", "--refine", "cha"])
+
+    def test_mode_order_is_canonicalized(self):
+        args = build_parser().parse_args(["chains", "jars", "--refine",
+                                          "taint,rta"])
+        assert args.refine == ("rta", "taint")
+
+    def test_chains_refine_summary(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--refine", "rta,taint"]) == 0
+        captured = capsys.readouterr()
+        assert "refinement (rta,taint):" in captured.err
+        assert "kept" in captured.err
+        assert "gadget chain(s) found" in captured.out
+
+    def test_chains_refine_json_object_shape(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--refine", "rta,taint",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"chains", "refuted", "refinement"}
+        assert doc["refinement"]["modes"] == ["rta", "taint"]
+        for record in doc["chains"]:
+            assert record["verdict"] in ("kept", "unknown")
+        for record in doc["refuted"]:
+            assert record["refutation"]["kind"]
+
+    def test_json_stays_a_bare_list_without_refinement(self, jar_dir, capsys):
+        assert main(["chains", jar_dir, "--json"]) == 0
+        assert isinstance(json.loads(capsys.readouterr().out), list)
+
+    def test_refine_rejects_snapshot_input(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "saved.cpg")
+        main(["analyze", jar_dir, "-o", cpg])
+        capsys.readouterr()
+        assert main(["chains", "--cpg", cpg, "--refine", "rta"]) == 2
+        err = capsys.readouterr().err
+        assert "--refine" in err and "classpath" in err
+
+    def test_analyze_refine_reports_rta(self, jar_dir, tmp_path, capsys):
+        cpg = str(tmp_path / "refined.cpg")
+        assert main(["analyze", jar_dir, "-o", cpg, "--refine", "rta"]) == 0
+        assert "RTA refinement:" in capsys.readouterr().out
+
+
+class TestLintInterproceduralFlag:
+    def test_flag_parses(self):
+        args = build_parser().parse_args(["lint", "--corpus",
+                                          "--interprocedural"])
+        assert args.interprocedural is True
+
+    def test_interprocedural_lint_runs(self, jar_dir, capsys):
+        assert main(["lint", jar_dir, "--interprocedural"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" in out
