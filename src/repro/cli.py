@@ -3,7 +3,7 @@
 Subcommands::
 
     tabby analyze PATH [PATH...]     build a CPG from jars, save it
-                                     (--format binary|json, default binary)
+                                     (--format v3|binary|json, default v3)
     tabby chains PATH [PATH...]      find (and optionally verify) chains
     tabby chains --cpg FILE          ... over a persisted CPG (warm start)
     tabby lint [PATH...] [--corpus]  dataflow-based IR lint (repro.lint)
@@ -120,12 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", help="build and persist a CPG")
     analyze.add_argument("classpath", nargs="+", help="jar files or directories")
     analyze.add_argument("-o", "--output", default=None,
-                         help="output path (default: tabby.cpg for binary, "
+                         help="output path (default: tabby.cpg for v3/binary, "
                          "tabby.cpg.json.gz for json)")
-    analyze.add_argument("--format", choices=("binary", "json"), default="binary",
-                         help="snapshot format: 'binary' is the fast columnar "
-                         "v2 snapshot (default); 'json' emits the byte-stable "
-                         "v1 document for diffing. Readers auto-detect either.")
+    analyze.add_argument("--format", choices=("v3", "binary", "json"), default="v3",
+                         help="snapshot format: 'v3' is the mmap-able "
+                         "zero-copy snapshot (default; opens in O(header) and "
+                         "shares one physical copy across processes); "
+                         "'binary' is the columnar v2 snapshot; 'json' emits "
+                         "the byte-stable v1 document for diffing. Readers "
+                         "auto-detect every format.")
     analyze.add_argument("--sources", choices=("native", "extended"), default="extended")
     analyze.add_argument("--validate", action="store_true",
                          help="run Soot-style body/linkage validation first")
@@ -244,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="bound the job queue; a full queue answers 503 "
                        "(0 = unbounded)")
+    serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="serve 'snapshot' jobs over persisted CPG files "
+                       "in DIR (v3 snapshots are mmap'd and shared across "
+                       "concurrent jobs; disabled when unset)")
     serve.add_argument("--no-drain", action="store_true",
                        help="on shutdown, cancel queued jobs instead of "
                        "draining them")
@@ -314,7 +321,7 @@ def _check_cpg(tabby: Tabby) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     output = args.output
     if output is None:
-        output = "tabby.cpg" if args.format == "binary" else "tabby.cpg.json.gz"
+        output = "tabby.cpg.json.gz" if args.format == "json" else "tabby.cpg"
     tabby = _build_tabby(args)
     if args.validate:
         from repro.jvm.validate import validate_classes
@@ -558,13 +565,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.graphdb.query import jsonable_row, run_query
-    from repro.graphdb.storage import load_graph
+    from repro.graphdb.storage import open_graph
 
     if args.no_planner and (args.explain or args.profile):
         print("query: --no-planner is incompatible with --explain/--profile",
               file=sys.stderr)
         return 2
-    graph = load_graph(args.cpg)
+    graph = open_graph(args.cpg)
     result = run_query(
         graph,
         args.cypher,
@@ -640,6 +647,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             burst=args.burst,
             store_capacity=args.store_capacity,
             max_queue=args.max_queue,
+            snapshot_dir=args.snapshot_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -37,7 +37,7 @@ from repro.core.sinks import SinkCatalog, SinkMethod
 from repro.core.sources import SourceCatalog
 from repro.errors import AnalysisError
 from repro.graphdb.query import QueryResult, run_query
-from repro.graphdb.storage import load_graph, save_graph
+from repro.graphdb.storage import load_graph, open_graph, save_graph
 from repro.graphdb.traversal import Uniqueness
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.jar import JarArchive, load_classpath
@@ -226,19 +226,25 @@ class Tabby:
     def save_cpg(self, path: str, format: Optional[str] = None) -> None:
         """Persist the CPG to ``path``.
 
-        ``format`` is ``"binary"`` (the v2 columnar snapshot),
-        ``"json"`` (the byte-stable v1 document) or ``None``/``"auto"``:
-        binary unless the path ends in ``.json``/``.json.gz``.
-        :meth:`load_cpg` and ``load_graph`` auto-detect either format.
+        ``format`` is ``"v3"`` (the mmap-able zero-copy snapshot),
+        ``"binary"``/``"v2"`` (the v2 columnar snapshot), ``"json"``
+        (the byte-stable v1 document) or ``None``/``"auto"``: v3 unless
+        the path ends in ``.json``/``.json.gz``.  :meth:`load_cpg` and
+        ``load_graph`` auto-detect every format.
         """
         save_graph(self.build_cpg().graph, path, format=format)
 
     @classmethod
-    def load_cpg(cls, path: str, **kwargs) -> "Tabby":
+    def load_cpg(cls, path: str, mmap: bool = True, **kwargs) -> "Tabby":
         """Rebuild a queryable/searchable Tabby from a persisted CPG.
 
-        Accepts both snapshot formats (auto-detected).  The returned
-        instance supports :meth:`query` and :meth:`find_gadget_chains`
+        Accepts every snapshot format (auto-detected).  With ``mmap``
+        (the default) a v3 snapshot is opened as a zero-copy read-only
+        view — O(header) open, pages shared with any other process on
+        the same file — while v1/v2 files decode as before;
+        ``mmap=False`` forces a full decode into a mutable
+        ``PropertyGraph`` for every format.  The returned instance
+        supports :meth:`query` and :meth:`find_gadget_chains`
         immediately — the §IV-F warm-start workflow — but carries no
         class hierarchy, so features that need the original classes
         (``refine_guards``, verification, payload synthesis) require
@@ -246,7 +252,7 @@ class Tabby:
         discards the loaded CPG and rebuilds).
         """
         tabby = cls(**kwargs)
-        graph = load_graph(path)
+        graph = open_graph(path) if mmap else load_graph(path)
         statistics = CPGStatistics(
             class_node_count=graph.indexes.label_count(CLASS_LABEL),
             method_node_count=graph.indexes.label_count(METHOD_LABEL),

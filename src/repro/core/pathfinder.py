@@ -339,6 +339,23 @@ class GadgetChainFinder:
                 seen.add(node.id)
                 queue.append(node.id)
         follow_alias = self.follow_alias
+        csr = getattr(graph, "csr_neighbors", None)
+        if csr is not None:
+            # array-backed snapshot view (ArrayGraph): identical BFS over
+            # the typed CSR neighbour arrays — same visited set, but no
+            # Relationship objects allocated along the sweep
+            hops = [csr(CALL, False)]
+            if follow_alias:
+                hops.append(csr(ALIAS, False))
+                hops.append(csr(ALIAS, True))
+            while queue:
+                node_id = queue.popleft()
+                for indptr, neighbours in hops:
+                    for nbr in neighbours[indptr[node_id] : indptr[node_id + 1]]:
+                        if nbr not in seen:
+                            seen.add(nbr)
+                            queue.append(nbr)
+            return seen
         while queue:
             node_id = queue.popleft()
             for rel in graph.out_relationships(node_id, CALL):

@@ -24,15 +24,25 @@ finder config), the merged result is bit-identical to the serial engine
 regardless of worker count or shard layout; the differential harness in
 ``tests/core/test_search_equivalence.py`` asserts exactly that.
 
-On platforms with ``fork`` (Linux) workers inherit the parent's graph
-copy-on-write; elsewhere the graph is shipped once per worker via the
-:mod:`repro.graphdb.storage` codec (which renumbers node ids densely in
-iteration order, so the parent translates sink ids before shipping).
+How the graph reaches the workers, cheapest first:
+
+1. when the parent's graph is an mmap-backed
+   :class:`~repro.graphdb.arraygraph.ArrayGraph` (a v3 snapshot opened
+   via ``open_graph``), each worker re-opens the same file path — the
+   page cache keeps **one** physical copy no matter how many workers
+   map it, under fork and spawn alike;
+2. otherwise, with ``fork`` available (Linux), workers inherit the
+   parent's in-memory graph copy-on-write — zero pickling;
+3. otherwise the graph is shipped once per worker as v2 snapshot bytes,
+   whose decode preserves node ids for any graph with dense ids (every
+   graph the build pipeline produces).  Only a graph with deletion
+   holes still needs its sink ids translated into the worker numbering.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -75,26 +85,36 @@ def plan_sink_shards(
 # Worker-side state
 # ---------------------------------------------------------------------------
 
-#: parent-side stash read by forked children (copy-on-write, zero pickling)
-_FORK_GRAPH: Optional[PropertyGraph] = None
+#: parent-side stash read by forked children (copy-on-write, zero
+#: pickling); holds whichever graph type the finder runs over
+_FORK_GRAPH: Optional[Any] = None
 
 #: per-worker-process finder, set by the pool initialiser
 _WORKER_FINDER = None
 
 
-def _worker_init(graph_json: Optional[str], config: Dict[str, Any]) -> None:
-    """Build the graph, finder, and reachability set once per worker."""
+def _worker_init(payload: Tuple[str, Any], config: Dict[str, Any]) -> None:
+    """Build the graph, finder, and reachability set once per worker.
+
+    ``payload`` selects the graph transport: ``("fork", None)`` reads
+    the copy-on-write parent stash, ``("path", p)`` mmaps the shared v3
+    snapshot at ``p``, and ``("snapshot", data)`` decodes shipped v2
+    snapshot bytes (ids preserved — see the module docstring).
+    """
     global _WORKER_FINDER
-    if graph_json is None:
+    kind, value = payload
+    if kind == "fork":
         graph = _FORK_GRAPH
         if graph is None:  # pragma: no cover - misconfigured pool
             raise RuntimeError("fork worker started without inherited graph")
+    elif kind == "path":
+        from repro.graphdb.storage import open_graph
+
+        graph = open_graph(value)
     else:
-        import json
+        from repro.graphdb.snapshot import decode_snapshot
 
-        from repro.graphdb.storage import graph_from_dict
-
-        graph = graph_from_dict(json.loads(graph_json))
+        graph = decode_snapshot(value)
     # the worker only needs the graph: sink nodes are handed over by id,
     # and source lookup goes through CPG.source_nodes() -> find_nodes()
     from repro.core.pathfinder import GadgetChainFinder, _make_accept
@@ -177,20 +197,26 @@ def parallel_find_chains(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     )
     ctx = multiprocessing.get_context(start_method)
-    if start_method == "fork":
-        graph_json: Optional[str] = None
+    sink_id_of = {sink.id: sink.id for sink in sinks}
+    snapshot_path = getattr(graph, "path", None)
+    if snapshot_path is not None and os.path.exists(snapshot_path):
+        # mmap-backed ArrayGraph: workers re-open the same file and the
+        # page cache keeps a single physical copy across all of them
+        payload: Tuple[str, Any] = ("path", snapshot_path)
+    elif start_method == "fork":
+        payload = ("fork", None)
         _FORK_GRAPH = graph
-        sink_id_of = {sink.id: sink.id for sink in sinks}
-    else:  # pragma: no cover - exercised only on non-fork platforms
-        import json
+    else:  # pragma: no cover - non-fork platforms without a backing file
+        from repro.graphdb.arraygraph import ArrayGraph
+        from repro.graphdb.snapshot import encode_snapshot
 
-        from repro.graphdb.storage import graph_to_dict
-
-        graph_json = json.dumps(graph_to_dict(graph))
-        # the storage codec renumbers node ids densely in iteration
-        # order; translate sink ids into the worker's numbering
-        remapped = {node.id: i for i, node in enumerate(graph.nodes())}
-        sink_id_of = {sink.id: remapped[sink.id] for sink in sinks}
+        source = graph.materialize() if isinstance(graph, ArrayGraph) else graph
+        if len(source._nodes) != source._next_node_id:
+            # deletions left id holes; the v2 codec renumbers densely on
+            # decode, so translate sink ids into the worker's numbering
+            remapped = {node.id: i for i, node in enumerate(source.nodes())}
+            sink_id_of = {sink.id: remapped[sink.id] for sink in sinks}
+        payload = ("snapshot", encode_snapshot(source))
     tasks = [
         [(index, sink_id_of[sinks[index].id]) for index in shard]
         for shard in shards
@@ -202,7 +228,7 @@ def parallel_find_chains(
             max_workers=min(workers, len(shards)),
             mp_context=ctx,
             initializer=_worker_init,
-            initargs=(graph_json, config),
+            initargs=(payload, config),
         ) as pool:
             for pairs, stats in pool.map(_search_shard, tasks, chunksize=1):
                 for sink_index, chains in pairs:

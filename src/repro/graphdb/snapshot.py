@@ -612,7 +612,7 @@ def _split_sections(data: bytes) -> Dict[int, bytes]:
     if version != SNAPSHOT_VERSION:
         raise StorageError(
             f"unsupported snapshot format version {version} (this build reads "
-            f"v{SNAPSHOT_VERSION} binary and v1 JSON); re-export the graph "
+            f"v3/v{SNAPSHOT_VERSION} binary and v1 JSON); re-export the graph "
             f"with a matching build or with --format json"
         )
     sections: Dict[int, bytes] = {}

@@ -1,6 +1,6 @@
 """Persistence for property graphs.
 
-Two on-disk formats, one read path:
+Three on-disk formats, one read path:
 
 * **v1 (json)** — a gzip/plain JSON document with ``nodes``,
   ``relationships`` and ``indexes`` sections.  Byte-stable: the JSON
@@ -9,15 +9,19 @@ Two on-disk formats, one read path:
 * **v2 (binary)** — the columnar snapshot of
   :mod:`repro.graphdb.snapshot`: string-table deduplication,
   struct-packed id columns, checksummed sections, and a trusted bulk
-  load that skips per-property re-validation.  The default for new
-  saves.
+  load that skips per-property re-validation.
+* **v3** — the page-structured zero-copy snapshot of
+  :mod:`repro.graphdb.snapshot_v3`: fixed-width little-endian columns,
+  precomputed CSR adjacency and a column directory, laid out so a
+  reader can ``mmap`` the file and traverse in place.  The default for
+  new saves; :func:`open_graph` opens it without decoding.
 
-:func:`load_graph` auto-detects the format from content (gzip wrapping
-included), so every snapshot ever written keeps loading; callers never
-pass a format on read.  This is the analogue of a Neo4j database
-directory: Tabby builds the CPG once, persists it, and researchers
-re-query it across sessions (paper §IV-F — the re-queryability
-advantage over GadgetInspector/Serianalyzer).
+v1 and v2 stay readable forever: :func:`load_graph` auto-detects the
+format from content (gzip wrapping included), so every snapshot ever
+written keeps loading; callers never pass a format on read.  This is
+the analogue of a Neo4j database directory: Tabby builds the CPG once,
+persists it, and researchers re-query it across sessions (paper §IV-F
+— the re-queryability advantage over GadgetInspector/Serianalyzer).
 """
 
 from __future__ import annotations
@@ -25,19 +29,34 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import struct
 import sys
 import zlib
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.errors import StorageError
+from repro.graphdb.arraygraph import ArrayGraph
 from repro.graphdb.graph import PropertyGraph, _bulk_load
 from repro.graphdb.snapshot import (
     SNAPSHOT_MAGIC,
     decode_snapshot,
     encode_snapshot,
 )
+from repro.graphdb.snapshot_v3 import (
+    SNAPSHOT_VERSION_V3,
+    decode_snapshot_v3,
+    encode_snapshot_v3,
+    open_snapshot,
+    view_snapshot,
+)
 
-__all__ = ["save_graph", "load_graph", "graph_to_dict", "graph_from_dict"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "open_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+]
 
 _FORMAT_VERSION = 1
 _GZIP_MAGIC = b"\x1f\x8b"
@@ -145,11 +164,23 @@ def _graph_from_dict_checked(data: Dict[str, Any]) -> PropertyGraph:
 
 def _resolve_format(path: str, format: Optional[str]) -> str:
     if format in (None, "auto"):
-        return "json" if path.endswith(_JSON_SUFFIXES) else "binary"
-    if format in ("json", "binary"):
+        return "json" if path.endswith(_JSON_SUFFIXES) else "v3"
+    if format in ("binary", "v2"):
+        return "binary"
+    if format in ("json", "v3"):
         return format
     raise StorageError(
-        f"unknown snapshot format {format!r} (expected 'json', 'binary' or 'auto')"
+        f"unknown snapshot format {format!r} "
+        f"(expected 'json', 'binary'/'v2', 'v3' or 'auto')"
+    )
+
+
+def _is_v3_header(head: bytes) -> bool:
+    """True when ``head`` starts a v3 snapshot (magic + LE u16 version)."""
+    return (
+        len(head) >= 10
+        and head[:8] == SNAPSHOT_MAGIC
+        and struct.unpack_from("<H", head, 8)[0] == SNAPSHOT_VERSION_V3
     )
 
 
@@ -157,13 +188,18 @@ def save_graph(graph: PropertyGraph, path: str, format: Optional[str] = None) ->
     """Write a graph to ``path``.
 
     ``format`` is ``"json"`` (the byte-stable v1 document; a ``.gz``
-    suffix enables gzip), ``"binary"`` (the v2 columnar snapshot, which
-    compresses its own sections), or ``"auto"``/``None``: binary unless
-    the path ends in ``.json``/``.json.gz``.  :func:`load_graph` reads
-    either format regardless of the file name.
+    suffix enables gzip), ``"binary"``/``"v2"`` (the v2 columnar
+    snapshot, which compresses its own sections), ``"v3"`` (the
+    mmap-able zero-copy layout), or ``"auto"``/``None``: v3 unless the
+    path ends in ``.json``/``.json.gz``.  :func:`load_graph` reads any
+    format regardless of the file name.
     """
     resolved = _resolve_format(path, format)
     try:
+        if resolved == "v3":
+            with open(path, "wb") as fh:
+                fh.write(encode_snapshot_v3(graph))
+            return
         if resolved == "binary":
             with open(path, "wb") as fh:
                 fh.write(encode_snapshot(graph))
@@ -180,11 +216,14 @@ def save_graph(graph: PropertyGraph, path: str, format: Optional[str] = None) ->
 
 
 def load_graph(path: str) -> PropertyGraph:
-    """Read a graph previously written by :func:`save_graph`.
+    """Read a graph previously written by :func:`save_graph` into a
+    mutable :class:`PropertyGraph`.
 
     The format is detected from content, not the file name: gzip
     wrapping is unpeeled first, then the payload is dispatched on the
-    v2 magic bytes, falling back to the v1 JSON document.
+    snapshot magic plus version (v3 zero-copy layout or v2 columnar),
+    falling back to the v1 JSON document.  For the zero-copy open of a
+    v3 file — no materialisation — use :func:`open_graph`.
     """
     if not os.path.exists(path):
         raise StorageError(f"graph file not found: {path}")
@@ -195,10 +234,45 @@ def load_graph(path: str) -> PropertyGraph:
             raw = gzip.decompress(raw)
     except (OSError, EOFError, zlib.error) as exc:
         raise StorageError(f"cannot read graph from {path}: {exc}") from exc
+    if not raw:
+        raise StorageError(f"cannot read graph from {path}: file is empty")
     if raw[: len(SNAPSHOT_MAGIC)] == SNAPSHOT_MAGIC:
+        if _is_v3_header(raw[:10]):
+            return decode_snapshot_v3(raw)
         return decode_snapshot(raw)
     try:
         data = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise StorageError(f"cannot read graph from {path}: {exc}") from exc
     return graph_from_dict(data)
+
+
+def open_graph(path: str) -> Union[ArrayGraph, PropertyGraph]:
+    """Open a snapshot for reading, zero-copy when the format allows.
+
+    A v3 file comes back as a read-only mmap-backed
+    :class:`~repro.graphdb.arraygraph.ArrayGraph` — O(header) open, one
+    physical copy shared by every process that opens the same path.  A
+    gzip-wrapped v3 payload becomes an in-memory ``ArrayGraph`` view
+    (decompressed once, still lazily decoded); anything else falls back
+    to :func:`load_graph` and returns a decoded ``PropertyGraph``.
+    Call ``.materialize()`` on the view when a mutable graph is needed.
+    """
+    if not os.path.exists(path):
+        raise StorageError(f"graph file not found: {path}")
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(10)
+    except OSError as exc:
+        raise StorageError(f"cannot read graph from {path}: {exc}") from exc
+    if _is_v3_header(head):
+        return open_snapshot(path)
+    if head[:2] == _GZIP_MAGIC:
+        try:
+            with open(path, "rb") as fh:
+                raw = gzip.decompress(fh.read())
+        except (OSError, EOFError, zlib.error) as exc:
+            raise StorageError(f"cannot read graph from {path}: {exc}") from exc
+        if _is_v3_header(raw[:10]):
+            return view_snapshot(raw)
+    return load_graph(path)

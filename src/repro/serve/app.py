@@ -96,19 +96,23 @@ def create_server(
     burst: Optional[float] = None,
     store_capacity: int = 256,
     max_queue: int = 0,
+    snapshot_dir: Optional[str] = None,
 ) -> TabbyServer:
     """Build an unstarted server; ``port=0`` binds an ephemeral port.
 
     ``rate``/``burst`` configure per-client submission rate limiting
     (None disables); ``workers`` sizes the job worker pool;
     ``cache_dir`` is the shared persistent summary cache handed to
-    every job's pipeline.
+    every job's pipeline; ``snapshot_dir`` enables the ``snapshot``
+    job kind — searching persisted CPG files (v3 snapshots are mmap'd,
+    so concurrent jobs on one file share a single physical copy).
     """
     manager = JobManager(
         workers=workers,
         store=ResultStore(capacity=store_capacity),
         cache_dir=cache_dir,
         max_queue=max_queue,
+        snapshot_dir=snapshot_dir,
     )
     limiter = RateLimiter(rate=rate, burst=burst)
     return TabbyServer((host, port), manager, limiter)

@@ -29,6 +29,7 @@ service workers bound memory at N live CPGs while the summary cache
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -72,36 +73,87 @@ class JobState:
 class Submission:
     """A validated, content-addressed unit of work."""
 
-    kind: str  # "classes" | "components"
+    kind: str  # "classes" | "components" | "snapshot"
     payload: Tuple[str, ...]
     options: Dict[str, Any]
     key: str
 
 
+def _resolve_snapshot(name: Any, snapshot_dir: Optional[str]) -> str:
+    """Validate a snapshot job's file reference and return its path.
+
+    The name is a plain file name (or relative path) inside the
+    server's ``--snapshot-dir``; absolute paths and any path that
+    escapes the directory are rejected so clients can never address
+    arbitrary files on the host.
+    """
+    if snapshot_dir is None:
+        raise ValueError(
+            "snapshot jobs are disabled (start the server with --snapshot-dir)"
+        )
+    if not isinstance(name, str) or not name.strip():
+        raise ValueError("'snapshot' must be a non-empty file name")
+    if os.path.isabs(name) or ".." in name.replace("\\", "/").split("/"):
+        raise ValueError("'snapshot' must be a relative path inside the "
+                         "snapshot directory")
+    base = os.path.realpath(snapshot_dir)
+    path = os.path.realpath(os.path.join(base, name))
+    if path != base and not path.startswith(base + os.sep):
+        raise ValueError("'snapshot' must be a relative path inside the "
+                         "snapshot directory")
+    if not os.path.isfile(path):
+        raise ValueError(f"snapshot not found: {name}")
+    return path
+
+
 def normalize_submission(
-    body: Any, sinks: Optional[SinkCatalog] = None
+    body: Any,
+    sinks: Optional[SinkCatalog] = None,
+    snapshot_dir: Optional[str] = None,
 ) -> Submission:
     """Validate a ``POST /jobs`` body and compute its content hash.
 
     Raises ``ValueError`` with a client-presentable message on any
     shape problem (the HTTP layer answers 400).  Deliberately cheap:
     no jasm parsing happens here, so the warm path of an identical
-    resubmission costs one SHA-256 over the raw bundle text.
+    resubmission costs one SHA-256 over the raw bundle text (or, for
+    ``snapshot`` jobs, over the file's stat identity — the file itself
+    is only opened, zero-copy, inside the worker).
     """
     if not isinstance(body, dict):
         raise ValueError("request body must be a JSON object")
-    unknown = set(body) - {"classes", "components", "options"}
+    unknown = set(body) - {"classes", "components", "snapshot", "options"}
     if unknown:
         raise ValueError(f"unknown field(s): {', '.join(sorted(unknown))}")
-    has_classes = "classes" in body
-    has_components = "components" in body
-    if has_classes == has_components:
-        raise ValueError("provide exactly one of 'classes' or 'components'")
+    kinds_present = [k for k in ("classes", "components", "snapshot") if k in body]
+    if len(kinds_present) != 1:
+        raise ValueError(
+            "provide exactly one of 'classes', 'components' or 'snapshot'"
+        )
     options = body.get("options")
     if options is not None and not isinstance(options, dict):
         raise ValueError("'options' must be a JSON object")
     options = canonical_options(options)
 
+    if kinds_present == ["snapshot"]:
+        path = _resolve_snapshot(body["snapshot"], snapshot_dir)
+        if options["refine"] or options["refine_guards"]:
+            raise ValueError(
+                "snapshot jobs cannot refine: a persisted CPG carries no "
+                "class hierarchy (rebuild from classes/components instead)"
+            )
+        # the key must change when the file does: stat identity stands
+        # in for content (hashing multi-GB snapshots per submission
+        # would defeat the zero-copy point)
+        st = os.stat(path)
+        token = f"{st.st_size}:{st.st_mtime_ns}"
+        key = bundle_key("snapshot", (body["snapshot"], token), options)
+        return Submission(
+            kind="snapshot", payload=(body["snapshot"],), options=options,
+            key=key,
+        )
+
+    has_classes = kinds_present == ["classes"]
     if has_classes:
         chunks = body["classes"]
         if isinstance(chunks, str):
@@ -249,13 +301,19 @@ class JobManager:
         sinks: Optional[SinkCatalog] = None,
         max_queue: int = 0,
         inline: bool = False,
+        snapshot_dir: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if snapshot_dir is not None and not os.path.isdir(snapshot_dir):
+            raise ValueError(f"snapshot_dir is not a directory: {snapshot_dir}")
         self.workers = workers
         self.store = store if store is not None else ResultStore()
         self.cache_dir = cache_dir
         self.sinks = sinks
+        #: directory of persisted CPG snapshots servable via the
+        #: ``snapshot`` job kind; None disables the kind entirely
+        self.snapshot_dir = snapshot_dir
         self.max_queue = max_queue
         self.inline = inline
         self._queue: "queue.Queue[Any]" = queue.Queue()
@@ -298,7 +356,7 @@ class JobManager:
         None for the last two.
         """
         sub = submission if submission is not None else normalize_submission(
-            body, sinks=self.sinks
+            body, sinks=self.sinks, snapshot_dir=self.snapshot_dir
         )
         run_now: Optional[Job] = None
         with self._lock:
@@ -425,6 +483,8 @@ class JobManager:
 
         started = time.perf_counter()
         options = job.submission.options
+        if job.submission.kind == "snapshot":
+            return self._compute_snapshot(job, options, started)
         classes = resolve_classes(job.submission)
         sources = (
             SourceCatalog.native()
@@ -498,6 +558,55 @@ class JobManager:
             cpg_row=job.progress["cpg"],
             search_row=job.progress["search"],
             class_count=len(classes),
+            compute_seconds=time.perf_counter() - started,
+        )
+
+    def _compute_snapshot(
+        self, job: Job, options: Dict[str, Any], started: float
+    ) -> JobResult:
+        """Search a persisted CPG opened zero-copy from the snapshot dir.
+
+        A v3 snapshot is mmap'd in place — N concurrent snapshot jobs
+        over the same file traverse one physical copy — while v1/v2
+        files decode per job as ``load_graph`` always has.  No parse,
+        build, lint or refine phases run: the snapshot *is* the CPG,
+        and the fingerprint is a digest of the file bytes rather than
+        of a rebuilt graph.
+        """
+        import hashlib
+
+        path = _resolve_snapshot(job.submission.payload[0], self.snapshot_dir)
+        job.phase = "open"
+        tabby = Tabby.load_cpg(
+            path, sinks=self.sinks, workers=1, cache_dir=self.cache_dir
+        )
+        cpg = tabby.build_cpg()
+        job.progress["cpg"] = _cpg_row(cpg.statistics)
+        job.phase = "search"
+        chains = tabby.find_gadget_chains(
+            max_depth=options["max_depth"],
+            source_filter=options["source_filter"],
+        )
+        job.progress["search"] = _search_row(tabby.last_search_stats)
+        job.phase = "fingerprint"
+        digest = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for block in iter(lambda: fh.read(1 << 20), b""):
+                digest.update(block)
+        return JobResult(
+            key=job.key,
+            chain_records=[
+                {
+                    "steps": [s.qualified for s in chain.steps],
+                    "sink_category": chain.sink_category,
+                }
+                for chain in chains
+            ],
+            graph=cpg.graph,
+            fingerprint=digest.hexdigest(),
+            cpg_row=job.progress["cpg"],
+            search_row=job.progress["search"],
+            class_count=0,
             compute_seconds=time.perf_counter() - started,
         )
 

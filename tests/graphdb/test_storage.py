@@ -190,7 +190,7 @@ _multi_labels = st.sets(st.sampled_from(["A", "B", "C", "Method"]), min_size=1,
 _rel_types = st.sampled_from(["CALL", "ALIAS", "HAS"])
 
 
-@pytest.mark.parametrize("format", ["json", "binary"])
+@pytest.mark.parametrize("format", ["json", "binary", "v3"])
 @settings(max_examples=25, deadline=None)
 @given(
     node_specs=st.lists(st.tuples(_multi_labels, _props), min_size=1, max_size=8),

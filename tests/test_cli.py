@@ -145,14 +145,18 @@ class TestChains:
 
 
 class TestSnapshotFormats:
-    def test_analyze_default_output_is_binary(self, jar_dir, tmp_path,
-                                              monkeypatch, capsys):
+    def test_analyze_default_output_is_v3(self, jar_dir, tmp_path,
+                                          monkeypatch, capsys):
+        import struct
+
         from repro.graphdb.snapshot import SNAPSHOT_MAGIC
 
         monkeypatch.chdir(tmp_path)
         assert main(["analyze", jar_dir]) == 0
-        assert "CPG written to tabby.cpg (binary)" in capsys.readouterr().out
-        assert (tmp_path / "tabby.cpg").read_bytes()[:8] == SNAPSHOT_MAGIC
+        assert "CPG written to tabby.cpg (v3)" in capsys.readouterr().out
+        header = (tmp_path / "tabby.cpg").read_bytes()[:10]
+        assert header[:8] == SNAPSHOT_MAGIC
+        assert struct.unpack_from("<H", header, 8)[0] == 3
 
     def test_analyze_format_json_default_output(self, jar_dir, tmp_path,
                                                 monkeypatch, capsys):
@@ -166,7 +170,7 @@ class TestSnapshotFormats:
         ))
         assert doc["format_version"] == 1
 
-    @pytest.mark.parametrize("format", ["binary", "json"])
+    @pytest.mark.parametrize("format", ["v3", "binary", "json"])
     def test_chains_over_saved_cpg_matches_classpath_run(self, jar_dir, tmp_path,
                                                          format, capsys):
         cpg = str(tmp_path / "saved.cpg")
