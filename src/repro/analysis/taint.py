@@ -60,6 +60,7 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Optional,
     Sequence,
@@ -695,6 +696,38 @@ class TaintSummaryEngine:
         )
 
     # -- on-disk cache -----------------------------------------------------
+
+    def invalidate_classes(self, class_names: Iterable[str]) -> int:
+        """Drop the on-disk taint summaries of the given classes.
+
+        The incremental analyzer calls this when a class's dependency
+        closure changes: the class's content key maps to its cache
+        entry, which is deleted so the next engine over the new version
+        recomputes instead of serving a stale summary.  In-memory state
+        for the class is reset too (probed/stored markers and any
+        finalized summaries of its methods).  Returns the number of
+        on-disk entries actually removed.
+        """
+        names = list(class_names)
+        removed = 0
+        if self.cache is not None:
+            keys = [
+                self._class_keys[name]
+                for name in names
+                if name in self._class_keys
+            ]
+            removed = self.cache.invalidate(keys)
+        for name in names:
+            self._probed_classes.discard(name)
+            self._stored_classes.discard(name)
+            cls = self.hierarchy.get(name)
+            if cls is None:
+                continue
+            for method in cls.methods.values():
+                key = method_key(method)
+                self._finalized.discard(key)
+                self._summaries.pop(key, None)
+        return removed
 
     def _load_class_cache(self, class_name: str) -> None:
         if self.cache is None or class_name in self._probed_classes:

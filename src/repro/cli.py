@@ -6,6 +6,9 @@ Subcommands::
                                      (--format v3|binary|json, default v3)
     tabby chains PATH [PATH...]      find (and optionally verify) chains
     tabby chains --cpg FILE          ... over a persisted CPG (warm start)
+    tabby diff OLD NEW               compare chains across two classpath
+                                     versions (appeared / disappeared /
+                                     survived, incremental re-analysis)
     tabby lint [PATH...] [--corpus]  dataflow-based IR lint (repro.lint)
     tabby query CPG "MATCH ..."      run a Cypher-subset query on a CPG
     tabby bench {table8,table9,table10,table11}
@@ -174,6 +177,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "chain set is identical either way")
     chains.add_argument("--json", action="store_true", help="machine-readable output")
 
+    diff = sub.add_parser(
+        "diff", help="compare gadget chains across two classpath versions"
+    )
+    diff.add_argument("old", nargs=1, help="old-version jar file or directory")
+    diff.add_argument("new", nargs=1, help="new-version jar file or directory")
+    diff.add_argument("--sources", choices=("native", "extended"), default="extended")
+    _add_build_flags(diff)
+    diff.add_argument("--max-depth", type=int, default=12)
+    diff.add_argument("--source-filter", default=None, metavar="PACKAGE_PREFIX")
+    diff.add_argument("--refine-guards", action="store_true",
+                      help="run guard-feasibility refutation over the "
+                      "appeared chains")
+    diff.add_argument("--refine", type=_refine_modes_arg, default=None,
+                      metavar="MODES",
+                      help="comma-separated verdict-layer passes (rta,taint) "
+                      "over the appeared chains")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the versioned tabby-diff/v1 document")
+
     lint = sub.add_parser(
         "lint", help="dataflow-based lint over jasm classes or the corpus"
     )
@@ -279,6 +301,12 @@ def _add_build_flags(parser: argparse.ArgumentParser) -> None:
         "content hash, so stale results are impossible",
     )
     parser.add_argument(
+        "--cache-max-mb", type=_positive_float_arg, default=None, metavar="MB",
+        help="LRU size cap for --cache-dir: when the cache exceeds this "
+        "many megabytes, least-recently-used entries are evicted "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="print per-phase timings and cache/worker counters",
     )
@@ -293,6 +321,7 @@ def _build_tabby(args: argparse.Namespace) -> Tabby:
         sources=_sources(args.sources),
         workers=args.workers,
         cache_dir=args.cache_dir,
+        cache_max_mb=getattr(args, "cache_max_mb", None),
     ).load_classpath(args.classpath)
 
 
@@ -515,6 +544,60 @@ def _cmd_chains(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.incremental import diff_to_dict
+    from repro.jvm.jar import load_classpath
+
+    def _classes_of(paths):
+        classes = []
+        for archive in load_classpath(paths):
+            classes.extend(archive.classes)
+        return classes
+
+    tabby = Tabby(
+        sources=_sources(args.sources),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
+    )
+    diff = tabby.diff_versions(
+        _classes_of(args.old),
+        _classes_of(args.new),
+        max_depth=args.max_depth,
+        source_filter=args.source_filter,
+        refine_guards=args.refine_guards,
+        refine=args.refine,
+    )
+    document = diff_to_dict(diff)
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    summary = document["summary"]
+    print(
+        f"{summary['appeared']} appeared, {summary['disappeared']} "
+        f"disappeared, {summary['survived']} survived "
+        f"({summary['old_total']} -> {summary['new_total']} chain(s))"
+    )
+    for index, chain in enumerate(diff.appeared, start=1):
+        print(f"\n+++ appeared #{index} [{chain.sink_category}] +++")
+        print(chain.render())
+        if diff.appeared_verdicts is not None:
+            verdict = diff.appeared_verdicts[index - 1]
+            if verdict is not None:
+                note = verdict["status"]
+                if "refutation" in verdict:
+                    note += f" ({verdict['refutation']['kind']})"
+                print(f"verdict: {note}")
+    for index, chain in enumerate(diff.disappeared, start=1):
+        steps = " -> ".join(s.qualified for s in chain.steps)
+        print(f"--- disappeared #{index} [{chain.sink_category}]: {steps}")
+    if args.profile and diff.statistics is not None:
+        # stderr so --profile composes with --json pipelines
+        for key, value in diff.statistics.as_row().items():
+            print(f"diff {key}: {value}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import lint_classes
 
@@ -710,6 +793,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "analyze": _cmd_analyze,
         "chains": _cmd_chains,
+        "diff": _cmd_diff,
         "lint": _cmd_lint,
         "query": _cmd_query,
         "bench": _cmd_bench,

@@ -56,6 +56,7 @@ class Tabby:
         prune_uncontrollable_calls: bool = True,
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        cache_max_mb: Optional[float] = None,
     ):
         self.sinks = sinks if sinks is not None else SinkCatalog()
         self.sources = sources if sources is not None else SourceCatalog.extended()
@@ -65,6 +66,8 @@ class Tabby:
         self.workers = workers
         #: persistent summary cache directory (see repro.core.summary_cache)
         self.cache_dir = cache_dir
+        #: LRU size cap for the summary cache (None = unbounded)
+        self.cache_max_mb = cache_max_mb
         self._classes: List[JavaClass] = []
         self._cpg: Optional[CPG] = None
         #: diagnostics from the last find_gadget_chains() run
@@ -117,10 +120,24 @@ class Tabby:
             sources=self.sources,
             prune_uncontrollable_calls=self.prune_uncontrollable_calls,
             parallel=self.workers,
-            cache=self.cache_dir,
+            cache=self._summary_cache(),
         )
         self._cpg = builder.build()
         return self._cpg
+
+    def _summary_cache(self):
+        """The configured summary cache: a :class:`SummaryCache` when a
+        size cap is set (the builder's plain-string path cannot carry
+        ``max_mb``), the raw directory otherwise."""
+        if self.cache_dir and self.cache_max_mb is not None:
+            from repro.core.summary_cache import SummaryCache, catalog_token
+
+            return SummaryCache(
+                self.cache_dir,
+                catalog_token(self.sinks, self.sources),
+                max_mb=self.cache_max_mb,
+            )
+        return self.cache_dir
 
     @property
     def cpg(self) -> CPG:
@@ -205,6 +222,74 @@ class Tabby:
             chains = result.kept
         self.last_refuted = [chain for chain, _ in self.last_refutations]
         return chains
+
+    def diff_versions(
+        self,
+        old_classes: Iterable[JavaClass],
+        new_classes: Iterable[JavaClass],
+        *,
+        max_depth: int = 12,
+        source_filter: Optional[str] = None,
+        follow_alias: bool = True,
+        max_results_per_sink: Optional[int] = 200,
+        uniqueness: Uniqueness = Uniqueness.RELATIONSHIP_PATH,
+        refine_guards: bool = False,
+        refine: Optional[Sequence[str]] = None,
+        optimize: bool = True,
+    ):
+        """Compare gadget chains across two versions of a classpath.
+
+        Builds the old version cold, patches to the new version via
+        :class:`~repro.core.incremental.IncrementalAnalyzer` (output
+        bit-identical to a cold rebuild), and partitions the chains
+        into appeared/disappeared/survived
+        (:class:`~repro.core.incremental.ChainDiff`).  When
+        ``refine_guards``/``refine`` are set, the verdict layer runs
+        over the *appeared* chains only — the new attack surface.
+
+        Afterwards this instance holds the NEW version's CPG, so
+        :meth:`query`/:meth:`save_cpg` operate on the updated graph.
+        """
+        from repro.core.incremental import (
+            ChainSearchConfig,
+            IncrementalAnalyzer,
+            apply_refinement_verdicts,
+            diff_chains,
+        )
+
+        session = IncrementalAnalyzer(
+            list(old_classes),
+            sinks=self.sinks,
+            sources=self.sources,
+            prune_uncontrollable_calls=self.prune_uncontrollable_calls,
+            cache_dir=self.cache_dir,
+            cache_max_mb=self.cache_max_mb,
+            search=ChainSearchConfig(
+                max_depth=max_depth,
+                source_filter=source_filter,
+                follow_alias=follow_alias,
+                max_results_per_sink=max_results_per_sink,
+                uniqueness=uniqueness,
+                optimize=optimize,
+                workers=self.workers,
+            ),
+        )
+        old_chains = list(session.chains)
+        result = session.update(list(new_classes))
+        diff = diff_chains(old_chains, result.chains)
+        diff.statistics = result.statistics
+        if refine_guards or refine:
+            apply_refinement_verdicts(
+                diff,
+                session.hierarchy,
+                refine_guards=refine_guards,
+                refine=refine,
+                cache_dir=self.cache_dir,
+            )
+        self._classes = list(session.classes)
+        self._cpg = session.cpg
+        self.last_search_stats = session.last_search_stats
+        return diff
 
     def annotate_rta(self):
         """Run RTA type-reachability over the built CPG, marking

@@ -56,6 +56,19 @@ ALIAS = "ALIAS"
 #: the path finder can test it without importing ``repro.analysis``.
 RTA_DEAD = "RTA_DEAD"
 
+#: the property indexes every CPG declares, in declaration order.  The
+#: order is part of the graph fingerprint (``IndexManager`` preserves
+#: insertion order), so anything that rebuilds an index manager for a
+#: CPG — notably the incremental renumber pass — must replay exactly
+#: this sequence, not a sorted view.
+CPG_INDEX_ORDER = (
+    (CLASS_LABEL, "NAME"),
+    (METHOD_LABEL, "NAME"),
+    (METHOD_LABEL, "SIGNATURE"),
+    (METHOD_LABEL, "IS_SINK"),
+    (METHOD_LABEL, "IS_SOURCE"),
+)
+
 
 @dataclass
 class CPGStatistics:
@@ -193,17 +206,19 @@ class CPGBuilder:
         self._class_nodes: Dict[str, Node] = {}
         self._method_nodes: Dict[Tuple[str, str, int], Node] = {}
         self._jar_names: set = set()
+        #: signatures whose summaries involved cycle breaking in the last
+        #: build — root-final but not persistable; the incremental
+        #: analyzer re-derives them on every update, mirroring the cache
+        #: discipline (cycle-tainted entries are never stored either)
+        self.last_tainted: set = set()
 
     # -- public -------------------------------------------------------------
 
     def build(self) -> CPG:
         started = time.perf_counter()
         graph = self._graph
-        graph.indexes.create_index(CLASS_LABEL, "NAME")
-        graph.indexes.create_index(METHOD_LABEL, "NAME")
-        graph.indexes.create_index(METHOD_LABEL, "SIGNATURE")
-        graph.indexes.create_index(METHOD_LABEL, "IS_SINK")
-        graph.indexes.create_index(METHOD_LABEL, "IS_SOURCE")
+        for label, key in CPG_INDEX_ORDER:
+            graph.indexes.create_index(label, key)
 
         phases: Dict[str, float] = {}
         t0 = time.perf_counter()
@@ -331,6 +346,7 @@ class CPGBuilder:
                 ]
                 self.cache.store(class_keys[cls.name], cls.name, records)
 
+        self.last_tainted = set(tainted)
         ordered = {key: summaries[key] for key in sorted(summaries)}
         return ordered, len(missed_methods), len(seeded)
 

@@ -19,7 +19,13 @@ harness, cached/parallel rebuilds — silently rely on:
   ``CALL``/``ALIAS`` edges, only with the value ``True``, a dead CALL
   edge is a receiver dispatch (``KIND`` virtual/interface), and a dead
   ALIAS edge connects a valid override pair — the corrupted-CPG guard
-  for the edge annotations written by :mod:`repro.analysis.rta`.
+  for the edge annotations written by :mod:`repro.analysis.rta`;
+* every maintained secondary structure — adjacency lists, typed
+  buckets, relationship-type counters, presence indexes, label and
+  property indexes — equals a from-scratch recomputation over the
+  node/edge sets (:meth:`PropertyGraph.check_integrity`), which guards
+  the in-place deletion paths used by refinement edge pruning and the
+  incremental CPG patch.
 
 ``verify_cpg`` re-derives each invariant from the graph itself, so a
 bug in any build phase (or a corrupted cache) surfaces as a typed
@@ -60,7 +66,23 @@ def verify_cpg(cpg: CPG) -> List[CPGCheckIssue]:
     issues.extend(_check_sink_metadata(cpg))
     issues.extend(_check_method_ownership(cpg))
     issues.extend(_check_refinement_annotations(cpg))
+    issues.extend(_check_storage_integrity(cpg))
     return issues
+
+
+def _check_storage_integrity(cpg: CPG) -> List[CPGCheckIssue]:
+    """Secondary-structure drift: adjacency lists, typed buckets,
+    rel-type counters, presence indexes and label/property indexes must
+    equal a recomputation from the node/edge sets.  Construction alone
+    cannot break these; the in-place deletion paths (refinement edge
+    pruning, the incremental CPG patch) can — so ``--check-cpg`` after a
+    patch catches counter drift at the source."""
+    check = getattr(cpg.graph, "check_integrity", None)
+    if check is None:
+        return []  # read-only ArrayGraph view: structures are derived on load
+    return [
+        CPGCheckIssue("storage-integrity", message) for message in check()
+    ]
 
 
 def _describe(cpg: CPG, node_id: int) -> str:

@@ -499,10 +499,51 @@ class GadgetChainFinder:
     def _find(
         self, sink_nodes: Optional[Sequence[Node]], accept_spec: AcceptSpec
     ) -> List[GadgetChain]:
-        graph = self.cpg.graph
         started = time.perf_counter()
         sinks = list(sink_nodes) if sink_nodes is not None else self.cpg.sink_nodes()
         stats = self.last_search_stats = SearchStatistics(sinks_searched=len(sinks))
+        per_sink = self._per_sink_chains(sinks, accept_spec, stats)
+        chains: List[GadgetChain] = [c for bucket in per_sink for c in bucket]
+        t0 = time.perf_counter()
+        deduped = dedupe_chains(chains)
+        stats.phase_seconds["dedupe"] = time.perf_counter() - t0
+        stats.chains_found = len(deduped)
+        stats.search_seconds = time.perf_counter() - started
+        return deduped
+
+    def find_chains_per_sink(
+        self,
+        sink_nodes: Sequence[Node],
+        source_filter: Optional[str] = None,
+    ) -> List[List[GadgetChain]]:
+        """Raw per-sink chain lists (pre-dedupe), one per given sink, in
+        the given sink order.
+
+        This is the splice surface of the incremental re-search
+        (:mod:`repro.core.incremental`): each sink's enumeration depends
+        only on its own backward cone, so a caller may re-search a
+        subset of sinks and concatenate stored lists for the rest —
+        deduplicating the concatenation in full sink order reproduces
+        :meth:`find_chains` exactly.
+        """
+        spec: AcceptSpec = ("prefix", source_filter) if source_filter else None
+        started = time.perf_counter()
+        sinks = list(sink_nodes)
+        stats = self.last_search_stats = SearchStatistics(sinks_searched=len(sinks))
+        per_sink = self._per_sink_chains(sinks, spec, stats)
+        stats.chains_found = sum(len(bucket) for bucket in per_sink)
+        stats.search_seconds = time.perf_counter() - started
+        return per_sink
+
+    def _per_sink_chains(
+        self,
+        sinks: List[Node],
+        accept_spec: AcceptSpec,
+        stats: SearchStatistics,
+    ) -> List[List[GadgetChain]]:
+        """Reachability precomputation plus the per-sink fan-out; the
+        chain lists come back in sink order, pre-dedupe."""
+        graph = self.cpg.graph
         self._accept = _make_accept(accept_spec)
         self._reachable = None
         if self.prune_unreachable:
@@ -512,7 +553,6 @@ class GadgetChainFinder:
             stats.phase_seconds["reachability"] = time.perf_counter() - t0
         t0 = time.perf_counter()
         workers = self._resolved_workers()
-        chains: List[GadgetChain] = []
         if workers > 1 and len(sinks) > 1:
             from repro.core.search_parallel import parallel_find_chains
 
@@ -520,20 +560,12 @@ class GadgetChainFinder:
             per_sink, worker_stats = parallel_find_chains(
                 self, sinks, accept_spec, workers
             )
-            for sink_chains in per_sink:
-                chains.extend(sink_chains)
             for shard_stats in worker_stats:
                 stats.merge_counters(shard_stats)
         else:
-            for sink in sinks:
-                chains.extend(self._chains_for_sink(graph, sink))
+            per_sink = [self._chains_for_sink(graph, sink) for sink in sinks]
         stats.phase_seconds["search"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        deduped = dedupe_chains(chains)
-        stats.phase_seconds["dedupe"] = time.perf_counter() - t0
-        stats.chains_found = len(deduped)
-        stats.search_seconds = time.perf_counter() - started
-        return deduped
+        return per_sink
 
     def _chains_for_sink(self, graph: PropertyGraph, sink: Node) -> List[GadgetChain]:
         """All accepted chains of one sink, in enumeration order."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import sys
 import tempfile
@@ -53,11 +54,14 @@ __all__ = [
     "encode_summary",
     "decode_summary",
     "catalog_token",
+    "class_content_key",
     "referenced_class_names",
     "dependency_closures",
     "SummaryCache",
     "SummaryCacheStats",
 ]
+
+_LOG = logging.getLogger("repro.core.summary_cache")
 
 #: bump when the record schema or the analysis semantics change
 CACHE_FORMAT_VERSION = 1
@@ -258,6 +262,33 @@ def referenced_class_names(cls: JavaClass) -> Set[str]:
     return out
 
 
+def class_content_key(
+    class_name: str,
+    class_texts: Dict[str, str],
+    closure: Sequence[str],
+    catalog_token: str = "",
+) -> str:
+    """Content hash over a class's jasm text plus the jasm of its whole
+    dependency closure, namespaced by the catalog token and the cache
+    format version.
+
+    This is the summary identity used by :class:`SummaryCache` *and* by
+    the incremental analyzer's dirty-set computation
+    (:mod:`repro.core.incremental`): two versions of a class with equal
+    keys are guaranteed to produce identical summaries, and therefore
+    identical ORG/PCG/MAG graph slices.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_FORMAT_VERSION}|{catalog_token}|".encode("utf-8"))
+    h.update(class_name.encode("utf-8"))
+    for dep in sorted(closure):
+        h.update(b"\x00")
+        h.update(dep.encode("utf-8"))
+        h.update(b"\x01")
+        h.update(class_texts[dep].encode("utf-8"))
+    return h.hexdigest()
+
+
 def dependency_closures(hierarchy: ClassHierarchy) -> Dict[str, List[str]]:
     """For each defined class, the sorted set of defined classes its
     analysis can transitively consult (including itself)."""
@@ -294,6 +325,8 @@ class SummaryCacheStats:
         self.corrupt = 0
         self.stored = 0
         self.skipped_tainted = 0
+        self.invalidated = 0
+        self.evicted = 0
 
     def as_row(self) -> Dict[str, int]:
         return {
@@ -302,6 +335,8 @@ class SummaryCacheStats:
             "cache_corrupt": self.corrupt,
             "cache_stored": self.stored,
             "cache_skipped_tainted": self.skipped_tainted,
+            "cache_invalidated": self.invalidated,
+            "cache_evicted": self.evicted,
         }
 
     def __repr__(self) -> str:
@@ -312,11 +347,26 @@ class SummaryCacheStats:
 
 
 class SummaryCache:
-    """Per-class summary records on disk, under ``cache_dir``."""
+    """Per-class summary records on disk, under ``cache_dir``.
 
-    def __init__(self, cache_dir: str, catalog_token: str = ""):
+    ``max_mb`` caps the total size of the entry files: after every
+    store, the least-recently-used entries (by file mtime — loads touch
+    the file) are evicted until the directory fits.  ``None`` (the
+    default) keeps the cache unbounded, matching the historical
+    behaviour.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        catalog_token: str = "",
+        max_mb: Optional[float] = None,
+    ):
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError("max_mb must be positive (or None for unbounded)")
         self.cache_dir = cache_dir
         self.catalog_token = catalog_token
+        self.max_mb = max_mb
         self.stats = SummaryCacheStats()
         os.makedirs(cache_dir, exist_ok=True)
 
@@ -331,15 +381,9 @@ class SummaryCache:
         """Content hash over the class's jasm text and the jasm of its
         whole dependency closure (so a change anywhere the analysis can
         look invalidates the entry)."""
-        h = hashlib.sha256()
-        h.update(f"v{CACHE_FORMAT_VERSION}|{self.catalog_token}|".encode("utf-8"))
-        h.update(class_name.encode("utf-8"))
-        for dep in sorted(closure):
-            h.update(b"\x00")
-            h.update(dep.encode("utf-8"))
-            h.update(b"\x01")
-            h.update(class_texts[dep].encode("utf-8"))
-        return h.hexdigest()
+        return class_content_key(
+            class_name, class_texts, closure, self.catalog_token
+        )
 
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
@@ -367,11 +411,25 @@ class SummaryCache:
             for record in records:
                 if not isinstance(record, dict) or "subsig" not in record:
                     raise ValueError("malformed summary record")
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            _LOG.warning(
+                "unreadable summary cache entry treated as miss: "
+                "class=%s key=%s path=%s error=%s: %s",
+                class_name,
+                key,
+                path,
+                type(exc).__name__,
+                exc,
+            )
             self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            # LRU touch: eviction orders entries by mtime
+            os.utime(path)
+        except OSError:
+            pass
         return _intern_tree(records)
 
     def store(
@@ -397,3 +455,65 @@ class SummaryCache:
                 pass
             raise
         self.stats.stored += 1
+        if self.max_mb is not None:
+            self._enforce_size_cap(keep=key)
+
+    # -- invalidation / eviction ------------------------------------------
+
+    def invalidate(self, class_hashes: Iterable[str]) -> int:
+        """Drop the entries stored under the given content keys.
+
+        Used by the incremental analyzer when a class's dependency
+        closure changes: the superseded keys can never be looked up
+        again (lookups always use current-content keys), so dropping
+        them reclaims space immediately instead of waiting for LRU
+        eviction.  Returns the number of entries actually removed.
+        """
+        removed = 0
+        for key in class_hashes:
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                continue
+            removed += 1
+        self.stats.invalidated += removed
+        return removed
+
+    def _entry_files(self) -> List[Tuple[float, int, str]]:
+        """(mtime, size, path) for every entry file, oldest first."""
+        entries: List[Tuple[float, int, str]] = []
+        try:
+            with os.scandir(self.cache_dir) as it:
+                for item in it:
+                    if not item.name.endswith(".json") or item.name.startswith(
+                        ".tmp-"
+                    ):
+                        continue
+                    try:
+                        info = item.stat()
+                    except OSError:
+                        continue
+                    entries.append((info.st_mtime, info.st_size, item.path))
+        except OSError:
+            return []
+        entries.sort()
+        return entries
+
+    def _enforce_size_cap(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used entries until the cache fits
+        ``max_mb``; the just-written ``keep`` key is never evicted."""
+        budget = self.max_mb * 1024 * 1024
+        entries = self._entry_files()
+        total = sum(size for _mtime, size, _path in entries)
+        keep_path = self._path(keep) if keep is not None else None
+        for _mtime, size, path in entries:
+            if total <= budget:
+                break
+            if path == keep_path:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.evicted += 1

@@ -103,3 +103,8 @@ class InterpreterError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness on invalid configuration."""
+
+
+class IncrementalError(ReproError):
+    """Raised when an in-place CPG patch cannot be proven equivalent to
+    a cold rebuild; the incremental analyzer falls back to rebuilding."""

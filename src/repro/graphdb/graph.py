@@ -454,6 +454,113 @@ class PropertyGraph:
     def relationship_type_counts(self) -> Dict[str, int]:
         return dict(self._rel_type_counts)
 
+    # -- integrity ------------------------------------------------------------------
+
+    def check_integrity(self) -> List[str]:
+        """Compare every maintained secondary structure — adjacency
+        lists, typed adjacency buckets, relationship-type counters,
+        relationship-property presence indexes, and the label/property
+        node indexes — against a from-scratch recomputation over
+        ``_nodes``/``_rels``.
+
+        Returns a list of human-readable discrepancy descriptions
+        (empty = consistent).  Mutating paths (deletion in particular)
+        are exercised far less than construction, so the CPG verifier
+        runs this after in-place patches to catch counter drift
+        immediately instead of as a corrupted query result later.
+        """
+        problems: List[str] = []
+
+        out_ref: Dict[int, List[int]] = {nid: [] for nid in self._nodes}
+        in_ref: Dict[int, List[int]] = {nid: [] for nid in self._nodes}
+        out_by_type_ref: Dict[int, Dict[str, List[int]]] = {
+            nid: {} for nid in self._nodes
+        }
+        in_by_type_ref: Dict[int, Dict[str, List[int]]] = {
+            nid: {} for nid in self._nodes
+        }
+        type_counts_ref: Dict[str, int] = {}
+        for rel_id, rel in self._rels.items():
+            if rel.start_id not in self._nodes or rel.end_id not in self._nodes:
+                problems.append(
+                    f"relationship {rel_id} references a deleted node"
+                )
+                continue
+            out_ref[rel.start_id].append(rel_id)
+            in_ref[rel.end_id].append(rel_id)
+            out_by_type_ref[rel.start_id].setdefault(rel.type, []).append(rel_id)
+            in_by_type_ref[rel.end_id].setdefault(rel.type, []).append(rel_id)
+            type_counts_ref[rel.type] = type_counts_ref.get(rel.type, 0) + 1
+
+        def _diff_adjacency(name: str, actual, reference) -> None:
+            if set(actual) != set(reference):
+                problems.append(f"{name} covers a different node-id set")
+                return
+            for nid, ref_list in reference.items():
+                if sorted(actual[nid]) != sorted(ref_list):
+                    problems.append(f"{name}[{nid}] drifted from the edge set")
+
+        _diff_adjacency("_out", self._out, out_ref)
+        _diff_adjacency("_in", self._in, in_ref)
+        for name, actual, reference in (
+            ("_out_by_type", self._out_by_type, out_by_type_ref),
+            ("_in_by_type", self._in_by_type, in_by_type_ref),
+        ):
+            if set(actual) != set(reference):
+                problems.append(f"{name} covers a different node-id set")
+                continue
+            for nid, ref_buckets in reference.items():
+                buckets = actual[nid]
+                if set(buckets) != set(ref_buckets):
+                    problems.append(
+                        f"{name}[{nid}] has stale or missing type buckets"
+                    )
+                    continue
+                for rel_type, ref_ids in ref_buckets.items():
+                    if sorted(buckets[rel_type]) != sorted(ref_ids):
+                        problems.append(
+                            f"{name}[{nid}][{rel_type}] drifted from the edge set"
+                        )
+        if self._rel_type_counts != type_counts_ref:
+            problems.append(
+                "relationship-type counters drifted: "
+                f"maintained={dict(sorted(self._rel_type_counts.items()))} "
+                f"actual={dict(sorted(type_counts_ref.items()))}"
+            )
+        for key, indexed in self._rel_prop_indexes.items():
+            reference = {
+                rel_id
+                for rel_id, rel in self._rels.items()
+                if key in rel.properties
+            }
+            if indexed != reference:
+                problems.append(
+                    f"relationship-property presence index {key!r} drifted "
+                    f"({len(indexed)} indexed vs {len(reference)} actual)"
+                )
+
+        by_label_ref: Dict[str, Set[int]] = {}
+        for nid, node in self._nodes.items():
+            for label in node.labels:
+                by_label_ref.setdefault(label, set()).add(nid)
+        if self.indexes._by_label != by_label_ref:
+            problems.append(
+                "label index drifted: "
+                f"maintained counts={self.indexes.label_counts()} "
+                f"actual counts={ {l: len(ids) for l, ids in sorted(by_label_ref.items())} }"
+            )
+        for (label, key), table in self.indexes._property_indexes.items():
+            table_ref: Dict[Any, Set[int]] = {}
+            for nid in by_label_ref.get(label, ()):
+                props = self._nodes[nid].properties
+                if key in props:
+                    table_ref.setdefault(_index_key(props[key]), set()).add(nid)
+            if table != table_ref:
+                problems.append(
+                    f"property index ({label}, {key}) drifted from the node set"
+                )
+        return problems
+
     def __repr__(self) -> str:
         return (
             f"<PropertyGraph {self.node_count} nodes, "

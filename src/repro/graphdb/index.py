@@ -81,15 +81,28 @@ class IndexManager:
                     )
 
     def unindex_node(self, node: "Node") -> None:
+        """Remove a node from the label and property indexes.
+
+        Emptied value entries and label buckets are pruned, not left
+        behind: :meth:`label_counts` and the drained-entry scans stay
+        exact after bulk deletions (the incremental CPG patch deletes
+        whole class slices), instead of accumulating ghost zero-count
+        labels and empty hit sets.
+        """
         for label in node.labels:
             bucket = self._by_label.get(label)
             if bucket is not None:
                 bucket.discard(node.id)
+                if not bucket:
+                    del self._by_label[label]
             for (ilabel, key), table in self._property_indexes.items():
                 if ilabel == label and key in node.properties:
-                    entry = table.get(_index_key(node.properties[key]))
+                    ikey = _index_key(node.properties[key])
+                    entry = table.get(ikey)
                     if entry is not None:
                         entry.discard(node.id)
+                        if not entry:
+                            del table[ikey]
 
     # -- queries ------------------------------------------------------------------
 

@@ -13,6 +13,8 @@ Routes::
     GET    /jobs/<id>/lint          lint issues for the submitted classes
     GET    /jobs/<id>/verdicts      refinement verdicts + refutation reasons
                                     (empty unless options.refine/-guards set)
+    GET    /jobs/<id>/diff          the tabby-diff/v1 document (diff jobs:
+                                    {"diff": {"old": ..., "new": ...}})
     GET    /jobs/<id>/query?q=...   a Cypher-subset query over the job's CPG
     DELETE /jobs/<id>[?purge=1]     drop the job (purge also evicts its
                                     cached result)
@@ -227,7 +229,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, job.as_dict())
             return
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] in (
-            "chains", "lint", "query", "verdicts",
+            "chains", "lint", "query", "verdicts", "diff",
         ):
             job = self._job_or_404(parts[1])
             if job is None:
@@ -253,6 +255,20 @@ class _Handler(BaseHTTPRequestHandler):
             elif parts[2] == "lint":
                 self._reply(
                     200, {"id": job.id, "issues": result.lint_records}
+                )
+            elif parts[2] == "diff":
+                if job.submission.kind != "diff":
+                    self._error(
+                        409, "not a diff job; submit {'diff': {...}}"
+                    )
+                    return
+                self._reply(
+                    200,
+                    {
+                        "id": job.id,
+                        "cached": job.cached,
+                        "diff": result.diff_record,
+                    },
                 )
             elif parts[2] == "verdicts":
                 self._reply(

@@ -73,7 +73,7 @@ class JobState:
 class Submission:
     """A validated, content-addressed unit of work."""
 
-    kind: str  # "classes" | "components" | "snapshot"
+    kind: str  # "classes" | "components" | "snapshot" | "diff"
     payload: Tuple[str, ...]
     options: Dict[str, Any]
     key: str
@@ -122,13 +122,16 @@ def normalize_submission(
     """
     if not isinstance(body, dict):
         raise ValueError("request body must be a JSON object")
-    unknown = set(body) - {"classes", "components", "snapshot", "options"}
+    unknown = set(body) - {"classes", "components", "snapshot", "diff", "options"}
     if unknown:
         raise ValueError(f"unknown field(s): {', '.join(sorted(unknown))}")
-    kinds_present = [k for k in ("classes", "components", "snapshot") if k in body]
+    kinds_present = [
+        k for k in ("classes", "components", "snapshot", "diff") if k in body
+    ]
     if len(kinds_present) != 1:
         raise ValueError(
-            "provide exactly one of 'classes', 'components' or 'snapshot'"
+            "provide exactly one of 'classes', 'components', 'snapshot' "
+            "or 'diff'"
         )
     options = body.get("options")
     if options is not None and not isinstance(options, dict):
@@ -152,6 +155,39 @@ def normalize_submission(
             kind="snapshot", payload=(body["snapshot"],), options=options,
             key=key,
         )
+
+    if kinds_present == ["diff"]:
+        spec = body["diff"]
+        if not isinstance(spec, dict) or set(spec) != {"old", "new"}:
+            raise ValueError(
+                "'diff' must be an object with exactly 'old' and 'new' "
+                "jasm bundles"
+            )
+        sides = {}
+        for side in ("old", "new"):
+            chunks = spec[side]
+            if isinstance(chunks, str):
+                chunks = [chunks]
+            if (
+                not isinstance(chunks, list)
+                or not chunks
+                or not all(isinstance(c, str) and c.strip() for c in chunks)
+            ):
+                raise ValueError(
+                    f"'diff.{side}' must be a non-empty jasm string or "
+                    "list of jasm strings"
+                )
+            sides[side] = tuple(chunks)
+        sources = (
+            SourceCatalog.native()
+            if options["sources"] == "native"
+            else SourceCatalog.extended()
+        )
+        # both versions' content feeds the key; the leading count keeps
+        # ("ab","c") vs ("a","bc") splits from colliding
+        payload = (str(len(sides["old"])),) + sides["old"] + sides["new"]
+        key = bundle_key("diff", payload, options, sinks=sinks, sources=sources)
+        return Submission(kind="diff", payload=payload, options=options, key=key)
 
     has_classes = kinds_present == ["classes"]
     if has_classes:
@@ -485,6 +521,8 @@ class JobManager:
         options = job.submission.options
         if job.submission.kind == "snapshot":
             return self._compute_snapshot(job, options, started)
+        if job.submission.kind == "diff":
+            return self._compute_diff(job, options, started)
         classes = resolve_classes(job.submission)
         sources = (
             SourceCatalog.native()
@@ -558,6 +596,71 @@ class JobManager:
             cpg_row=job.progress["cpg"],
             search_row=job.progress["search"],
             class_count=len(classes),
+            compute_seconds=time.perf_counter() - started,
+        )
+
+    def _compute_diff(
+        self, job: Job, options: Dict[str, Any], started: float
+    ) -> JobResult:
+        """Two-version chain diff via the incremental analyzer.
+
+        The stored result is keyed by both versions' content hashes, so
+        a repeated diff of identical bundles is a pure cache hit.  The
+        result carries the NEW version's graph (queryable) and chain
+        records, plus the versioned ``tabby-diff/v1`` document under
+        ``diff_record``.
+        """
+        from repro.core.incremental import diff_to_dict
+        from repro.jvm import jasm
+
+        split = int(job.submission.payload[0])
+        old_chunks = job.submission.payload[1 : 1 + split]
+        new_chunks = job.submission.payload[1 + split :]
+        old_classes: List[Any] = []
+        for chunk in old_chunks:
+            old_classes.extend(jasm.loads(chunk))
+        new_classes: List[Any] = []
+        for chunk in new_chunks:
+            new_classes.extend(jasm.loads(chunk))
+        sources = (
+            SourceCatalog.native()
+            if options["sources"] == "native"
+            else SourceCatalog.extended()
+        )
+        tabby = Tabby(
+            sinks=self.sinks,
+            sources=sources,
+            workers=1,
+            cache_dir=self.cache_dir,
+        )
+        job.phase = "diff"
+        refine_modes = tuple(
+            m for m in options["refine"].split(",") if m
+        ) or None
+        diff = tabby.diff_versions(
+            old_classes,
+            new_classes,
+            max_depth=options["max_depth"],
+            source_filter=options["source_filter"],
+            refine_guards=options["refine_guards"],
+            refine=refine_modes,
+        )
+        record = diff_to_dict(diff)
+        job.progress["diff"] = record["summary"]
+        cpg = tabby.build_cpg()
+        job.progress["cpg"] = _cpg_row(cpg.statistics)
+        job.progress["search"] = _search_row(tabby.last_search_stats)
+        job.phase = "fingerprint"
+        digest = fingerprint_digest(cpg.graph)
+        return JobResult(
+            key=job.key,
+            chain_records=record["survived"] + record["appeared"],
+            diff_record=record,
+            graph=cpg.graph,
+            fingerprint=digest,
+            cpg_row=job.progress["cpg"],
+            search_row=job.progress["search"],
+            class_count=len(new_classes),
             compute_seconds=time.perf_counter() - started,
         )
 

@@ -139,6 +139,8 @@ class JobResult:
     lint_records: List[Dict[str, Any]] = field(default_factory=list)
     verdict_records: List[Dict[str, Any]] = field(default_factory=list)
     refine_stats: Dict[str, Any] = field(default_factory=dict)
+    #: the versioned tabby-diff/v1 document, for ``diff`` jobs only
+    diff_record: Dict[str, Any] = field(default_factory=dict)
     graph: Any = None
     fingerprint: str = ""
     cpg_row: Dict[str, Any] = field(default_factory=dict)

@@ -296,3 +296,126 @@ class TestCycleTaint:
         # the cluster classes miss by design and are re-analysed
         assert warm.stats.misses == cold.stats.skipped_tainted
         assert cpg.statistics.analyzed_method_count > 0
+
+
+class TestInvalidate:
+    def test_invalidate_removes_entries(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        cache.store("k1", "t.A", [])
+        cache.store("k2", "t.B", [])
+        assert cache.invalidate(["k1", "missing"]) == 1
+        assert cache.stats.invalidated == 1
+        assert cache.load("k1", "t.A") is None
+        assert cache.load("k2", "t.B") is not None
+        # the failed load above counted as a plain miss, not corruption
+        assert cache.stats.corrupt == 0
+
+    def test_invalidate_is_idempotent(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        cache.store("k1", "t.A", [])
+        assert cache.invalidate(["k1"]) == 1
+        assert cache.invalidate(["k1"]) == 0
+        assert cache.stats.invalidated == 1
+
+    def test_taint_engine_invalidate_classes(self, tmp_path):
+        """The taint engine's per-class invalidation drops both the
+        on-disk entry and the in-memory memo, forcing re-probe."""
+        from repro.analysis.taint import TaintSummaryEngine
+
+        classes = make_classes()
+        hierarchy = ClassHierarchy(classes)
+        engine = TaintSummaryEngine(hierarchy, cache_dir=str(tmp_path))
+        for cls in hierarchy.classes:
+            for method in cls.methods.values():
+                engine.summary_for(method)
+        assert engine.cache.stats.stored > 0
+        removed = engine.invalidate_classes(["t.Caller", "t.Ghost"])
+        assert removed >= 1
+        assert engine.cache.stats.invalidated == removed
+        # the memoised summaries for the class are gone too
+        caller = hierarchy.get("t.Caller")
+        warm = TaintSummaryEngine(hierarchy, cache_dir=str(tmp_path))
+        for method in caller.methods.values():
+            assert warm.summary_for(method) is not None
+
+
+class TestSizeCap:
+    def fill(self, cache, count, size=4096):
+        pad = "x" * size
+        for i in range(count):
+            cache.store(f"k{i:03d}", f"t.C{i}", [{"subsig": pad}])
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            SummaryCache(str(tmp_path), max_mb=0)
+        with pytest.raises(ValueError):
+            SummaryCache(str(tmp_path), max_mb=-1)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        self.fill(cache, 30)
+        assert cache.stats.evicted == 0
+        assert len(os.listdir(str(tmp_path))) == 30
+
+    def test_cap_evicts_oldest_first(self, tmp_path):
+        # ~4KB per entry, 16KB cap -> at most ~4 entries survive
+        cache = SummaryCache(str(tmp_path), max_mb=16 / 1024)
+        self.fill(cache, 12)
+        assert cache.stats.evicted > 0
+        survivors = sorted(
+            p for p in os.listdir(str(tmp_path)) if p.endswith(".json")
+        )
+        # LRU by mtime: the oldest writes go first, the newest survive
+        assert survivors == [f"k{i:03d}.json" for i in range(12 - len(survivors), 12)]
+        # the just-written key is never the eviction victim
+        assert "k011.json" in survivors
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        cache = SummaryCache(str(tmp_path), max_mb=16 / 1024)
+        self.fill(cache, 3)
+        # make k000 strictly the oldest, then touch it via a hit
+        past = os.path.getmtime(cache._path("k001")) - 100
+        os.utime(cache._path("k000"), (past, past))
+        assert cache.load("k000", "t.C0") is not None
+        self.fill_one_more = None
+        cache.store("k900", "t.C900", [{"subsig": "y" * 4096}])
+        cache.store("k901", "t.C901", [{"subsig": "y" * 4096}])
+        remaining = {p for p in os.listdir(str(tmp_path)) if p.endswith(".json")}
+        assert "k000.json" in remaining  # refreshed, so not the victim
+
+    def test_evicted_entry_is_a_plain_miss(self, tmp_path):
+        cache = SummaryCache(str(tmp_path), max_mb=16 / 1024)
+        self.fill(cache, 12)
+        assert cache.load("k000", "t.C0") is None
+        assert cache.stats.corrupt == 0
+
+
+class TestStructuredWarning:
+    def test_corrupt_entry_logs_structured_warning(self, tmp_path, caplog):
+        import logging
+
+        cache = SummaryCache(str(tmp_path))
+        cache.store("bad", "t.A", [])
+        with open(cache._path("bad"), "w") as handle:
+            handle.write("{nope")
+        with caplog.at_level(logging.WARNING, logger="repro.core.summary_cache"):
+            assert cache.load("bad", "t.A") is None
+        records = [
+            r for r in caplog.records
+            if r.name == "repro.core.summary_cache"
+        ]
+        assert len(records) == 1
+        message = records[0].getMessage()
+        assert message.startswith(
+            "unreadable summary cache entry treated as miss:"
+        )
+        assert "class=t.A" in message and "key=bad" in message
+        assert cache.stats.corrupt == 1
+
+    def test_clean_miss_does_not_warn(self, tmp_path, caplog):
+        import logging
+
+        cache = SummaryCache(str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.core.summary_cache"):
+            assert cache.load("absent", "t.A") is None
+        assert not caplog.records
