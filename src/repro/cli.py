@@ -273,6 +273,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve 'snapshot' jobs over persisted CPG files "
                        "in DIR (v3 snapshots are mmap'd and shared across "
                        "concurrent jobs; disabled when unset)")
+    serve.add_argument("--live", default=None, metavar="CPG",
+                       help="serve 'live' jobs over one shared MVCC-versioned "
+                       "CPG loaded from this snapshot file; jobs pin an "
+                       "immutable committed version at submission and "
+                       "POST /live/refresh commits on-disk updates as new "
+                       "versions without blocking readers (disabled when "
+                       "unset)")
     serve.add_argument("--no-drain", action="store_true",
                        help="on shutdown, cancel queued jobs instead of "
                        "draining them")
@@ -731,8 +738,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store_capacity=args.store_capacity,
             max_queue=args.max_queue,
             snapshot_dir=args.snapshot_dir,
+            live=args.live,
         )
-    except ValueError as exc:
+    except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:

@@ -45,6 +45,7 @@ applied to appeared chains (:func:`apply_refinement_verdicts`).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -79,6 +80,8 @@ from repro.core.summary_cache import (
 from repro.errors import GraphError, IncrementalError
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
 from repro.graphdb.index import IndexManager
+from repro.graphdb.mvcc import VersionedGraph, WriteTransaction
+from repro.graphdb.wal import WriteAheadLog
 from repro.graphdb.traversal import Uniqueness
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.model import JavaClass
@@ -326,6 +329,9 @@ class IncrementalAnalyzer:
         cache_max_mb: Optional[float] = None,
         max_recursion_depth: int = 64,
         search: Optional[ChainSearchConfig] = None,
+        versioned: bool = False,
+        wal_path: Optional[str] = None,
+        wal_fsync: bool = True,
         _defer: bool = False,
     ):
         self.sinks = sinks if sinks is not None else SinkCatalog()
@@ -357,6 +363,18 @@ class IncrementalAnalyzer:
         self._method_node_ids: Dict[MethodKey, int] = {}
         #: per-sink chain lists keyed by (CLASSNAME, NAME, ARITY)
         self._per_sink: Dict[MethodKey, List[GadgetChain]] = {}
+
+        #: MVCC mode (``versioned=True`` or a ``wal_path``): every
+        #: committed graph state is published as a frozen version on
+        #: ``self.versioned``; concurrent readers pin snapshots with
+        #: ``self.versioned.begin_snapshot()`` and keep reading the
+        #: prior version while :meth:`update` patches inside a
+        #: write transaction.  With ``wal_path`` the versions are also
+        #: durable (journalled/compacted before publication).
+        self._versioned_requested = bool(versioned or wal_path)
+        self._wal_path = wal_path
+        self._wal_fsync = wal_fsync
+        self.versioned: Optional[VersionedGraph] = None
 
         if not _defer:
             self._cold_build(list(classes))
@@ -412,6 +430,7 @@ class IncrementalAnalyzer:
                 f"classes: {exc}"
             ) from exc
         session._search_all()
+        session._publish_cold()
         return session
 
     def _cold_build(self, classes: List[JavaClass]) -> None:
@@ -434,6 +453,33 @@ class IncrementalAnalyzer:
             key: node.id for key, node in builder._method_nodes.items()
         }
         self._search_all()
+        self._publish_cold()
+
+    def _publish_cold(self) -> None:
+        """Publish a freshly (re)built graph as the next MVCC version.
+
+        First call creates the version chain (and the WAL, when a path
+        was configured); later calls — cold-rebuild fallbacks — commit
+        the new graph via a replace transaction, which checkpoints the
+        WAL since a rebuilt graph has no op journal against the prior
+        version.
+        """
+        if not self._versioned_requested:
+            return
+        graph = self.cpg.graph
+        if self.versioned is None:
+            wal = None
+            if self._wal_path:
+                directory = os.path.dirname(self._wal_path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                wal = WriteAheadLog.create(
+                    self._wal_path, graph, 0, fsync=self._wal_fsync
+                )
+            self.versioned = VersionedGraph(graph, wal=wal)
+        else:
+            with self.versioned.write_txn() as txn:
+                txn.replace(graph)
 
     def _adopt(
         self,
@@ -514,7 +560,10 @@ class IncrementalAnalyzer:
         stats = IncrementalStatistics()
         class_list = list(new_classes)
         try:
-            result = self._update_in_place(class_list, stats, started)
+            if self.versioned is not None:
+                result = self._update_versioned(class_list, stats, started)
+            else:
+                result = self._update_in_place(class_list, stats, started)
         except (IncrementalError, GraphError, KeyError) as exc:
             stats.full_rebuild = True
             stats.full_rebuild_reason = f"{type(exc).__name__}: {exc}"
@@ -533,11 +582,41 @@ class IncrementalAnalyzer:
         self.last_statistics = stats
         return result
 
+    def _update_versioned(
+        self,
+        class_list: List[JavaClass],
+        stats: IncrementalStatistics,
+        started: float,
+    ) -> IncrementalResult:
+        """Run the in-place update inside an MVCC write transaction.
+
+        The patch mutates a copy-on-write staging overlay; every
+        snapshot pinned via ``self.versioned.begin_snapshot()`` keeps
+        reading the prior version untouched.  The new version is
+        committed (atomically published, WAL first) right after the
+        canonical renumber, before the chain re-search reads it.
+        """
+        base = self.cpg.graph
+        with self.versioned.write_txn() as txn:
+            self.cpg.graph = txn.graph
+            try:
+                result = self._update_in_place(
+                    class_list, stats, started, txn=txn
+                )
+            except BaseException:
+                self.cpg.graph = base
+                raise
+        if txn.aborted:
+            # nothing changed; keep serving the already-committed version
+            self.cpg.graph = base
+        return result
+
     def _update_in_place(
         self,
         class_list: List[JavaClass],
         stats: IncrementalStatistics,
         started: float,
+        txn: Optional[WriteTransaction] = None,
     ) -> IncrementalResult:
         from repro.jvm.jasm import dump_class
 
@@ -623,6 +702,8 @@ class IncrementalAnalyzer:
             self.cpg.statistics.jar_count = len(
                 {c.jar_name for c in class_list if c.jar_name}
             )
+            if txn is not None and not jar_moved:
+                txn.abort()  # byte-identical version; don't publish a copy
             stats.sinks_total = len(self._per_sink)
             stats.sinks_reused = len(self._per_sink)
             stats.total_seconds = time.perf_counter() - started
@@ -657,6 +738,11 @@ class IncrementalAnalyzer:
 
         # -- phase: canonical renumber + verification ----------------------
         t0 = time.perf_counter()
+        if txn is not None:
+            # the renumber reassigns entity ids directly and swaps the
+            # top-level containers — clone every still-shared entity
+            # first so the frozen base version readers hold stays intact
+            txn.ensure_private_entities()
         self._renumber(new_hierarchy, merged)
         self._recompute_statistics(class_list, new_hierarchy, merged)
         stats.phase_seconds["renumber"] = time.perf_counter() - t0
@@ -678,6 +764,12 @@ class IncrementalAnalyzer:
                 for m in cls.methods.values()
             )
         }
+
+        if txn is not None:
+            # publish before searching: the graph is final, so readers
+            # can switch to the new version while the (read-only) chain
+            # re-search below runs against the same frozen state
+            txn.commit()
 
         # -- phase: dirty-cone re-search + splice --------------------------
         t0 = time.perf_counter()

@@ -11,13 +11,19 @@
   v2 binary, auto-detected on read)
 * :mod:`repro.graphdb.snapshot` — the v2 binary columnar snapshot
   codec (string table, packed columns, checksummed sections)
+* :mod:`repro.graphdb.mvcc` — copy-on-write MVCC version chain
+  (wait-free snapshot reads, single serialized writer)
+* :mod:`repro.graphdb.wal` — CRC-framed write-ahead log with crash
+  recovery and compaction into v3 base snapshots
 """
 
 from repro.graphdb.graph import Node, PropertyGraph, Relationship
+from repro.graphdb.mvcc import VersionedGraph, WriteTransaction, version_of
 from repro.graphdb.plan import QueryPlan, build_plan
 from repro.graphdb.query import QueryResult, run_query
-from repro.graphdb.snapshot import graph_fingerprint
+from repro.graphdb.snapshot import fingerprint_digest, graph_fingerprint
 from repro.graphdb.storage import load_graph, save_graph
+from repro.graphdb.wal import WriteAheadLog
 from repro.graphdb.traversal import (
     Direction,
     Evaluation,
@@ -38,6 +44,11 @@ __all__ = [
     "save_graph",
     "load_graph",
     "graph_fingerprint",
+    "fingerprint_digest",
+    "VersionedGraph",
+    "WriteTransaction",
+    "WriteAheadLog",
+    "version_of",
     "Path",
     "Evaluation",
     "Uniqueness",

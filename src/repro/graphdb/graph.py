@@ -165,6 +165,10 @@ class PropertyGraph:
     order); consumers that merge buckets rely on this invariant.
     """
 
+    #: class-level default so instances built via ``__new__`` (trusted
+    #: loaders, unpickling) are mutable without an ``__init__`` call
+    _frozen = False
+
     def __init__(self) -> None:
         self._nodes: Dict[int, Node] = {}
         self._rels: Dict[int, Relationship] = {}
@@ -197,11 +201,32 @@ class PropertyGraph:
             self._labelset_pool[pooled] = pooled
         return pooled
 
+    # -- immutability ---------------------------------------------------
+
+    def freeze(self) -> None:
+        """Make this graph permanently immutable: every mutator raises
+        :class:`GraphError` from now on.  Committed MVCC versions are
+        frozen so concurrent readers can rely on never observing a
+        mutation (and so fingerprints may be memoised per version)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def _writable(self) -> None:
+        if self._frozen:
+            raise GraphError(
+                "graph is frozen (a committed MVCC version is immutable); "
+                "open a write_txn() on the VersionedGraph to mutate"
+            )
+
     # -- creation -------------------------------------------------------
 
     def create_node(
         self, labels: Iterable[str] = (), properties: Optional[Dict[str, Any]] = None
     ) -> Node:
+        self._writable()
         node = Node(self._next_node_id, labels, properties)
         node.labels = self._pooled_labels(node.labels)
         self._next_node_id += 1
@@ -220,6 +245,7 @@ class PropertyGraph:
         end: "Node | int",
         properties: Optional[Dict[str, Any]] = None,
     ) -> Relationship:
+        self._writable()
         start_id = start.id if isinstance(start, Node) else start
         end_id = end.id if isinstance(end, Node) else end
         if start_id not in self._nodes:
@@ -247,12 +273,14 @@ class PropertyGraph:
         nodes already in the graph, so lookups are complete no matter
         when the index is declared.  The query planner routes anchor
         scans through these indexes and assumes completeness."""
+        self._writable()
         self.indexes.create_index(label, key, nodes=self.nodes(label))
 
     def create_relationship_index(self, key: str) -> None:
         """Declare a relationship-property presence index and backfill
         it, so :meth:`relationships_with_property` is a set lookup no
         matter when the index is declared.  Idempotent."""
+        self._writable()
         if key in self._rel_prop_indexes:
             return
         self._rel_prop_indexes[_intern_key(key)] = {
@@ -276,6 +304,7 @@ class PropertyGraph:
     # -- deletion -----------------------------------------------------------
 
     def delete_relationship(self, rel: "Relationship | int") -> None:
+        self._writable()
         rel_id = rel.id if isinstance(rel, Relationship) else rel
         found = self._rels.pop(rel_id, None)
         if found is None:
@@ -299,6 +328,7 @@ class PropertyGraph:
             indexed.discard(rel_id)
 
     def delete_node(self, node: "Node | int", detach: bool = False) -> None:
+        self._writable()
         node_id = node.id if isinstance(node, Node) else node
         found = self._nodes.get(node_id)
         if found is None:
@@ -322,6 +352,7 @@ class PropertyGraph:
     # -- property updates ------------------------------------------------------
 
     def set_node_property(self, node: "Node | int", key: str, value: Any) -> None:
+        self._writable()
         found = self.node(node.id if isinstance(node, Node) else node)
         self.indexes.unindex_node(found)
         found.properties[_intern_key(key)] = _check_property_value(key, value)
@@ -330,6 +361,7 @@ class PropertyGraph:
     def set_relationship_property(
         self, rel: "Relationship | int", key: str, value: Any
     ) -> None:
+        self._writable()
         found = self.relationship(rel.id if isinstance(rel, Relationship) else rel)
         found.properties[_intern_key(key)] = _check_property_value(key, value)
         indexed = self._rel_prop_indexes.get(key)

@@ -60,6 +60,7 @@ mean a truncated or corrupted file fails with an actionable
 
 from __future__ import annotations
 
+import hashlib
 import struct
 import sys
 import zlib
@@ -77,6 +78,7 @@ __all__ = [
     "encode_snapshot",
     "decode_snapshot",
     "graph_fingerprint",
+    "fingerprint_digest",
 ]
 
 SNAPSHOT_MAGIC = b"TABBYCPG"
@@ -791,3 +793,45 @@ def graph_fingerprint(graph: PropertyGraph) -> Dict[str, Any]:
             for pair, table in indexes._property_indexes.items()
         },
     }
+
+
+def _canonical(obj: Any) -> str:
+    """A deterministic serialization that depends only on value
+    equality, not on dict insertion order.
+
+    ``repr`` of two ``==`` dicts can differ (a COW-committed graph and
+    its reloaded base snapshot build their dicts in different orders),
+    so the digest must sort dict items; sequences keep their order.
+    """
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ",".join(
+            f"{_canonical(k)}:{_canonical(v)}" for k, v in items
+        ) + "}"
+    if isinstance(obj, tuple):
+        return "(" + ",".join(_canonical(x) for x in obj) + ")"
+    if isinstance(obj, list):
+        return "[" + ",".join(_canonical(x) for x in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(x) for x in obj)) + "}"
+    return repr(obj)
+
+
+def fingerprint_digest(graph: PropertyGraph) -> str:
+    """SHA-256 over the canonical form of :func:`graph_fingerprint`.
+
+    Memoised on *frozen* graphs (committed MVCC versions): a frozen
+    graph can never change, so the digest is computed at most once per
+    version and "invalidation on commit" falls out of the design — a
+    commit publishes a fresh graph object with no cached digest.
+    Mutable graphs are never memoised.
+    """
+    cached = getattr(graph, "_fingerprint_digest", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(
+        _canonical(graph_fingerprint(graph)).encode("utf-8")
+    ).hexdigest()
+    if getattr(graph, "_frozen", False):
+        graph._fingerprint_digest = digest
+    return digest

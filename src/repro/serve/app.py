@@ -18,8 +18,14 @@ Routes::
     GET    /jobs/<id>/query?q=...   a Cypher-subset query over the job's CPG
     DELETE /jobs/<id>[?purge=1]     drop the job (purge also evicts its
                                     cached result)
+    POST   /live/refresh            commit the on-disk live CPG as the
+                                    next MVCC version if it changed
+                                    (``--live`` mode; {"force": true}
+                                    reloads unconditionally)
     GET    /healthz                 liveness
     GET    /stats                   queue / store / limiter counters
+                                    (+ the live graph's version and
+                                    memoised fingerprint in --live mode)
 
 Error contract: 400 malformed body or query, 404 unknown job or route,
 405 wrong method, 409 results requested before the job is done (or
@@ -39,7 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ReproError
 from repro.serve.jobs import JobManager, JobState
 from repro.serve.ratelimit import RateLimiter
 from repro.serve.store import ResultStore
@@ -99,6 +105,7 @@ def create_server(
     store_capacity: int = 256,
     max_queue: int = 0,
     snapshot_dir: Optional[str] = None,
+    live: Optional[str] = None,
 ) -> TabbyServer:
     """Build an unstarted server; ``port=0`` binds an ephemeral port.
 
@@ -107,7 +114,11 @@ def create_server(
     ``cache_dir`` is the shared persistent summary cache handed to
     every job's pipeline; ``snapshot_dir`` enables the ``snapshot``
     job kind — searching persisted CPG files (v3 snapshots are mmap'd,
-    so concurrent jobs on one file share a single physical copy).
+    so concurrent jobs on one file share a single physical copy);
+    ``live`` enables the ``live`` job kind — one shared MVCC-versioned
+    CPG loaded from the given file, where every job pins an immutable
+    committed version at submission and ``POST /live/refresh`` commits
+    new on-disk versions without blocking in-flight readers.
     """
     manager = JobManager(
         workers=workers,
@@ -115,6 +126,7 @@ def create_server(
         cache_dir=cache_dir,
         max_queue=max_queue,
         snapshot_dir=snapshot_dir,
+        live=live,
     )
     limiter = RateLimiter(rate=rate, burst=burst)
     return TabbyServer((host, port), manager, limiter)
@@ -179,6 +191,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         parsed = urlparse(self.path)
+        if parsed.path == "/live/refresh":
+            self._do_live_refresh()
+            return
         if parsed.path != "/jobs":
             self._error(404, f"no such route: POST {parsed.path}")
             return
@@ -209,14 +224,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, {"ok": True, "closed": self.server.manager.closed})
             return
         if parsed.path == "/stats":
-            self._reply(
-                200,
-                {
-                    "jobs": self.server.manager.stats(),
-                    "store": self.server.manager.store.stats(),
-                    "ratelimit": self.server.limiter.stats(),
-                },
-            )
+            payload = {
+                "jobs": self.server.manager.stats(),
+                "store": self.server.manager.store.stats(),
+                "ratelimit": self.server.limiter.stats(),
+            }
+            if self.server.manager.live is not None:
+                payload["live"] = self.server.manager.live.stats()
+            self._reply(200, payload)
             return
         if parsed.path == "/jobs":
             self._reply(
@@ -306,6 +321,36 @@ class _Handler(BaseHTTPRequestHandler):
                 "rows": [jsonable_row(r) for r in result.rows],
             },
         )
+
+    def _do_live_refresh(self) -> None:
+        manager = self.server.manager
+        if manager.live is None:
+            self._error(
+                409, "live mode is disabled (start the server with --live)"
+            )
+            return
+        force = False
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length > 0:
+            try:
+                body = self._read_json_body()
+            except ValueError as exc:
+                self._error(400, str(exc))
+                return
+            if body is not None:
+                if not isinstance(body, dict) or set(body) - {"force"}:
+                    self._error(400, "body must be {} or {\"force\": bool}")
+                    return
+                force = bool(body.get("force", False))
+        try:
+            outcome = manager.live.refresh(force=force)
+        except (OSError, ReproError, ValueError) as exc:
+            self._error(409, f"refresh failed: {exc}")
+            return
+        self._reply(200, outcome)
 
     def do_DELETE(self) -> None:
         parsed = urlparse(self.path)

@@ -33,21 +33,25 @@ import os
 import queue
 import threading
 import time
-from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.api import Tabby
-from repro.core.cpg import CPGStatistics
-from repro.core.pathfinder import SearchStatistics
+from repro.core.cpg import CLASS_LABEL, CPG, METHOD_LABEL, CPGStatistics
+from repro.core.pathfinder import GadgetChainFinder, SearchStatistics
 from repro.core.sinks import SinkCatalog
 from repro.core.sources import SourceCatalog
 from repro.errors import ReproError
+from repro.graphdb.mvcc import VersionedGraph, version_of
+from repro.graphdb.storage import load_graph, open_graph
+from repro.jvm.hierarchy import ClassHierarchy
 from repro.serve.store import JobResult, ResultStore, bundle_key, canonical_options
 
 __all__ = [
     "Job",
     "JobManager",
     "JobState",
+    "LiveGraph",
     "Submission",
     "normalize_submission",
     "resolve_classes",
@@ -73,10 +77,14 @@ class JobState:
 class Submission:
     """A validated, content-addressed unit of work."""
 
-    kind: str  # "classes" | "components" | "snapshot" | "diff"
+    kind: str  # "classes" | "components" | "snapshot" | "diff" | "live"
     payload: Tuple[str, ...]
     options: Dict[str, Any]
     key: str
+    #: ``live`` jobs only: the immutable MVCC snapshot pinned at
+    #: submission time.  Not part of the content identity — the pinned
+    #: *version number* already is, via ``payload``/``key``.
+    pinned: Any = field(default=None, compare=False)
 
 
 def _resolve_snapshot(name: Any, snapshot_dir: Optional[str]) -> str:
@@ -110,6 +118,7 @@ def normalize_submission(
     body: Any,
     sinks: Optional[SinkCatalog] = None,
     snapshot_dir: Optional[str] = None,
+    live: Optional["LiveGraph"] = None,
 ) -> Submission:
     """Validate a ``POST /jobs`` body and compute its content hash.
 
@@ -122,21 +131,48 @@ def normalize_submission(
     """
     if not isinstance(body, dict):
         raise ValueError("request body must be a JSON object")
-    unknown = set(body) - {"classes", "components", "snapshot", "diff", "options"}
+    unknown = set(body) - {
+        "classes", "components", "snapshot", "diff", "live", "options",
+    }
     if unknown:
         raise ValueError(f"unknown field(s): {', '.join(sorted(unknown))}")
     kinds_present = [
-        k for k in ("classes", "components", "snapshot", "diff") if k in body
+        k for k in ("classes", "components", "snapshot", "diff", "live")
+        if k in body
     ]
     if len(kinds_present) != 1:
         raise ValueError(
-            "provide exactly one of 'classes', 'components', 'snapshot' "
-            "or 'diff'"
+            "provide exactly one of 'classes', 'components', 'snapshot', "
+            "'diff' or 'live'"
         )
     options = body.get("options")
     if options is not None and not isinstance(options, dict):
         raise ValueError("'options' must be a JSON object")
     options = canonical_options(options)
+
+    if kinds_present == ["live"]:
+        if live is None:
+            raise ValueError(
+                "live jobs are disabled (start the server with --live)"
+            )
+        if body["live"] is not True:
+            raise ValueError("'live' must be the JSON literal true")
+        if options["refine"] or options["refine_guards"]:
+            raise ValueError(
+                "live jobs cannot refine: the shared CPG carries no class "
+                "hierarchy (rebuild from classes/components instead)"
+            )
+        # pin the current committed version NOW (one atomic attribute
+        # read — wait-free w.r.t. any in-flight writer); the version
+        # number is the content identity, so a commit between two
+        # submissions gives the second one a fresh key while the first
+        # keeps serving its pinned version
+        graph, version = live.pin()
+        key = bundle_key("live", (live.path, str(version)), options)
+        return Submission(
+            kind="live", payload=(str(version),), options=options, key=key,
+            pinned=graph,
+        )
 
     if kinds_present == ["snapshot"]:
         path = _resolve_snapshot(body["snapshot"], snapshot_dir)
@@ -253,13 +289,99 @@ def fingerprint_digest(graph: Any) -> str:
 
     The CPG build is deterministic, so recomputing a submission yields
     a byte-identical fingerprint — the identity the cache-vs-recompute
-    equivalence tests compare.
+    equivalence tests compare.  Delegates to the graphdb implementation,
+    which memoises the digest on frozen (committed MVCC) graphs — the
+    ``/stats`` live block and repeat live jobs pay the O(graph) walk
+    once per committed version.
     """
-    import hashlib
+    from repro.graphdb.snapshot import fingerprint_digest as digest
 
-    from repro.graphdb.snapshot import graph_fingerprint
+    return digest(graph)
 
-    return hashlib.sha256(repr(graph_fingerprint(graph)).encode()).hexdigest()
+
+class LiveGraph:
+    """The shared, MVCC-versioned CPG behind ``tabby serve --live``.
+
+    One :class:`~repro.graphdb.graph.PropertyGraph` is decoded from the
+    snapshot file at startup and published as version 0 of a
+    :class:`~repro.graphdb.mvcc.VersionedGraph`.  Every ``live`` job
+    pins an immutable committed version with one atomic read at
+    submission time — N concurrent jobs traverse the same physical
+    structure with no lock and no per-job reopen — while
+    :meth:`refresh` (the snapshot file changed on disk, e.g. an
+    incremental-analysis writer saved a new version) commits the new
+    graph as the next MVCC version without disturbing any in-flight
+    reader: their pinned versions stay frozen and fingerprint-stable.
+    """
+
+    def __init__(self, path: str):
+        if not os.path.isfile(path):
+            raise ValueError(f"live CPG not found: {path}")
+        self.path = path
+        self._refresh_lock = threading.Lock()
+        graph, token = self._load()
+        self._stat_token = token
+        self.versioned = VersionedGraph(graph)
+        self.refreshes = 0
+
+    def _load(self) -> Tuple[Any, str]:
+        st = os.stat(self.path)
+        token = f"{st.st_size}:{st.st_mtime_ns}"
+        graph = load_graph(self.path)
+        if not hasattr(graph, "freeze"):  # a read-only mmap view
+            graph = graph.materialize()
+        return graph, token
+
+    def pin(self) -> Tuple[Any, int]:
+        """The current committed version plus its number (wait-free)."""
+        graph = self.versioned.begin_snapshot()
+        return graph, version_of(graph)
+
+    def refresh(self, force: bool = False) -> Dict[str, Any]:
+        """Commit the on-disk snapshot as the next version if it changed.
+
+        Stat identity (size + mtime_ns, the same token snapshot-job
+        cache keys use) decides "changed"; ``force=True`` reloads
+        unconditionally.  Concurrent refreshes serialize here, readers
+        never wait.
+        """
+        with self._refresh_lock:
+            st = os.stat(self.path)
+            token = f"{st.st_size}:{st.st_mtime_ns}"
+            if not force and token == self._stat_token:
+                return {
+                    "refreshed": False,
+                    "version": self.versioned.version,
+                }
+            graph, token = self._load()
+            with self.versioned.write_txn() as txn:
+                txn.replace(graph)
+            self._stat_token = token
+            self.refreshes += 1
+            return {"refreshed": True, "version": self.versioned.version}
+
+    def cpg_view(self, graph: Any) -> CPG:
+        """A searchable CPG wrapper around one pinned version (no class
+        hierarchy — same contract as a snapshot-loaded Tabby)."""
+        statistics = CPGStatistics(
+            class_node_count=graph.indexes.label_count(CLASS_LABEL),
+            method_node_count=graph.indexes.label_count(METHOD_LABEL),
+            relationship_edge_count=graph.relationship_count,
+        )
+        return CPG(graph, ClassHierarchy([]), statistics, {})
+
+    def stats(self) -> Dict[str, Any]:
+        graph, version = self.pin()
+        return {
+            "path": self.path,
+            "version": version,
+            "nodes": graph.node_count,
+            "relationships": graph.relationship_count,
+            # memoised on the frozen version: repeat /stats polls between
+            # commits don't re-walk the graph
+            "fingerprint": fingerprint_digest(graph),
+            "refreshes": self.refreshes,
+        }
 
 
 def _cpg_row(stats: CPGStatistics) -> Dict[str, Any]:
@@ -338,6 +460,7 @@ class JobManager:
         max_queue: int = 0,
         inline: bool = False,
         snapshot_dir: Optional[str] = None,
+        live: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -350,8 +473,23 @@ class JobManager:
         #: directory of persisted CPG snapshots servable via the
         #: ``snapshot`` job kind; None disables the kind entirely
         self.snapshot_dir = snapshot_dir
+        #: the shared MVCC-versioned CPG behind ``live`` jobs; None
+        #: disables the kind entirely
+        self.live: Optional[LiveGraph] = LiveGraph(live) if live else None
         self.max_queue = max_queue
         self.inline = inline
+        # opened-graph cache for snapshot jobs: one mmap/decoded graph
+        # per (path, stat identity), shared by every concurrent and
+        # repeat job over the same file version; lifetime rides the
+        # result store's LRU via its eviction hook
+        self._snap_lock = threading.Lock()
+        self._snapshot_graphs: Dict[str, Any] = {}
+        self._snapshot_refs: Dict[str, Set[str]] = {}
+        self._snapshot_tokens: Dict[str, str] = {}
+        self.snapshot_cache_hits = 0
+        self.snapshot_cache_opens = 0
+        self._prior_on_evict = self.store.on_evict
+        self.store.on_evict = self._result_evicted
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._jobs: Dict[str, Job] = {}
         self._active: Dict[str, Job] = {}
@@ -392,7 +530,8 @@ class JobManager:
         None for the last two.
         """
         sub = submission if submission is not None else normalize_submission(
-            body, sinks=self.sinks, snapshot_dir=self.snapshot_dir
+            body, sinks=self.sinks, snapshot_dir=self.snapshot_dir,
+            live=self.live,
         )
         run_now: Optional[Job] = None
         with self._lock:
@@ -521,6 +660,8 @@ class JobManager:
         options = job.submission.options
         if job.submission.kind == "snapshot":
             return self._compute_snapshot(job, options, started)
+        if job.submission.kind == "live":
+            return self._compute_live(job, options, started)
         if job.submission.kind == "diff":
             return self._compute_diff(job, options, started)
         classes = resolve_classes(job.submission)
@@ -664,6 +805,53 @@ class JobManager:
             compute_seconds=time.perf_counter() - started,
         )
 
+    def _open_snapshot_graph(self, path: str, key: str) -> Any:
+        """The opened-graph cache behind snapshot jobs.
+
+        Keyed by path plus the same size+mtime_ns stat token the
+        submission key embeds, so a replaced file is a clean miss.  The
+        ``key`` (the job's result-store key) is recorded against the
+        entry; when the result store's LRU evicts the last result that
+        referenced a cached graph, the graph itself is dropped too
+        (see :meth:`_result_evicted`).
+        """
+        st = os.stat(path)
+        token = f"{path}|{st.st_size}:{st.st_mtime_ns}"
+        with self._snap_lock:
+            graph = self._snapshot_graphs.get(token)
+            if graph is not None:
+                self.snapshot_cache_hits += 1
+                self._snapshot_refs[token].add(key)
+                self._snapshot_tokens[key] = token
+                return graph
+        opened = open_graph(path)
+        with self._snap_lock:
+            graph = self._snapshot_graphs.get(token)
+            if graph is not None:  # raced another worker's open
+                self.snapshot_cache_hits += 1
+            else:
+                graph = opened
+                self._snapshot_graphs[token] = graph
+                self.snapshot_cache_opens += 1
+            self._snapshot_refs.setdefault(token, set()).add(key)
+            self._snapshot_tokens[key] = token
+        return graph
+
+    def _result_evicted(self, key: str, result: JobResult) -> None:
+        """Result-store eviction hook: retire the opened snapshot graph
+        once no stored result references its file version any more."""
+        with self._snap_lock:
+            token = self._snapshot_tokens.pop(key, None)
+            if token is not None:
+                refs = self._snapshot_refs.get(token)
+                if refs is not None:
+                    refs.discard(key)
+                    if not refs:
+                        del self._snapshot_refs[token]
+                        self._snapshot_graphs.pop(token, None)
+        if self._prior_on_evict is not None:
+            self._prior_on_evict(key, result)
+
     def _compute_snapshot(
         self, job: Job, options: Dict[str, Any], started: float
     ) -> JobResult:
@@ -671,26 +859,35 @@ class JobManager:
 
         A v3 snapshot is mmap'd in place — N concurrent snapshot jobs
         over the same file traverse one physical copy — while v1/v2
-        files decode per job as ``load_graph`` always has.  No parse,
-        build, lint or refine phases run: the snapshot *is* the CPG,
-        and the fingerprint is a digest of the file bytes rather than
-        of a rebuilt graph.
+        files decode per job as ``load_graph`` always has.  The opened
+        graph is additionally cached per file version (path + stat
+        identity), so repeat jobs over an unchanged file skip even the
+        O(header) open/decode; the cache entry is evicted alongside the
+        last stored result that used it.  No parse, build, lint or
+        refine phases run: the snapshot *is* the CPG, and the
+        fingerprint is a digest of the file bytes rather than of a
+        rebuilt graph.
         """
         import hashlib
 
         path = _resolve_snapshot(job.submission.payload[0], self.snapshot_dir)
         job.phase = "open"
-        tabby = Tabby.load_cpg(
-            path, sinks=self.sinks, workers=1, cache_dir=self.cache_dir
+        graph = self._open_snapshot_graph(path, job.key)
+        statistics = CPGStatistics(
+            class_node_count=graph.indexes.label_count(CLASS_LABEL),
+            method_node_count=graph.indexes.label_count(METHOD_LABEL),
+            relationship_edge_count=graph.relationship_count,
         )
-        cpg = tabby.build_cpg()
-        job.progress["cpg"] = _cpg_row(cpg.statistics)
+        cpg = CPG(graph, ClassHierarchy([]), statistics, {})
+        job.progress["cpg"] = _cpg_row(statistics)
         job.phase = "search"
-        chains = tabby.find_gadget_chains(
+        finder = GadgetChainFinder(
+            cpg,
             max_depth=options["max_depth"],
-            source_filter=options["source_filter"],
+            workers=1,
         )
-        job.progress["search"] = _search_row(tabby.last_search_stats)
+        chains = finder.find_chains(source_filter=options["source_filter"])
+        job.progress["search"] = _search_row(finder.last_search_stats)
         job.phase = "fingerprint"
         digest = hashlib.sha256()
         with open(path, "rb") as fh:
@@ -707,6 +904,50 @@ class JobManager:
             ],
             graph=cpg.graph,
             fingerprint=digest.hexdigest(),
+            cpg_row=job.progress["cpg"],
+            search_row=job.progress["search"],
+            class_count=0,
+            compute_seconds=time.perf_counter() - started,
+        )
+
+    def _compute_live(
+        self, job: Job, options: Dict[str, Any], started: float
+    ) -> JobResult:
+        """Search the version of the shared live CPG this job pinned.
+
+        The pinned graph is a frozen committed MVCC version: the search
+        is a pure read over structure shared with every other live job
+        and with the current version — no lock, no copy, no reopen.  A
+        refresh committed mid-job changes nothing here; the result (and
+        its ``/query`` graph) stays bit-identical to the pinned version.
+        """
+        graph = job.submission.pinned
+        if graph is None:  # submissions built without a pin fall back
+            graph, _ = self.live.pin()
+        cpg = self.live.cpg_view(graph)
+        job.progress["cpg"] = _cpg_row(cpg.statistics)
+        job.progress["version"] = int(job.submission.payload[0])
+        job.phase = "search"
+        finder = GadgetChainFinder(
+            cpg,
+            max_depth=options["max_depth"],
+            workers=1,
+        )
+        chains = finder.find_chains(source_filter=options["source_filter"])
+        job.progress["search"] = _search_row(finder.last_search_stats)
+        job.phase = "fingerprint"
+        digest = fingerprint_digest(graph)
+        return JobResult(
+            key=job.key,
+            chain_records=[
+                {
+                    "steps": [s.qualified for s in chain.steps],
+                    "sink_category": chain.sink_category,
+                }
+                for chain in chains
+            ],
+            graph=graph,
+            fingerprint=digest,
             cpg_row=job.progress["cpg"],
             search_row=job.progress["search"],
             class_count=0,
@@ -749,6 +990,12 @@ class JobManager:
     # -- observability -----------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        with self._snap_lock:
+            snapshot_graphs = {
+                "entries": len(self._snapshot_graphs),
+                "hits": self.snapshot_cache_hits,
+                "opens": self.snapshot_cache_opens,
+            }
         with self._lock:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
@@ -765,4 +1012,5 @@ class JobManager:
                 "failed": self.failed,
                 "cancelled": self.cancelled,
                 "closed": self._closed,
+                "snapshot_graphs": snapshot_graphs,
             }

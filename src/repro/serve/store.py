@@ -160,7 +160,7 @@ class ResultStore:
     contract).
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, on_evict: Optional[Any] = None):
         if capacity < 1:
             raise ValueError("store capacity must be >= 1")
         self.capacity = capacity
@@ -170,6 +170,12 @@ class ResultStore:
         self.misses = 0
         self.stored = 0
         self.evicted = 0
+        #: ``on_evict(key, result)`` fires for every entry leaving the
+        #: store (LRU pressure or explicit :meth:`evict`), *outside* the
+        #: store lock — side caches keyed by result keys (the job
+        #: manager's opened-snapshot graphs) piggyback their lifetime on
+        #: the store's this way
+        self.on_evict = on_evict
 
     def get(self, key: str) -> Optional[JobResult]:
         with self._lock:
@@ -182,21 +188,28 @@ class ResultStore:
             return result
 
     def put(self, key: str, result: JobResult) -> None:
+        dropped: List[Tuple[str, JobResult]] = []
         with self._lock:
             self._entries[key] = result
             self._entries.move_to_end(key)
             self.stored += 1
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                dropped.append(self._entries.popitem(last=False))
                 self.evicted += 1
+        if self.on_evict is not None:
+            for old_key, old_result in dropped:
+                self.on_evict(old_key, old_result)
 
     def evict(self, key: str) -> bool:
         with self._lock:
-            if key in self._entries:
-                del self._entries[key]
+            result = self._entries.pop(key, None)
+            if result is not None:
                 self.evicted += 1
-                return True
-            return False
+        if result is not None:
+            if self.on_evict is not None:
+                self.on_evict(key, result)
+            return True
+        return False
 
     def keys(self) -> List[str]:
         with self._lock:
